@@ -1,0 +1,52 @@
+// E4/E5 — Fig. 3: the AdultData (gender → income) and StaplesData
+// (income → price) reports — plain answers, bias verdicts, coarse and
+// fine explanations, total and direct effects with significance.
+
+#include "bench_util.h"
+#include "core/hypdb.h"
+#include "datagen/adult_data.h"
+#include "datagen/staples_data.h"
+
+using namespace hypdb;
+using namespace hypdb::bench;
+
+int main(int argc, char** argv) {
+  double scale = ScaleArg(argc, argv);
+  Header("bench_fig3_adult_staples",
+         "Fig. 3 — AdultData (top) and StaplesData (bottom) reports");
+
+  {
+    std::printf("\n--- Fig. 3 top: the effect of Gender on Income ---\n");
+    auto table = GenerateAdultData(
+        {.num_rows = static_cast<int64_t>(48842 * scale)});
+    if (!table.ok()) return 1;
+    HypDb db(MakeTable(std::move(*table)), HypDbOptions{});
+    auto report = db.AnalyzeSql(
+        "SELECT Gender, avg(Income) FROM AdultData GROUP BY Gender");
+    if (!report.ok()) {
+      std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", RenderReport(*report).c_str());
+    std::printf("[paper: plain 0.11/0.30; total ~0.23/0.25; direct "
+                "~0.10/0.11; MaritalStatus top responsibility]\n");
+  }
+
+  {
+    std::printf("\n--- Fig. 3 bottom: the effect of Income on Price ---\n");
+    auto table = GenerateStaplesData(
+        {.num_rows = static_cast<int64_t>(988871 * scale)});
+    if (!table.ok()) return 1;
+    HypDb db(MakeTable(std::move(*table)), HypDbOptions{});
+    auto report = db.AnalyzeSql(
+        "SELECT Income, avg(Price) FROM StaplesData GROUP BY Income");
+    if (!report.ok()) {
+      std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", RenderReport(*report).c_str());
+    std::printf("[paper: small but significant total effect; direct "
+                "effect null (diff 0, p = 1); Distance responsibility 1]\n");
+  }
+  return 0;
+}

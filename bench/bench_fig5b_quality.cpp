@@ -1,0 +1,46 @@
+// E8 — Fig. 5(b): quality of covariate discovery vs the baselines.
+// F1 of parent recovery over all nodes of random ground-truth DAGs,
+// sweeping the sample size. Expected shape: CD variants at or above the
+// baselines, all methods improving with data.
+
+#include "bench_util.h"
+#include "quality_common.h"
+
+using namespace hypdb;
+using namespace hypdb::bench;
+
+int main(int argc, char** argv) {
+  double scale = ScaleArg(argc, argv);
+  Header("bench_fig5b_quality",
+         "Fig. 5(b) — F1 of parent recovery vs sample size (all nodes)");
+
+  const std::vector<Learner> learners = {
+      Learner::kCdHyMit, Learner::kCdMit,  Learner::kCdChi2,
+      Learner::kIambChi2, Learner::kFgsChi2, Learner::kHcBde,
+      Learner::kHcAic,   Learner::kHcBic};
+
+  std::vector<std::string> header = {"rows"};
+  for (Learner l : learners) header.push_back(LearnerName(l));
+  Row(header, 12);
+
+  for (int64_t rows : {2000, 10000, 50000}) {
+    QualitySetup setup;
+    setup.data.num_nodes = 12;
+    setup.data.expected_degree = 3.0;
+    setup.data.num_rows = static_cast<int64_t>(rows * scale);
+    setup.data.min_categories = 2;
+    setup.data.max_categories = 4;
+    setup.reps = 2;
+    setup.seed = 5150 + rows;
+    auto results = RunQualityComparison(setup, learners);
+    std::vector<std::string> row = {std::to_string(setup.data.num_rows)};
+    for (const auto& r : results) row.push_back(Fmt("%.3f", r.f1));
+    Row(row, 12);
+  }
+  std::printf(
+      "\n(expected shape: CD variants competitive with the structure\n"
+      " learners even though they were never designed to learn whole\n"
+      " DAGs — the paper itself calls this comparison 'not fair' to CD\n"
+      " and points to the >=2-parents regime of Fig. 5c)\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// E10 — Fig. 5(d): quality as the number of attribute categories grows
+// (fixed sample): larger domains = sparser contingency tables, where the
+// χ² approximation degrades and the permutation-based tests keep their
+// accuracy. Restricted to nodes with >= 2 parents as in Fig. 5(c)/(d).
+
+#include "bench_util.h"
+#include "quality_common.h"
+
+using namespace hypdb;
+using namespace hypdb::bench;
+
+int main(int argc, char** argv) {
+  double scale = ScaleArg(argc, argv);
+  Header("bench_fig5d_quality_categories",
+         "Fig. 5(d) — F1 vs number of categories (sparse regime)");
+
+  const std::vector<Learner> learners = {
+      Learner::kCdHyMit, Learner::kCdMit,  Learner::kCdChi2,
+      Learner::kIambChi2, Learner::kFgsChi2, Learner::kHcBde,
+      Learner::kHcAic,   Learner::kHcBic};
+
+  std::vector<std::string> header = {"categories"};
+  for (Learner l : learners) header.push_back(LearnerName(l));
+  Row(header, 12);
+
+  for (int categories : {4, 8, 12, 16, 20}) {
+    QualitySetup setup;
+    setup.data.num_nodes = 8;
+    setup.data.expected_degree = 2.5;
+    setup.data.num_rows = static_cast<int64_t>(20000 * scale);
+    setup.data.min_categories = categories;
+    setup.data.max_categories = categories;
+    setup.reps = 2;
+    setup.min_parents = 2;
+    setup.seed = 5152 + categories;
+    auto results = RunQualityComparison(setup, learners);
+    std::vector<std::string> row = {std::to_string(categories)};
+    for (const auto& r : results) row.push_back(Fmt("%.3f", r.f1));
+    Row(row, 12);
+  }
+  std::printf("\n(expected shape: permutation-based CD degrades slowest as\n"
+              " categories grow; χ²-based columns fall off)\n");
+  return 0;
+}

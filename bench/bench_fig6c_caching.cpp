@@ -1,0 +1,90 @@
+// E13 — Fig. 6(c): efficacy of caching entropies and materializing
+// contingency tables. The CD algorithm runs with each optimization
+// toggled; "warm" repeats the run with the entropy cache already
+// populated (the paper's "precomputed entropies" floor).
+
+#include "bench_util.h"
+#include "causal/cd_algorithm.h"
+#include "causal/ci_oracle.h"
+#include "datagen/random_data.h"
+#include "util/stopwatch.h"
+
+using namespace hypdb;
+using namespace hypdb::bench;
+
+namespace {
+
+double RunCdSeconds(const TablePtr& table, int target, bool cache,
+                    bool materialize) {
+  MiEngineOptions engine_options;
+  engine_options.cache_entropies = cache;
+  engine_options.materialize_focus = materialize;
+  MiEngine engine(TableView(table), engine_options);
+  CiOptions chi2;
+  chi2.method = CiMethod::kGTest;
+  CiTester tester(&engine, chi2, 11);
+  DataCiOracle oracle(&tester, 0.01);
+  std::vector<int> candidates;
+  for (int c = 0; c < table->NumColumns(); ++c) {
+    if (c != target) candidates.push_back(c);
+  }
+  Stopwatch timer;
+  auto r = DiscoverParents(oracle, target, candidates);
+  double seconds = timer.ElapsedSeconds();
+  if (!r.ok()) return -1;
+  return seconds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale = ScaleArg(argc, argv);
+  Header("bench_fig6c_caching",
+         "Fig. 6(c) — CD runtime: plain vs +materialization vs +caching "
+         "vs both vs warm cache");
+  Row({"rows", "plain[s]", "+mat[s]", "+cache[s]", "both[s]", "warm[s]"},
+      12);
+
+  Rng rng(66);
+  for (int64_t rows : {10000, 50000, 250000, 1000000}) {
+    RandomDataOptions data_options;
+    data_options.num_nodes = 10;
+    data_options.expected_degree = 3.0;
+    data_options.num_rows = static_cast<int64_t>(rows * scale);
+    auto ds = GenerateRandomDataset(data_options, rng);
+    if (!ds.ok()) return 1;
+    TablePtr table = std::make_shared<const Table>(std::move(ds->table));
+    const int target = 0;
+
+    double plain = RunCdSeconds(table, target, false, false);
+    double mat = RunCdSeconds(table, target, false, true);
+    double cache = RunCdSeconds(table, target, true, false);
+
+    // "both", then a warm re-run on the same engine (cache populated).
+    MiEngineOptions engine_options;
+    CiOptions chi2;
+    chi2.method = CiMethod::kGTest;
+    MiEngine engine(TableView(table), engine_options);
+    CiTester tester(&engine, chi2, 11);
+    DataCiOracle oracle(&tester, 0.01);
+    std::vector<int> candidates;
+    for (int c = 0; c < table->NumColumns(); ++c) {
+      if (c != target) candidates.push_back(c);
+    }
+    Stopwatch timer;
+    (void)DiscoverParents(oracle, target, candidates);
+    double both = timer.ElapsedSeconds();
+    timer.Restart();
+    (void)DiscoverParents(oracle, target, candidates);
+    double warm = timer.ElapsedSeconds();
+
+    Row({std::to_string(data_options.num_rows), Fmt("%.3f", plain),
+         Fmt("%.3f", mat), Fmt("%.3f", cache), Fmt("%.3f", both),
+         Fmt("%.3f", warm)},
+        12);
+  }
+  std::printf("\n(expected shape: plain > +mat, +cache > both >> warm;\n"
+              " the gap widens with the row count because summaries stay\n"
+              " small while scans grow linearly)\n");
+  return 0;
+}

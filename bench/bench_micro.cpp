@@ -1,0 +1,97 @@
+// Microbenchmarks (google-benchmark) for the primitives every HypDB
+// component sits on: group-by counting, entropy estimation, stratified
+// summarization, Patefield sampling, cached CMI.
+
+#include <benchmark/benchmark.h>
+
+#include "dataframe/group_by.h"
+#include "datagen/random_data.h"
+#include "stats/ci_test.h"
+#include "stats/contingency.h"
+#include "stats/mi_engine.h"
+#include "stats/patefield.h"
+#include "util/rng.h"
+
+namespace hypdb {
+namespace {
+
+TablePtr BenchTable(int64_t rows) {
+  static std::map<int64_t, TablePtr> cache;
+  auto it = cache.find(rows);
+  if (it != cache.end()) return it->second;
+  Rng rng(42);
+  RandomDataOptions options;
+  options.num_nodes = 8;
+  options.min_categories = 4;
+  options.max_categories = 8;
+  options.num_rows = rows;
+  auto ds = GenerateRandomDataset(options, rng);
+  TablePtr table = MakeTable(std::move(ds->table));
+  cache[rows] = table;
+  return table;
+}
+
+void BM_CountBy(benchmark::State& state) {
+  TablePtr table = BenchTable(state.range(0));
+  TableView view(table);
+  for (auto _ : state) {
+    auto counts = CountBy(view, {0, 1, 2});
+    benchmark::DoNotOptimize(counts);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CountBy)->Arg(10000)->Arg(100000);
+
+void BM_EntropyCachedCmi(benchmark::State& state) {
+  TablePtr table = BenchTable(state.range(0));
+  MiEngine engine{TableView(table)};
+  for (auto _ : state) {
+    auto mi = engine.Mi(0, 1, {2, 3});
+    benchmark::DoNotOptimize(mi);
+  }
+}
+BENCHMARK(BM_EntropyCachedCmi)->Arg(100000);
+
+void BM_BuildStratified(benchmark::State& state) {
+  TablePtr table = BenchTable(state.range(0));
+  TableView view(table);
+  for (auto _ : state) {
+    auto st = BuildStratified(view, 0, 1, {2, 3});
+    benchmark::DoNotOptimize(st);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BuildStratified)->Arg(10000)->Arg(100000);
+
+void BM_PatefieldSample(benchmark::State& state) {
+  // A 4x4 table with total = range(0).
+  int64_t total = state.range(0);
+  std::vector<int64_t> rows(4, total / 4);
+  std::vector<int64_t> cols(4, total / 4);
+  auto sampler = PatefieldSampler::Create(rows, cols);
+  Rng rng(7);
+  Table2D out;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler->Sample(rng, &out));
+  }
+}
+BENCHMARK(BM_PatefieldSample)->Arg(1000)->Arg(100000);
+
+void BM_MitTest(benchmark::State& state) {
+  TablePtr table = BenchTable(50000);
+  MiEngine engine{TableView(table)};
+  CiOptions options;
+  options.method = CiMethod::kMitSampled;
+  options.permutations = static_cast<int>(state.range(0));
+  CiTester tester(&engine, options, 1);
+  for (auto _ : state) {
+    auto r = tester.Test(0, 1, {2});
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_MitTest)->Arg(100)->Arg(1000);
+
+}  // namespace
+}  // namespace hypdb
+
+BENCHMARK_MAIN();

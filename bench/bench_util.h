@@ -1,0 +1,47 @@
+// Shared helpers for the paper-reproduction benchmark harnesses.
+//
+// Every binary in bench/ regenerates one table or figure of the paper's
+// evaluation (see DESIGN.md Sec. 3 for the index) and prints the same
+// rows/series the paper plots. Sizes are scaled to finish in seconds;
+// pass a scale factor as argv[1] to enlarge (e.g. `bench_fig5b_quality 4`).
+
+#ifndef HYPDB_BENCH_BENCH_UTIL_H_
+#define HYPDB_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace hypdb::bench {
+
+/// Parses the optional scale factor (argv[1], default 1).
+inline double ScaleArg(int argc, char** argv, double fallback = 1.0) {
+  if (argc > 1) {
+    double s = std::atof(argv[1]);
+    if (s > 0) return s;
+  }
+  return fallback;
+}
+
+inline void Header(const std::string& title, const std::string& paper_ref) {
+  std::printf("==================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("==================================================\n");
+}
+
+inline void Row(const std::vector<std::string>& cells, int width = 16) {
+  for (const auto& c : cells) std::printf("%-*s", width, c.c_str());
+  std::printf("\n");
+}
+
+inline std::string Fmt(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+}  // namespace hypdb::bench
+
+#endif  // HYPDB_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,162 @@
+#include "quality_common.h"
+
+#include <map>
+
+#include "causal/cd_algorithm.h"
+#include "causal/ci_oracle.h"
+#include "causal/eval.h"
+#include "causal/gs_structure.h"
+#include "causal/hill_climbing.h"
+#include "util/stopwatch.h"
+
+namespace hypdb::bench {
+namespace {
+
+std::vector<int> AllBut(int n, int except) {
+  std::vector<int> out;
+  for (int i = 0; i < n; ++i) {
+    if (i != except) out.push_back(i);
+  }
+  return out;
+}
+
+CiOptions CiFor(Learner learner, int permutations) {
+  CiOptions options;
+  options.permutations = permutations;
+  switch (learner) {
+    case Learner::kCdHyMit:
+      options.method = CiMethod::kHybrid;
+      break;
+    case Learner::kCdMit:
+      options.method = CiMethod::kMitSampled;
+      break;
+    default:
+      options.method = CiMethod::kGTest;  // the paper's χ² flavor
+      break;
+  }
+  return options;
+}
+
+// Parent sets predicted by one learner on one dataset.
+StatusOr<std::map<int, std::vector<int>>> Predict(
+    Learner learner, const RandomDataset& ds, const QualitySetup& setup,
+    uint64_t seed, int64_t* tests) {
+  const int n = ds.dag.NumNodes();
+  TablePtr table = std::make_shared<const Table>(ds.table);
+  TableView view((TablePtr(table)));
+  std::map<int, std::vector<int>> predicted;
+
+  switch (learner) {
+    case Learner::kCdHyMit:
+    case Learner::kCdMit:
+    case Learner::kCdChi2: {
+      MiEngine engine(view);
+      CiTester tester(&engine, CiFor(learner, setup.permutations), seed);
+      DataCiOracle oracle(&tester, 0.01);
+      for (int v = 0; v < n; ++v) {
+        HYPDB_ASSIGN_OR_RETURN(CdResult r,
+                               DiscoverParents(oracle, v, AllBut(n, v)));
+        // The fallback (Z = MB) is a HypDB policy, not a parent claim;
+        // score the algorithm's honest output.
+        predicted[v] = r.fell_back_to_blanket ? std::vector<int>{}
+                                              : r.parents;
+      }
+      *tests = oracle.num_tests();
+      return predicted;
+    }
+    case Learner::kIambChi2:
+    case Learner::kFgsChi2: {
+      MiEngine engine(view);
+      CiTester tester(&engine, CiFor(learner, setup.permutations), seed);
+      DataCiOracle oracle(&tester, 0.01);
+      GsStructureOptions options;
+      options.use_iamb = learner == Learner::kIambChi2;
+      std::vector<int> vars;
+      for (int v = 0; v < n; ++v) vars.push_back(v);
+      HYPDB_ASSIGN_OR_RETURN(GsStructureResult r,
+                             LearnStructureGs(oracle, vars, options));
+      for (int v = 0; v < n; ++v) {
+        predicted[v] = r.pdag.DirectedParents(v);
+      }
+      *tests = oracle.num_tests();
+      return predicted;
+    }
+    case Learner::kHcBde:
+    case Learner::kHcAic:
+    case Learner::kHcBic: {
+      HcOptions options;
+      options.score = learner == Learner::kHcBde   ? ScoreType::kBdeu
+                      : learner == Learner::kHcAic ? ScoreType::kAic
+                                                   : ScoreType::kBic;
+      std::vector<int> vars;
+      for (int v = 0; v < n; ++v) vars.push_back(v);
+      HYPDB_ASSIGN_OR_RETURN(HcResult r, HillClimb(view, vars, options));
+      for (int v = 0; v < n; ++v) predicted[v] = r.dag.Parents(v);
+      *tests = 0;
+      return predicted;
+    }
+  }
+  return Status::Internal("unknown learner");
+}
+
+}  // namespace
+
+const char* LearnerName(Learner learner) {
+  switch (learner) {
+    case Learner::kCdHyMit:
+      return "CD(HyMIT)";
+    case Learner::kCdMit:
+      return "CD(MIT)";
+    case Learner::kCdChi2:
+      return "CD(chi2)";
+    case Learner::kIambChi2:
+      return "IAMB(chi2)";
+    case Learner::kFgsChi2:
+      return "FGS(chi2)";
+    case Learner::kHcBde:
+      return "HC(BDe)";
+    case Learner::kHcAic:
+      return "HC(AIC)";
+    case Learner::kHcBic:
+      return "HC(BIC)";
+  }
+  return "?";
+}
+
+std::vector<QualityResult> RunQualityComparison(
+    const QualitySetup& setup, const std::vector<Learner>& learners) {
+  std::vector<QualityResult> results;
+  for (Learner learner : learners) {
+    results.push_back(QualityResult{learner});
+  }
+
+  Rng rng(setup.seed);
+  std::vector<F1Stats> stats(learners.size());
+  for (int rep = 0; rep < setup.reps; ++rep) {
+    auto ds = GenerateRandomDataset(setup.data, rng);
+    if (!ds.ok()) continue;
+    std::vector<int> eval_nodes;
+    for (int v = 0; v < ds->dag.NumNodes(); ++v) eval_nodes.push_back(v);
+
+    for (size_t li = 0; li < learners.size(); ++li) {
+      Stopwatch timer;
+      int64_t tests = 0;
+      auto predicted =
+          Predict(learners[li], *ds, setup, setup.seed + rep * 101 + li,
+                  &tests);
+      if (!predicted.ok()) continue;
+      stats[li].Accumulate(ParentRecoveryF1(ds->dag, *predicted, eval_nodes,
+                                            setup.min_parents));
+      results[li].seconds += timer.ElapsedSeconds() / setup.reps;
+      results[li].tests_per_node +=
+          static_cast<double>(tests) /
+          (setup.reps * ds->dag.NumNodes());
+    }
+  }
+  for (size_t li = 0; li < learners.size(); ++li) {
+    results[li].f1 = stats[li].F1();
+  }
+  return results;
+}
+
+}  // namespace hypdb::bench

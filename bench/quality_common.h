@@ -1,0 +1,52 @@
+// Shared machinery for the Sec. 7.4 quality benchmarks (Fig. 5b/5c/5d,
+// Fig. 6a): run every discovery method over RandomData and score parent
+// recovery with F1 against the ground-truth DAG.
+
+#ifndef HYPDB_BENCH_QUALITY_COMMON_H_
+#define HYPDB_BENCH_QUALITY_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "datagen/random_data.h"
+#include "stats/ci_test.h"
+
+namespace hypdb::bench {
+
+enum class Learner {
+  kCdHyMit,   // CD(HyMIT)
+  kCdMit,     // CD(MIT with group sampling)
+  kCdChi2,    // CD(χ²)
+  kIambChi2,  // IAMB(χ²)  — structure via IAMB blankets
+  kFgsChi2,   // FGS(χ²)   — structure via Grow-Shrink blankets
+  kHcBde,     // HC(BDe)
+  kHcAic,     // HC(AIC)
+  kHcBic,     // HC(BIC)
+};
+
+const char* LearnerName(Learner learner);
+
+struct QualitySetup {
+  RandomDataOptions data;
+  int reps = 2;
+  int min_parents = 0;  // Fig. 5(c) uses 2
+  int permutations = 100;
+  uint64_t seed = 1;
+};
+
+struct QualityResult {
+  Learner learner;
+  double f1 = 0.0;
+  double seconds = 0.0;
+  /// Independence tests per node (constraint-based learners only).
+  double tests_per_node = 0.0;
+};
+
+/// Runs every learner in `learners` over `reps` fresh datasets and
+/// returns the averaged scores.
+std::vector<QualityResult> RunQualityComparison(
+    const QualitySetup& setup, const std::vector<Learner>& learners);
+
+}  // namespace hypdb::bench
+
+#endif  // HYPDB_BENCH_QUALITY_COMMON_H_

@@ -1,0 +1,37 @@
+// Algorithmic-fairness audit on census data (paper Sec. 7.3, Fig. 3
+// top): is the income gap a *direct* effect of gender? HypDB's coarse
+// explanation pins most of the dependence on MaritalStatus — exposing
+// the dataset inconsistency (married filers report household income)
+// that makes AdultData unsuitable for discrimination studies.
+//
+//   $ ./examples/adult_fairness
+
+#include <cstdio>
+
+#include "core/hypdb.h"
+#include "datagen/adult_data.h"
+
+using namespace hypdb;
+
+int main() {
+  auto table = GenerateAdultData({.num_rows = 48842});
+  if (!table.ok()) {
+    std::fprintf(stderr, "%s\n", table.status().ToString().c_str());
+    return 1;
+  }
+  HypDb db(MakeTable(std::move(*table)), HypDbOptions{});
+  auto report = db.AnalyzeSql(
+      "SELECT Gender, avg(Income) FROM AdultData GROUP BY Gender");
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", RenderReport(*report).c_str());
+  std::printf(
+      "Post-factum fairness reading: the plain query's gap shrinks once\n"
+      "marital status, education and hours are held fixed; the residual\n"
+      "direct effect is what a discrimination claim would have to rest\n"
+      "on (and here it is small). Note the FD filter silently removed\n"
+      "EducationNum (bijective with Education) and Fnlwgt (key-like).\n");
+  return 0;
+}

@@ -1,0 +1,35 @@
+// The 1973 Berkeley discrimination case (paper Sec. 7.3, Fig. 4 top):
+// men were admitted at 44.5% vs women at 30.4%, yet per department women
+// often did better — they applied to the competitive departments. HypDB
+// rediscovers this "completely automatically" from the group-by query.
+//
+//   $ ./examples/berkeley_admissions
+
+#include <cstdio>
+
+#include "core/hypdb.h"
+#include "datagen/berkeley_data.h"
+
+using namespace hypdb;
+
+int main() {
+  auto table = GenerateBerkeleyData();
+  if (!table.ok()) {
+    std::fprintf(stderr, "%s\n", table.status().ToString().c_str());
+    return 1;
+  }
+  HypDb db(MakeTable(std::move(*table)), HypDbOptions{});
+  auto report = db.AnalyzeSql(
+      "SELECT Gender, avg(Accepted) FROM BerkeleyData GROUP BY Gender");
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", RenderReport(*report).c_str());
+  std::printf(
+      "Reading the fine-grained explanations: females applied to the\n"
+      "low-acceptance departments (E, F), males to the permissive ones\n"
+      "(A, B) — the association, not a per-department admission bias,\n"
+      "creates the aggregate gap.\n");
+  return 0;
+}

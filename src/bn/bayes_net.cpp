@@ -1,0 +1,144 @@
+#include "bn/bayes_net.h"
+
+namespace hypdb {
+
+int64_t Cpt::ConfigIndex(const std::vector<int32_t>& parent_values) const {
+  int64_t idx = 0;
+  int64_t stride = 1;
+  for (size_t i = 0; i < parents.size(); ++i) {
+    idx += parent_values[i] * stride;
+    stride *= parent_cards[i];
+  }
+  return idx;
+}
+
+StatusOr<BayesNet> BayesNet::Random(const Dag& dag,
+                                    const std::vector<int32_t>& cards,
+                                    double alpha, Rng& rng) {
+  if (static_cast<int>(cards.size()) != dag.NumNodes()) {
+    return Status::InvalidArgument("cards size != node count");
+  }
+  std::vector<Cpt> cpts(dag.NumNodes());
+  for (int v = 0; v < dag.NumNodes(); ++v) {
+    Cpt& cpt = cpts[v];
+    cpt.card = cards[v];
+    cpt.parents = dag.Parents(v);
+    int64_t configs = 1;
+    for (int p : cpt.parents) {
+      cpt.parent_cards.push_back(cards[p]);
+      configs *= cards[p];
+      if (configs > (1 << 22)) {
+        return Status::OutOfRange("CPT too large for node " +
+                                  std::to_string(v));
+      }
+    }
+    cpt.rows.reserve(configs);
+    for (int64_t c = 0; c < configs; ++c) {
+      cpt.rows.push_back(rng.Dirichlet(cpt.card, alpha));
+    }
+  }
+  return FromCpts(dag, std::move(cpts));
+}
+
+StatusOr<BayesNet> BayesNet::FromCpts(const Dag& dag, std::vector<Cpt> cpts) {
+  if (static_cast<int>(cpts.size()) != dag.NumNodes()) {
+    return Status::InvalidArgument("cpts size != node count");
+  }
+  for (int v = 0; v < dag.NumNodes(); ++v) {
+    const Cpt& cpt = cpts[v];
+    if (cpt.parents != dag.Parents(v)) {
+      return Status::InvalidArgument("CPT parents of node " +
+                                     std::to_string(v) +
+                                     " disagree with the DAG");
+    }
+    int64_t configs = 1;
+    for (int32_t pc : cpt.parent_cards) configs *= pc;
+    if (static_cast<int64_t>(cpt.rows.size()) != configs) {
+      return Status::InvalidArgument("CPT of node " + std::to_string(v) +
+                                     " has wrong row count");
+    }
+    for (const auto& row : cpt.rows) {
+      if (static_cast<int32_t>(row.size()) != cpt.card) {
+        return Status::InvalidArgument("CPT row width mismatch at node " +
+                                       std::to_string(v));
+      }
+      double total = 0.0;
+      for (double p : row) {
+        if (p < 0.0) {
+          return Status::InvalidArgument("negative CPT probability");
+        }
+        total += p;
+      }
+      if (total < 0.999 || total > 1.001) {
+        return Status::InvalidArgument("CPT row of node " +
+                                       std::to_string(v) +
+                                       " does not sum to 1");
+      }
+    }
+  }
+  BayesNet net;
+  net.dag_ = dag;
+  net.cpts_ = std::move(cpts);
+  HYPDB_ASSIGN_OR_RETURN(net.topo_order_, dag.TopologicalOrder());
+  return net;
+}
+
+void BayesNet::SampleRow(Rng& rng, std::vector<int32_t>* values) const {
+  values->assign(NumNodes(), 0);
+  std::vector<int32_t> parent_values;
+  for (int v : topo_order_) {
+    const Cpt& cpt = cpts_[v];
+    parent_values.clear();
+    for (int p : cpt.parents) parent_values.push_back((*values)[p]);
+    const std::vector<double>& row =
+        cpt.rows[cpt.ConfigIndex(parent_values)];
+    (*values)[v] = static_cast<int32_t>(rng.WeightedIndex(row));
+  }
+}
+
+StatusOr<Table> BayesNet::Sample(int64_t num_rows, Rng& rng,
+                                 std::vector<std::string> names) const {
+  const int n = NumNodes();
+  if (names.empty()) {
+    for (int v = 0; v < n; ++v) names.push_back("X" + std::to_string(v));
+  }
+  if (static_cast<int>(names.size()) != n) {
+    return Status::InvalidArgument("names size != node count");
+  }
+
+  std::vector<ColumnBuilder> builders;
+  builders.reserve(n);
+  for (int v = 0; v < n; ++v) {
+    builders.emplace_back(names[v]);
+    // Pin label order so code k corresponds to label "k".
+    for (int32_t c = 0; c < cpts_[v].card; ++c) {
+      builders[v].RegisterLabel(std::to_string(c));
+    }
+  }
+
+  std::vector<int32_t> values;
+  for (int64_t r = 0; r < num_rows; ++r) {
+    SampleRow(rng, &values);
+    for (int v = 0; v < n; ++v) builders[v].AppendCode(values[v]);
+  }
+
+  Table table;
+  for (auto& b : builders) {
+    HYPDB_RETURN_IF_ERROR(table.AddColumn(b.Finish()));
+  }
+  return table;
+}
+
+double BayesNet::JointProbability(const std::vector<int32_t>& values) const {
+  double prob = 1.0;
+  std::vector<int32_t> parent_values;
+  for (int v = 0; v < NumNodes(); ++v) {
+    const Cpt& cpt = cpts_[v];
+    parent_values.clear();
+    for (int p : cpt.parents) parent_values.push_back(values[p]);
+    prob *= cpt.rows[cpt.ConfigIndex(parent_values)][values[v]];
+  }
+  return prob;
+}
+
+}  // namespace hypdb

@@ -1,0 +1,35 @@
+#include "causal/eval.h"
+
+#include <algorithm>
+
+namespace hypdb {
+
+F1Stats ParentRecoveryF1(const Dag& truth,
+                         const std::map<int, std::vector<int>>& predicted,
+                         const std::vector<int>& eval_nodes,
+                         int min_parents) {
+  F1Stats stats;
+  static const std::vector<int> kEmpty;
+  for (int v : eval_nodes) {
+    const std::vector<int>& true_parents = truth.Parents(v);
+    if (static_cast<int>(true_parents.size()) < min_parents) continue;
+    auto it = predicted.find(v);
+    const std::vector<int>& pred = it == predicted.end() ? kEmpty : it->second;
+    for (int p : pred) {
+      if (std::find(true_parents.begin(), true_parents.end(), p) !=
+          true_parents.end()) {
+        ++stats.true_positives;
+      } else {
+        ++stats.false_positives;
+      }
+    }
+    for (int p : true_parents) {
+      if (std::find(pred.begin(), pred.end(), p) == pred.end()) {
+        ++stats.false_negatives;
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace hypdb

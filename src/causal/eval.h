@@ -1,0 +1,51 @@
+// Quality metrics for discovery algorithms (paper Sec. 7.4: F1 of parent
+// recovery, all nodes or only nodes with ≥ 2 parents).
+
+#ifndef HYPDB_CAUSAL_EVAL_H_
+#define HYPDB_CAUSAL_EVAL_H_
+
+#include <map>
+#include <vector>
+
+#include "graph/dag.h"
+
+namespace hypdb {
+
+struct F1Stats {
+  int64_t true_positives = 0;
+  int64_t false_positives = 0;
+  int64_t false_negatives = 0;
+
+  double Precision() const {
+    int64_t denom = true_positives + false_positives;
+    return denom == 0 ? 0.0 : static_cast<double>(true_positives) / denom;
+  }
+  double Recall() const {
+    int64_t denom = true_positives + false_negatives;
+    return denom == 0 ? 0.0 : static_cast<double>(true_positives) / denom;
+  }
+  double F1() const {
+    double p = Precision();
+    double r = Recall();
+    return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  }
+
+  void Accumulate(const F1Stats& other) {
+    true_positives += other.true_positives;
+    false_positives += other.false_positives;
+    false_negatives += other.false_negatives;
+  }
+};
+
+/// Compares predicted parent sets against the true DAG, micro-averaged
+/// over `eval_nodes`. Nodes absent from `predicted` are treated as
+/// all-missed (recall hit). `min_parents` restricts evaluation to nodes
+/// with at least that many true parents (Fig. 5c uses 2).
+F1Stats ParentRecoveryF1(const Dag& truth,
+                         const std::map<int, std::vector<int>>& predicted,
+                         const std::vector<int>& eval_nodes,
+                         int min_parents = 0);
+
+}  // namespace hypdb
+
+#endif  // HYPDB_CAUSAL_EVAL_H_

@@ -1,0 +1,266 @@
+#include "causal/hill_climbing.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <map>
+
+#include "dataframe/group_by.h"
+
+namespace hypdb {
+namespace {
+
+// True if `to` is reachable from `from` via directed edges.
+bool Reaches(const Dag& dag, int from, int to) {
+  if (from == to) return true;
+  std::vector<bool> seen(dag.NumNodes(), false);
+  std::deque<int> queue = {from};
+  seen[from] = true;
+  while (!queue.empty()) {
+    int v = queue.front();
+    queue.pop_front();
+    for (int c : dag.Children(v)) {
+      if (c == to) return true;
+      if (!seen[c]) {
+        seen[c] = true;
+        queue.push_back(c);
+      }
+    }
+  }
+  return false;
+}
+
+class Scorer {
+ public:
+  Scorer(const TableView& view, const HcOptions& options)
+      : view_(view), options_(options) {}
+
+  StatusOr<double> Score(int node, std::vector<int> parents) {
+    std::sort(parents.begin(), parents.end());
+    auto key = std::make_pair(node, parents);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+    HYPDB_ASSIGN_OR_RETURN(double score, Compute(node, parents));
+    cache_.emplace(std::move(key), score);
+    ++families_scored_;
+    return score;
+  }
+
+  StatusOr<int64_t> Levels(int v) {
+    auto it = levels_.find(v);
+    if (it != levels_.end()) return it->second;
+    HYPDB_ASSIGN_OR_RETURN(GroupCounts c, CountBy(view_, {v}));
+    levels_[v] = c.NumGroups();
+    return levels_[v];
+  }
+
+  int64_t families_scored() const { return families_scored_; }
+
+ private:
+  StatusOr<double> Compute(int node, const std::vector<int>& parents) {
+    // Counts over parents ∪ {node}; the node's position in the sorted
+    // column list identifies its digit in the tuple codec.
+    std::vector<int> cols = parents;
+    cols.push_back(node);
+    std::sort(cols.begin(), cols.end());
+    HYPDB_ASSIGN_OR_RETURN(GroupCounts joint, CountBy(view_, cols));
+    int node_pos = static_cast<int>(
+        std::lower_bound(cols.begin(), cols.end(), node) - cols.begin());
+    std::vector<int> parent_positions;
+    for (size_t i = 0; i < cols.size(); ++i) {
+      if (static_cast<int>(i) != node_pos) {
+        parent_positions.push_back(static_cast<int>(i));
+      }
+    }
+
+    // n_p: counts per parent configuration (single config when no
+    // parents).
+    TupleCodec parent_codec = joint.codec.Project(parent_positions);
+    std::map<uint64_t, int64_t> parent_counts;
+    std::vector<int32_t> codes(parent_positions.size());
+    std::vector<uint64_t> parent_key_of(joint.keys.size());
+    for (size_t g = 0; g < joint.keys.size(); ++g) {
+      for (size_t i = 0; i < parent_positions.size(); ++i) {
+        codes[i] = joint.codec.DecodeAt(joint.keys[g], parent_positions[i]);
+      }
+      uint64_t pk = parent_codec.EncodeCodes(codes);
+      parent_key_of[g] = pk;
+      parent_counts[pk] += joint.counts[g];
+    }
+
+    HYPDB_ASSIGN_OR_RETURN(int64_t r, Levels(node));  // node levels
+    double q = 1.0;  // parent configuration space size
+    for (int p : parents) {
+      HYPDB_ASSIGN_OR_RETURN(int64_t lp, Levels(p));
+      q *= static_cast<double>(lp);
+    }
+
+    if (options_.score == ScoreType::kBdeu) {
+      const double iss = options_.bdeu_iss;
+      const double alpha_p = iss / q;
+      const double alpha_px = iss / (q * static_cast<double>(r));
+      double score = 0.0;
+      for (const auto& [pk, np] : parent_counts) {
+        score += std::lgamma(alpha_p) -
+                 std::lgamma(alpha_p + static_cast<double>(np));
+      }
+      for (size_t g = 0; g < joint.keys.size(); ++g) {
+        score += std::lgamma(alpha_px +
+                             static_cast<double>(joint.counts[g])) -
+                 std::lgamma(alpha_px);
+      }
+      return score;
+    }
+
+    // Log-likelihood scores.
+    double ll = 0.0;
+    for (size_t g = 0; g < joint.keys.size(); ++g) {
+      double n_px = static_cast<double>(joint.counts[g]);
+      double n_p = static_cast<double>(parent_counts[parent_key_of[g]]);
+      ll += n_px * std::log(n_px / n_p);
+    }
+    double params = q * static_cast<double>(r - 1);
+    if (options_.score == ScoreType::kAic) return ll - params;
+    double n = static_cast<double>(view_.NumRows());
+    return ll - 0.5 * std::log(std::max(n, 1.0)) * params;  // BIC
+  }
+
+  const TableView& view_;
+  const HcOptions& options_;
+  std::map<std::pair<int, std::vector<int>>, double> cache_;
+  std::map<int, int64_t> levels_;
+  int64_t families_scored_ = 0;
+};
+
+}  // namespace
+
+const char* ScoreTypeName(ScoreType type) {
+  switch (type) {
+    case ScoreType::kBic:
+      return "BIC";
+    case ScoreType::kAic:
+      return "AIC";
+    case ScoreType::kBdeu:
+      return "BDe";
+  }
+  return "?";
+}
+
+StatusOr<double> FamilyScore(const TableView& view, int node,
+                             const std::vector<int>& parents,
+                             const HcOptions& options) {
+  Scorer scorer(view, options);
+  return scorer.Score(node, parents);
+}
+
+StatusOr<HcResult> HillClimb(const TableView& view,
+                             const std::vector<int>& variables,
+                             const HcOptions& options) {
+  int max_id = 0;
+  for (int v : variables) max_id = std::max(max_id, v);
+  HcResult result;
+  result.dag = Dag(max_id + 1);
+  Scorer scorer(view, options);
+
+  // Current family scores.
+  std::map<int, double> family;
+  for (int v : variables) {
+    HYPDB_ASSIGN_OR_RETURN(family[v], scorer.Score(v, {}));
+  }
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    double best_delta = 1e-9;
+    enum class Move { kNone, kAdd, kDelete, kReverse };
+    Move best_move = Move::kNone;
+    int best_u = -1;
+    int best_v = -1;
+
+    for (int u : variables) {
+      for (int v : variables) {
+        if (u == v) continue;
+        if (!result.dag.HasEdge(u, v) && !result.dag.HasEdge(v, u)) {
+          // Add u -> v.
+          if (static_cast<int>(result.dag.Parents(v).size()) >=
+              options.max_parents) {
+            continue;
+          }
+          if (Reaches(result.dag, v, u)) continue;  // would close a cycle
+          std::vector<int> parents = result.dag.Parents(v);
+          parents.push_back(u);
+          HYPDB_ASSIGN_OR_RETURN(double s, scorer.Score(v, parents));
+          double delta = s - family[v];
+          if (delta > best_delta) {
+            best_delta = delta;
+            best_move = Move::kAdd;
+            best_u = u;
+            best_v = v;
+          }
+        } else if (result.dag.HasEdge(u, v)) {
+          // Delete u -> v.
+          std::vector<int> parents;
+          for (int p : result.dag.Parents(v)) {
+            if (p != u) parents.push_back(p);
+          }
+          HYPDB_ASSIGN_OR_RETURN(double s_del, scorer.Score(v, parents));
+          double delta = s_del - family[v];
+          if (delta > best_delta) {
+            best_delta = delta;
+            best_move = Move::kDelete;
+            best_u = u;
+            best_v = v;
+          }
+          // Reverse u -> v to v -> u.
+          if (static_cast<int>(result.dag.Parents(u).size()) <
+              options.max_parents) {
+            result.dag.RemoveEdge(u, v);
+            bool cyclic = Reaches(result.dag, u, v);
+            result.dag.AddEdge(u, v);
+            if (!cyclic) {
+              std::vector<int> u_parents = result.dag.Parents(u);
+              u_parents.push_back(v);
+              HYPDB_ASSIGN_OR_RETURN(double s_u,
+                                     scorer.Score(u, u_parents));
+              double delta_rev = (s_del - family[v]) + (s_u - family[u]);
+              if (delta_rev > best_delta) {
+                best_delta = delta_rev;
+                best_move = Move::kReverse;
+                best_u = u;
+                best_v = v;
+              }
+            }
+          }
+        }
+      }
+    }
+
+    if (best_move == Move::kNone) break;
+    result.iterations = iter + 1;
+    if (best_move == Move::kAdd) {
+      result.dag.AddEdge(best_u, best_v);
+      HYPDB_ASSIGN_OR_RETURN(family[best_v],
+                             scorer.Score(best_v,
+                                          result.dag.Parents(best_v)));
+    } else if (best_move == Move::kDelete) {
+      result.dag.RemoveEdge(best_u, best_v);
+      HYPDB_ASSIGN_OR_RETURN(family[best_v],
+                             scorer.Score(best_v,
+                                          result.dag.Parents(best_v)));
+    } else {
+      result.dag.RemoveEdge(best_u, best_v);
+      result.dag.AddEdge(best_v, best_u);
+      HYPDB_ASSIGN_OR_RETURN(family[best_v],
+                             scorer.Score(best_v,
+                                          result.dag.Parents(best_v)));
+      HYPDB_ASSIGN_OR_RETURN(family[best_u],
+                             scorer.Score(best_u,
+                                          result.dag.Parents(best_u)));
+    }
+  }
+
+  result.score = 0.0;
+  for (int v : variables) result.score += family[v];
+  result.families_scored = scorer.families_scored();
+  return result;
+}
+
+}  // namespace hypdb

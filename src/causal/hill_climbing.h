@@ -1,0 +1,57 @@
+// Score-based structure learning: greedy hill climbing with decomposable
+// scores (the paper's HC(BDe) / HC(AIC) / HC(BIC) baselines, Sec. 7.4).
+//
+// The search starts from the empty graph and greedily applies the best
+// of {add, delete, reverse} edge moves until no move improves the score.
+// Scores are decomposable — Σ_v family_score(v | parents) — so each move
+// re-scores at most two families; family scores are memoized.
+
+#ifndef HYPDB_CAUSAL_HILL_CLIMBING_H_
+#define HYPDB_CAUSAL_HILL_CLIMBING_H_
+
+#include <vector>
+
+#include "dataframe/view.h"
+#include "graph/dag.h"
+#include "util/statusor.h"
+
+namespace hypdb {
+
+enum class ScoreType {
+  kBic,   // log-likelihood - (ln n / 2) · #params
+  kAic,   // log-likelihood - #params
+  kBdeu,  // Bayesian Dirichlet equivalent uniform (iss = prior weight)
+};
+
+const char* ScoreTypeName(ScoreType type);
+
+struct HcOptions {
+  ScoreType score = ScoreType::kBic;
+  double bdeu_iss = 1.0;  // imaginary sample size for kBdeu
+  int max_parents = 6;
+  int max_iterations = 10000;
+};
+
+struct HcResult {
+  Dag dag;
+  double score = 0.0;
+  int iterations = 0;
+  int64_t families_scored = 0;
+};
+
+/// Learns a DAG over `variables` (table column indices) from `view`. The
+/// returned DAG is sized max(variables)+1 and uses column indices as node
+/// ids.
+StatusOr<HcResult> HillClimb(const TableView& view,
+                             const std::vector<int>& variables,
+                             const HcOptions& options = {});
+
+/// Family score of `node` given `parents` under `options` — exposed for
+/// tests.
+StatusOr<double> FamilyScore(const TableView& view, int node,
+                             const std::vector<int>& parents,
+                             const HcOptions& options);
+
+}  // namespace hypdb
+
+#endif  // HYPDB_CAUSAL_HILL_CLIMBING_H_

@@ -1,0 +1,33 @@
+// Markov-boundary discovery: Grow-Shrink and IAMB (paper Sec. 2 & 4).
+//
+// Under DAG-isomorphism the Markov boundary of T is exactly parents ∪
+// children ∪ spouses (Prop. 2.5); the CD algorithm starts from MB(T) and
+// extracts the parents. Grow-Shrink (Margaritis & Thrun 2000) is the
+// learner the paper uses; IAMB (Tsamardinos et al. 2003) is the improved
+// variant used by the baseline comparison.
+
+#ifndef HYPDB_CAUSAL_MARKOV_BLANKET_H_
+#define HYPDB_CAUSAL_MARKOV_BLANKET_H_
+
+#include <vector>
+
+#include "causal/ci_oracle.h"
+#include "util/statusor.h"
+
+namespace hypdb {
+
+/// Grow-Shrink: grow = repeatedly admit any candidate dependent on the
+/// target given the current blanket; shrink = evict members independent
+/// of the target given the rest. `candidates` must not contain `target`.
+StatusOr<std::vector<int>> GrowShrinkMb(CiOracle& oracle, int target,
+                                        const std::vector<int>& candidates);
+
+/// IAMB: like Grow-Shrink but the grow phase admits the *strongest*
+/// dependent candidate each round (by oracle Association), which keeps
+/// the conditioning sets smaller and the tests more reliable.
+StatusOr<std::vector<int>> IambMb(CiOracle& oracle, int target,
+                                  const std::vector<int>& candidates);
+
+}  // namespace hypdb
+
+#endif  // HYPDB_CAUSAL_MARKOV_BLANKET_H_

@@ -1,0 +1,93 @@
+// Partially directed acyclic graphs: the output of constraint-based
+// structure learners, where some edges remain unoriented (Markov
+// equivalence, paper Sec. 4).
+
+#ifndef HYPDB_CAUSAL_PDAG_H_
+#define HYPDB_CAUSAL_PDAG_H_
+
+#include <utility>
+#include <vector>
+
+#include "graph/dag.h"
+
+namespace hypdb {
+
+/// Adjacency with three edge states: none, directed, undirected.
+class Pdag {
+ public:
+  Pdag() = default;
+  explicit Pdag(int num_nodes)
+      : state_(num_nodes, std::vector<uint8_t>(num_nodes, kNone)) {}
+
+  int NumNodes() const { return static_cast<int>(state_.size()); }
+
+  void SetUndirected(int a, int b) {
+    state_[a][b] = state_[b][a] = kUndirected;
+  }
+  /// Directs a -> b (overwrites an undirected edge; refuses to flip an
+  /// existing opposite orientation — returns false).
+  bool Direct(int a, int b) {
+    if (state_[b][a] == kDirected) return false;
+    state_[a][b] = kDirected;
+    state_[b][a] = kNone;
+    return true;
+  }
+  void RemoveEdge(int a, int b) { state_[a][b] = state_[b][a] = kNone; }
+
+  bool HasDirected(int from, int to) const {
+    return state_[from][to] == kDirected;
+  }
+  bool HasUndirected(int a, int b) const {
+    return state_[a][b] == kUndirected;
+  }
+  bool Adjacent(int a, int b) const {
+    return state_[a][b] != kNone || state_[b][a] != kNone;
+  }
+
+  /// Nodes with a directed edge into `node`.
+  std::vector<int> DirectedParents(int node) const {
+    std::vector<int> out;
+    for (int u = 0; u < NumNodes(); ++u) {
+      if (HasDirected(u, node)) out.push_back(u);
+    }
+    return out;
+  }
+
+  /// Neighbors over directed or undirected edges.
+  std::vector<int> Neighbors(int node) const {
+    std::vector<int> out;
+    for (int u = 0; u < NumNodes(); ++u) {
+      if (u != node && Adjacent(u, node)) out.push_back(u);
+    }
+    return out;
+  }
+
+  int CountUndirected() const {
+    int count = 0;
+    for (int a = 0; a < NumNodes(); ++a) {
+      for (int b = a + 1; b < NumNodes(); ++b) {
+        if (HasUndirected(a, b)) ++count;
+      }
+    }
+    return count;
+  }
+
+  /// The directed sub-graph (undirected edges dropped).
+  Dag DirectedPart() const {
+    Dag dag(NumNodes());
+    for (int a = 0; a < NumNodes(); ++a) {
+      for (int b = 0; b < NumNodes(); ++b) {
+        if (HasDirected(a, b)) dag.AddEdge(a, b);
+      }
+    }
+    return dag;
+  }
+
+ private:
+  enum : uint8_t { kNone = 0, kDirected = 1, kUndirected = 2 };
+  std::vector<std::vector<uint8_t>> state_;
+};
+
+}  // namespace hypdb
+
+#endif  // HYPDB_CAUSAL_PDAG_H_

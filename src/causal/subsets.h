@@ -1,0 +1,52 @@
+// Subset enumeration in increasing-cardinality order.
+//
+// Constraint-based discovery enumerates conditioning sets S ⊆ pool;
+// testing small sets first finds separating sets cheaply and matches the
+// order used by the reference algorithms.
+
+#ifndef HYPDB_CAUSAL_SUBSETS_H_
+#define HYPDB_CAUSAL_SUBSETS_H_
+
+#include <vector>
+
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace hypdb {
+
+/// Calls `fn(subset)` for every subset of `pool` with size ≤ max_size
+/// (max_size < 0 means |pool|), smallest subsets first, starting with the
+/// empty set. `fn` returns StatusOr<bool>: true stops the enumeration
+/// ("found"). Returns whether fn ever returned true.
+template <typename Fn>
+StatusOr<bool> ForEachSubset(const std::vector<int>& pool, int max_size,
+                             Fn&& fn) {
+  const int n = static_cast<int>(pool.size());
+  if (max_size < 0 || max_size > n) max_size = n;
+  std::vector<int> subset;
+  std::vector<int> idx;
+
+  for (int k = 0; k <= max_size; ++k) {
+    // k-combinations of pool in lexicographic index order.
+    idx.resize(k);
+    for (int i = 0; i < k; ++i) idx[i] = i;
+    for (;;) {
+      subset.clear();
+      for (int i : idx) subset.push_back(pool[i]);
+      HYPDB_ASSIGN_OR_RETURN(bool stop, fn(subset));
+      if (stop) return true;
+      if (k == 0) break;
+      // Advance to the next combination.
+      int pos = k - 1;
+      while (pos >= 0 && idx[pos] == n - k + pos) --pos;
+      if (pos < 0) break;
+      ++idx[pos];
+      for (int i = pos + 1; i < k; ++i) idx[i] = idx[i - 1] + 1;
+    }
+  }
+  return false;
+}
+
+}  // namespace hypdb
+
+#endif  // HYPDB_CAUSAL_SUBSETS_H_

@@ -1,0 +1,352 @@
+#include "core/hypdb.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "causal/ci_oracle.h"
+#include "core/sql_parser.h"
+#include "core/sql_printer.h"
+#include "stats/mi_engine.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace hypdb {
+namespace {
+
+std::vector<std::string> Names(const TablePtr& table,
+                               const std::vector<int>& cols) {
+  std::vector<std::string> out;
+  out.reserve(cols.size());
+  for (int c : cols) out.push_back(table->column(c).name());
+  return out;
+}
+
+bool Contains(const std::vector<int>& v, int x) {
+  return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+}  // namespace
+
+bool HypDbReport::AnyBias() const {
+  for (const auto& b : bias) {
+    if (b.total.biased || (b.has_direct && b.direct.biased)) return true;
+  }
+  return false;
+}
+
+HypDb::HypDb(TablePtr table, HypDbOptions options)
+    : table_(std::move(table)), options_(std::move(options)) {}
+
+StatusOr<QueryAnswers> HypDb::Answers(const AggQuery& query) const {
+  return EvaluatePlainQuery(table_, query);
+}
+
+StatusOr<DiscoveryReport> HypDb::Discover(const AggQuery& query) const {
+  Stopwatch timer;
+  HYPDB_ASSIGN_OR_RETURN(BoundQuery bound, BindQuery(table_, query));
+  DiscoveryReport report;
+
+  // Candidate attributes: everything except the treatment, minus logical
+  // dependencies (Sec. 4). The treatment is pinned first so bijection
+  // partners of T are dropped, never T itself.
+  std::vector<int> filtered = {bound.treatment};
+  {
+    std::vector<int> pool = {bound.treatment};
+    for (int c = 0; c < table_->NumColumns(); ++c) {
+      if (c != bound.treatment) pool.push_back(c);
+    }
+    if (options_.apply_fd_filter) {
+      Rng rng(options_.seed ^ 0xFD);
+      HYPDB_ASSIGN_OR_RETURN(
+          FdFilterReport fd,
+          FilterLogicalDependencies(bound.population, pool, options_.fd,
+                                    rng));
+      filtered = fd.kept;
+      for (const auto& [dropped, partner] : fd.dropped_fd) {
+        report.dropped_fd.push_back(table_->column(dropped).name());
+      }
+      for (int dropped : fd.dropped_keys) {
+        report.dropped_keys.push_back(table_->column(dropped).name());
+      }
+      if (!Contains(filtered, bound.treatment)) {
+        // The treatment itself looked key-like; discovery is meaningless.
+        return Status::FailedPrecondition(
+            "treatment attribute " + query.treatment +
+            " was classified as key-like");
+      }
+    } else {
+      filtered = pool;
+    }
+  }
+
+  std::vector<int> candidates;
+  for (int c : filtered) {
+    if (c != bound.treatment) candidates.push_back(c);
+  }
+
+  MiEngine engine(bound.population);
+  CiTester tester(&engine, options_.ci, options_.seed);
+  DataCiOracle oracle(&tester, options_.alpha);
+
+  // Z = PA_T (Alg. 1); outcomes never enter the covariate set.
+  HYPDB_ASSIGN_OR_RETURN(
+      CdResult cd_t,
+      DiscoverParents(oracle, bound.treatment, candidates, options_.cd,
+                      bound.outcomes));
+  report.covariates_fell_back = cd_t.fell_back_to_blanket;
+  report.treatment_blanket_cols = cd_t.markov_blanket;
+  for (int p : cd_t.parents) {
+    if (!Contains(bound.outcomes, p)) report.covariate_cols.push_back(p);
+  }
+
+  // M = PA_Y − {T} for the primary outcome.
+  if (options_.discover_mediators) {
+    const int y = bound.outcomes[0];
+    std::vector<int> y_candidates;
+    for (int c : filtered) {
+      if (c != y) y_candidates.push_back(c);
+    }
+    HYPDB_ASSIGN_OR_RETURN(
+        CdResult cd_y,
+        DiscoverParents(oracle, y, y_candidates, options_.cd,
+                        {bound.treatment}));
+    report.mediators_fell_back = cd_y.fell_back_to_blanket;
+    for (int p : cd_y.parents) {
+      if (p != bound.treatment && !Contains(bound.outcomes, p)) {
+        report.mediator_cols.push_back(p);
+      }
+    }
+  }
+
+  report.covariates = Names(table_, report.covariate_cols);
+  report.mediators = Names(table_, report.mediator_cols);
+  report.tests_used = oracle.num_tests();
+  report.seconds = timer.ElapsedSeconds();
+  return report;
+}
+
+StatusOr<EffectBounds> HypDb::BoundEffects(
+    const AggQuery& query, const EffectBoundsOptions& options) const {
+  HYPDB_ASSIGN_OR_RETURN(BoundQuery bound, BindQuery(table_, query));
+  HYPDB_ASSIGN_OR_RETURN(DiscoveryReport discovery, Discover(query));
+  std::vector<int> candidates;
+  for (int c : discovery.treatment_blanket_cols) {
+    if (!Contains(bound.outcomes, c)) candidates.push_back(c);
+  }
+  return BoundTotalEffect(table_, bound, candidates, options);
+}
+
+StatusOr<HypDbReport> HypDb::Analyze(const AggQuery& query) {
+  HypDbReport report;
+  report.query = query;
+  report.sql_plain = query.ToSql();
+
+  HYPDB_ASSIGN_OR_RETURN(BoundQuery bound, BindQuery(table_, query));
+  HYPDB_ASSIGN_OR_RETURN(report.plain, EvaluatePlainQuery(table_, query));
+  HYPDB_ASSIGN_OR_RETURN(report.discovery, Discover(query));
+
+  // --- Detection (Sec. 3.1). Discovery time is reported separately; the
+  // paper's "Det." column covers the balance tests.
+  Stopwatch timer;
+  DetectorOptions det;
+  det.ci = options_.ci;
+  det.alpha = options_.alpha;
+  det.seed = options_.seed ^ 0xDE7EC7;
+  const std::vector<int>* mediators =
+      options_.discover_mediators ? &report.discovery.mediator_cols : nullptr;
+  HYPDB_ASSIGN_OR_RETURN(
+      report.bias, DetectBias(table_, bound, report.discovery.covariate_cols,
+                              mediators, det));
+  report.detect_seconds = timer.ElapsedSeconds();
+
+  // --- Explanation (Sec. 3.2) over V = Z ∪ M.
+  timer.Restart();
+  std::vector<int> v = report.discovery.covariate_cols;
+  for (int m : report.discovery.mediator_cols) {
+    if (!Contains(v, m)) v.push_back(m);
+  }
+  std::sort(v.begin(), v.end());
+  HYPDB_ASSIGN_OR_RETURN(report.explanations,
+                         ExplainBias(table_, bound, v, options_.explain));
+  report.explain_seconds = timer.ElapsedSeconds();
+
+  // --- Resolution (Sec. 3.3).
+  timer.Restart();
+  RewriterOptions rw;
+  rw.ci = options_.ci;
+  rw.seed = options_.seed ^ 0x9E50;
+  rw.compute_direct = options_.discover_mediators;
+  rw.direct_reference = options_.direct_reference;
+  rw.compute_significance = options_.compute_significance;
+  HYPDB_ASSIGN_OR_RETURN(
+      report.rewrites,
+      RewriteAndEstimate(table_, bound, report.discovery.covariate_cols,
+                         report.discovery.mediator_cols, rw));
+  report.resolve_seconds = timer.ElapsedSeconds();
+
+  report.sql_total = RewrittenTotalSql(query, report.discovery.covariates);
+  if (options_.discover_mediators) {
+    std::string reference = options_.direct_reference;
+    if (reference.empty() && !bound.treatment_labels.empty()) {
+      reference = bound.treatment_labels.back();
+    }
+    report.sql_direct = RewrittenDirectSql(
+        query, report.discovery.covariates, report.discovery.mediators,
+        reference);
+  }
+  return report;
+}
+
+StatusOr<HypDbReport> HypDb::AnalyzeSql(const std::string& sql) {
+  HYPDB_ASSIGN_OR_RETURN(AggQuery query, ParseAggQuery(sql));
+  return Analyze(query);
+}
+
+namespace {
+
+std::string ContextHeading(const std::vector<std::string>& grouping,
+                           const std::vector<std::string>& labels) {
+  if (labels.empty()) return "";
+  std::vector<std::string> parts;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    parts.push_back((i < grouping.size() ? grouping[i] : "?") + "=" +
+                    labels[i]);
+  }
+  return " [" + Join(parts, ", ") + "]";
+}
+
+std::string FormatP(const CiResult& r) {
+  if (r.p_value < 0.001) return "<0.001";
+  if (r.p_low != r.p_high) {
+    return StrFormat("(%.3f, %.3f)", r.p_low, r.p_high);
+  }
+  return StrFormat("%.3f", r.p_value);
+}
+
+}  // namespace
+
+std::string RenderReport(const HypDbReport& report) {
+  std::string out;
+  out += "=== HypDB report ===\n";
+  out += "SQL query:\n" + report.sql_plain + "\n\n";
+
+  out += "-- Discovery --\n";
+  out += "covariates (Z): " + Join(report.discovery.covariates, ", ") +
+         (report.discovery.covariates_fell_back ? "  [fallback: MB(T)]"
+                                                : "") +
+         "\n";
+  out += "mediators  (M): " + Join(report.discovery.mediators, ", ") +
+         (report.discovery.mediators_fell_back ? "  [fallback: MB(Y)]" : "") +
+         "\n";
+  if (!report.discovery.dropped_fd.empty()) {
+    out += "dropped (FD): " + Join(report.discovery.dropped_fd, ", ") + "\n";
+  }
+  if (!report.discovery.dropped_keys.empty()) {
+    out += "dropped (key-like): " + Join(report.discovery.dropped_keys, ", ") +
+           "\n";
+  }
+
+  for (size_t c = 0; c < report.plain.contexts.size(); ++c) {
+    const ContextAnswer& ctx = report.plain.contexts[c];
+    out += "\n-- Context" +
+           ContextHeading(report.query.grouping, ctx.context_labels) +
+           " --\n";
+    const ContextBias* bias = c < report.bias.size() ? &report.bias[c]
+                                                     : nullptr;
+    if (bias != nullptr) {
+      out += StrFormat("bias (total): %s  I=%.4f  p=%s\n",
+                       bias->total.biased ? "BIASED" : "unbiased",
+                       bias->total.ci.statistic,
+                       FormatP(bias->total.ci).c_str());
+      if (bias->has_direct) {
+        out += StrFormat("bias (direct): %s  I=%.4f  p=%s\n",
+                         bias->direct.biased ? "BIASED" : "unbiased",
+                         bias->direct.ci.statistic,
+                         FormatP(bias->direct.ci).c_str());
+      }
+    }
+
+    const ContextRewrite* rw =
+        c < report.rewrites.size() ? &report.rewrites[c] : nullptr;
+    for (size_t o = 0; o < report.plain.outcome_names.size(); ++o) {
+      out += "outcome avg(" + report.plain.outcome_names[o] + "):\n";
+      out += StrFormat("  %-14s %12s %14s %15s\n", "group", "SQL answer",
+                       "total effect", "direct effect");
+      for (const GroupAnswer& g : ctx.groups) {
+        std::string total = "-";
+        std::string direct = "-";
+        if (rw != nullptr) {
+          for (const auto& ag : rw->total) {
+            if (ag.treatment_label == g.treatment_label) {
+              total = StrFormat("%.4f", ag.means[o]);
+            }
+          }
+          for (const auto& ag : rw->direct) {
+            if (ag.treatment_label == g.treatment_label) {
+              direct = StrFormat("%.4f", ag.means[o]);
+            }
+          }
+        }
+        out += StrFormat("  %-14s %12.4f %14s %15s\n",
+                         g.treatment_label.c_str(), g.averages[o],
+                         total.c_str(), direct.c_str());
+      }
+      if (rw != nullptr && ctx.groups.size() == 2) {
+        const std::string& t0 = ctx.groups[0].treatment_label;
+        const std::string& t1 = ctx.groups[1].treatment_label;
+        double plain_diff = ctx.Difference(t1, t0, static_cast<int>(o));
+        double total_diff = rw->Difference(t1, t0, static_cast<int>(o), true);
+        double direct_diff =
+            rw->has_direct ? rw->Difference(t1, t0, static_cast<int>(o), false)
+                           : std::nan("");
+        out += StrFormat("  %-14s %12.4f %14.4f %15.4f\n", "diff", plain_diff,
+                         total_diff, direct_diff);
+        if (o < rw->plain_sig.size()) {
+          std::string p_plain = FormatP(rw->plain_sig[o]);
+          std::string p_total =
+              o < rw->total_sig.size() ? FormatP(rw->total_sig[o]) : "-";
+          std::string p_direct =
+              o < rw->direct_sig.size() ? FormatP(rw->direct_sig[o]) : "-";
+          out += StrFormat("  %-14s %12s %14s %15s\n", "p-value",
+                           p_plain.c_str(), p_total.c_str(),
+                           p_direct.c_str());
+        }
+      }
+    }
+
+    const ContextExplanation* expl =
+        c < report.explanations.size() ? &report.explanations[c] : nullptr;
+    if (expl != nullptr && !expl->coarse.empty()) {
+      out += "coarse-grained explanations (responsibility):\n";
+      for (const auto& r : expl->coarse) {
+        if (r.rho <= 0.0) continue;
+        out += StrFormat("  %-20s %.3f\n", r.attribute.c_str(), r.rho);
+      }
+      for (const auto& fine : expl->fine) {
+        out += "fine-grained for " + fine.covariate + ":\n";
+        for (const auto& t : fine.top) {
+          out += StrFormat("  #%d  (T=%s, Y=%s, %s=%s)  k_tz=%.4f k_yz=%.4f\n",
+                           t.borda_rank, t.t_label.c_str(), t.y_label.c_str(),
+                           fine.covariate.c_str(), t.z_label.c_str(),
+                           t.kappa_tz, t.kappa_yz);
+        }
+      }
+    }
+  }
+
+  out += "\n-- Rewritten query (total effect, Listing 2) --\n" +
+         report.sql_total + "\n";
+  if (!report.sql_direct.empty()) {
+    out += "\n-- Rewritten query (direct effect, Eq. 3) --\n" +
+           report.sql_direct + "\n";
+  }
+  out += StrFormat(
+      "\ntimings: discovery %.3fs, detect %.3fs, explain %.3fs, resolve "
+      "%.3fs\n",
+      report.discovery.seconds, report.detect_seconds, report.explain_seconds,
+      report.resolve_seconds);
+  return out;
+}
+
+}  // namespace hypdb

@@ -1,0 +1,120 @@
+// HypDb: the system facade — detect, explain, and resolve bias in
+// group-by-average OLAP queries (the paper's end-to-end pipeline).
+//
+// Pipeline of Analyze():
+//  1. bind + evaluate the plain query (the potentially-biased answers);
+//  2. drop logical dependencies (FDs, key-like attributes — Sec. 4);
+//  3. discover covariates Z = PA_T and mediators M = PA_Y − {T} with the
+//     CD algorithm on the WHERE-subpopulation (Alg. 1);
+//  4. detect bias per context: test T ⊥ Z | Γ and T ⊥ Z∪M | Γ (Def. 3.1);
+//  5. explain: responsibilities (Eq. 4) + fine-grained triples (Alg. 3);
+//  6. resolve: rewrite per Listing 2 / Eq. 3 and re-estimate, with
+//     significance tests on the rewritten answers.
+
+#ifndef HYPDB_CORE_HYPDB_H_
+#define HYPDB_CORE_HYPDB_H_
+
+#include <string>
+#include <vector>
+
+#include "causal/cd_algorithm.h"
+#include "causal/fd_filter.h"
+#include "core/detector.h"
+#include "core/explainer.h"
+#include "core/query.h"
+#include "core/effect_bounds.h"
+#include "core/rewriter.h"
+#include "stats/ci_test.h"
+#include "util/statusor.h"
+
+namespace hypdb {
+
+struct HypDbOptions {
+  /// Independence-test configuration shared by discovery, detection and
+  /// significance testing. Default: HyMIT (Sec. 6).
+  CiOptions ci;
+  /// Significance level for all tests (Sec. 7.3 uses 0.01).
+  double alpha = 0.01;
+  CdOptions cd;
+  FdFilterOptions fd;
+  bool apply_fd_filter = true;
+  /// Discover PA_Y and compute direct effects.
+  bool discover_mediators = true;
+  ExplainerOptions explain;
+  /// Reference group for the mediator formula (empty = largest label).
+  std::string direct_reference;
+  bool compute_significance = true;
+  uint64_t seed = 0xC0FFEE;
+};
+
+/// Covariate/mediator discovery outcome.
+struct DiscoveryReport {
+  std::vector<int> covariate_cols;
+  std::vector<int> mediator_cols;
+  /// MB(T) as learned (for the effect-bounds extension).
+  std::vector<int> treatment_blanket_cols;
+  std::vector<std::string> covariates;
+  std::vector<std::string> mediators;
+  bool covariates_fell_back = false;
+  bool mediators_fell_back = false;
+  /// Attributes removed before discovery (Sec. 4).
+  std::vector<std::string> dropped_fd;
+  std::vector<std::string> dropped_keys;
+  int64_t tests_used = 0;
+  double seconds = 0.0;
+};
+
+/// Everything HypDB has to say about one query (Fig. 1/3/4 reports).
+struct HypDbReport {
+  AggQuery query;
+  QueryAnswers plain;
+  DiscoveryReport discovery;
+  std::vector<ContextBias> bias;
+  std::vector<ContextExplanation> explanations;
+  std::vector<ContextRewrite> rewrites;
+  std::string sql_plain;
+  std::string sql_total;
+  std::string sql_direct;
+  double detect_seconds = 0.0;
+  double explain_seconds = 0.0;
+  double resolve_seconds = 0.0;
+
+  /// True when any context is biased w.r.t. the covariates.
+  bool AnyBias() const;
+};
+
+class HypDb {
+ public:
+  explicit HypDb(TablePtr table, HypDbOptions options = {});
+
+  const TablePtr& table() const { return table_; }
+  const HypDbOptions& options() const { return options_; }
+
+  /// Full pipeline.
+  StatusOr<HypDbReport> Analyze(const AggQuery& query);
+  /// Full pipeline from Listing-1 SQL text.
+  StatusOr<HypDbReport> AnalyzeSql(const std::string& sql);
+
+  /// The plain (biased) query answers only.
+  StatusOr<QueryAnswers> Answers(const AggQuery& query) const;
+
+  /// Steps 2-3 only: logical-dependency filtering + CD discovery.
+  StatusOr<DiscoveryReport> Discover(const AggQuery& query) const;
+
+  /// The Sec. 4 future-work extension: when the parents of T are not
+  /// identifiable, evaluate the adjustment formula under every subset of
+  /// MB(T) − outcomes and return the resulting effect interval.
+  StatusOr<EffectBounds> BoundEffects(
+      const AggQuery& query, const EffectBoundsOptions& options = {}) const;
+
+ private:
+  TablePtr table_;
+  HypDbOptions options_;
+};
+
+/// Human-readable rendering of a report (the Fig. 3/4 layout).
+std::string RenderReport(const HypDbReport& report);
+
+}  // namespace hypdb
+
+#endif  // HYPDB_CORE_HYPDB_H_

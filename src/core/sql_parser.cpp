@@ -1,0 +1,233 @@
+#include "core/sql_parser.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace hypdb {
+namespace {
+
+enum class TokenType { kIdent, kString, kSymbol, kEnd };
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;  // identifiers are kept verbatim; Upper() compares
+  size_t pos = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& input) : input_(input) { Advance(); }
+
+  const Token& Peek() const { return current_; }
+
+  Token Take() {
+    Token t = current_;
+    Advance();
+    return t;
+  }
+
+ private:
+  void Advance() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+    current_.pos = pos_;
+    if (pos_ >= input_.size()) {
+      current_ = {TokenType::kEnd, "", pos_};
+      return;
+    }
+    char c = input_[pos_];
+    if (c == '\'' || c == '"') {
+      char quote = c;
+      std::string text;
+      ++pos_;
+      while (pos_ < input_.size() && input_[pos_] != quote) {
+        text += input_[pos_++];
+      }
+      if (pos_ < input_.size()) ++pos_;  // closing quote
+      current_ = {TokenType::kString, text, current_.pos};
+      return;
+    }
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+        c == '.') {
+      std::string text;
+      while (pos_ < input_.size()) {
+        char d = input_[pos_];
+        if (std::isalnum(static_cast<unsigned char>(d)) || d == '_' ||
+            d == '.') {
+          text += d;
+          ++pos_;
+        } else {
+          break;
+        }
+      }
+      current_ = {TokenType::kIdent, text, current_.pos};
+      return;
+    }
+    current_ = {TokenType::kSymbol, std::string(1, c), current_.pos};
+    ++pos_;
+  }
+
+  const std::string& input_;
+  size_t pos_ = 0;
+  Token current_;
+};
+
+std::string Upper(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = std::toupper(static_cast<unsigned char>(c));
+  return out;
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& sql) : lexer_(sql) {}
+
+  StatusOr<AggQuery> Parse() {
+    AggQuery query;
+
+    HYPDB_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    // Select list: plain attributes (must reappear in GROUP BY) and
+    // avg(...) outcomes.
+    std::vector<std::string> plain;
+    for (;;) {
+      HYPDB_ASSIGN_OR_RETURN(Token t, ExpectIdent("select item"));
+      if (Upper(t.text) == "AVG") {
+        HYPDB_RETURN_IF_ERROR(ExpectSymbol("("));
+        HYPDB_ASSIGN_OR_RETURN(Token y, ExpectIdent("avg() attribute"));
+        HYPDB_RETURN_IF_ERROR(ExpectSymbol(")"));
+        query.outcomes.push_back(y.text);
+      } else {
+        plain.push_back(t.text);
+      }
+      if (!ConsumeSymbol(",")) break;
+    }
+
+    HYPDB_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    HYPDB_ASSIGN_OR_RETURN(Token table, ExpectIdent("table name"));
+    query.table_name = table.text;
+
+    if (PeekKeyword("WHERE")) {
+      lexer_.Take();
+      for (;;) {
+        HYPDB_ASSIGN_OR_RETURN(Token attr, ExpectIdent("WHERE attribute"));
+        std::vector<std::string> values;
+        if (PeekKeyword("IN")) {
+          lexer_.Take();
+          HYPDB_RETURN_IF_ERROR(ExpectSymbol("("));
+          for (;;) {
+            HYPDB_ASSIGN_OR_RETURN(std::string v, ExpectValue());
+            values.push_back(v);
+            if (!ConsumeSymbol(",")) break;
+          }
+          HYPDB_RETURN_IF_ERROR(ExpectSymbol(")"));
+        } else {
+          HYPDB_RETURN_IF_ERROR(ExpectSymbol("="));
+          HYPDB_ASSIGN_OR_RETURN(std::string v, ExpectValue());
+          values.push_back(v);
+        }
+        query.where.emplace_back(attr.text, std::move(values));
+        if (!PeekKeyword("AND")) break;
+        lexer_.Take();
+      }
+    }
+
+    HYPDB_RETURN_IF_ERROR(ExpectKeyword("GROUP"));
+    HYPDB_RETURN_IF_ERROR(ExpectKeyword("BY"));
+    std::vector<std::string> group_by;
+    for (;;) {
+      HYPDB_ASSIGN_OR_RETURN(Token g, ExpectIdent("GROUP BY attribute"));
+      group_by.push_back(g.text);
+      if (!ConsumeSymbol(",")) break;
+    }
+    if (lexer_.Peek().type != TokenType::kEnd &&
+        !(lexer_.Peek().type == TokenType::kSymbol &&
+          lexer_.Peek().text == ";")) {
+      return ErrorHere("unexpected trailing input");
+    }
+
+    // The first GROUP BY attribute is the treatment; the rest are
+    // context attributes.
+    query.treatment = group_by.front();
+    query.grouping.assign(group_by.begin() + 1, group_by.end());
+
+    // Every plain select item must be grouped.
+    for (const auto& p : plain) {
+      if (std::find(group_by.begin(), group_by.end(), p) == group_by.end()) {
+        return Status::InvalidArgument(
+            "select attribute '" + p +
+            "' does not appear in GROUP BY (Listing-1 queries are "
+            "group-by-average)");
+      }
+    }
+    if (query.outcomes.empty()) {
+      return Status::InvalidArgument("query has no avg() outcome");
+    }
+    return query;
+  }
+
+ private:
+  Status ErrorHere(const std::string& message) {
+    return Status::InvalidArgument(
+        message + " at position " + std::to_string(lexer_.Peek().pos));
+  }
+
+  bool PeekKeyword(const std::string& kw) {
+    return lexer_.Peek().type == TokenType::kIdent &&
+           Upper(lexer_.Peek().text) == kw;
+  }
+
+  Status ExpectKeyword(const std::string& kw) {
+    if (!PeekKeyword(kw)) return ErrorHere("expected " + kw);
+    lexer_.Take();
+    return Status::Ok();
+  }
+
+  StatusOr<Token> ExpectIdent(const std::string& what) {
+    if (lexer_.Peek().type != TokenType::kIdent) {
+      return ErrorHere("expected " + what);
+    }
+    return lexer_.Take();
+  }
+
+  Status ExpectSymbol(const std::string& sym) {
+    if (lexer_.Peek().type != TokenType::kSymbol ||
+        lexer_.Peek().text != sym) {
+      return ErrorHere("expected '" + sym + "'");
+    }
+    lexer_.Take();
+    return Status::Ok();
+  }
+
+  bool ConsumeSymbol(const std::string& sym) {
+    if (lexer_.Peek().type == TokenType::kSymbol &&
+        lexer_.Peek().text == sym) {
+      lexer_.Take();
+      return true;
+    }
+    return false;
+  }
+
+  /// A WHERE value: quoted string or bare identifier/number.
+  StatusOr<std::string> ExpectValue() {
+    if (lexer_.Peek().type == TokenType::kString ||
+        lexer_.Peek().type == TokenType::kIdent) {
+      return lexer_.Take().text;
+    }
+    return ErrorHere("expected a value");
+  }
+
+  Lexer lexer_;
+};
+
+}  // namespace
+
+StatusOr<AggQuery> ParseAggQuery(const std::string& sql) {
+  Parser parser(sql);
+  return parser.Parse();
+}
+
+}  // namespace hypdb

@@ -1,0 +1,29 @@
+// Parser for the Listing-1 OLAP dialect:
+//
+//   SELECT Carrier, avg(Delayed)
+//   FROM FlightData
+//   WHERE Carrier IN ('AA','UA') AND Airport IN ('COS','MFE','MTJ','ROC')
+//   GROUP BY Carrier
+//
+// Supported: identifiers and avg() in SELECT, one table in FROM, a
+// conjunction of `attr IN (...)` / `attr = value` terms in WHERE, and a
+// GROUP BY list whose first attribute is the treatment. Keywords are
+// case-insensitive; values may be single-quoted, double-quoted, or bare.
+
+#ifndef HYPDB_CORE_SQL_PARSER_H_
+#define HYPDB_CORE_SQL_PARSER_H_
+
+#include <string>
+
+#include "core/query.h"
+#include "util/statusor.h"
+
+namespace hypdb {
+
+/// Parses `sql` into an AggQuery. Returns InvalidArgument with a
+/// position-annotated message on malformed input.
+StatusOr<AggQuery> ParseAggQuery(const std::string& sql);
+
+}  // namespace hypdb
+
+#endif  // HYPDB_CORE_SQL_PARSER_H_

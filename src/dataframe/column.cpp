@@ -1,0 +1,57 @@
+#include "dataframe/column.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace hypdb {
+
+int32_t Dictionary::GetOrAdd(const std::string& label) {
+  auto it = index_.find(label);
+  if (it != index_.end()) return it->second;
+  int32_t code = static_cast<int32_t>(labels_.size());
+  labels_.push_back(label);
+  index_.emplace(label, code);
+  return code;
+}
+
+int32_t Dictionary::Find(const std::string& label) const {
+  auto it = index_.find(label);
+  return it == index_.end() ? -1 : it->second;
+}
+
+void Column::EnsureNumericCache() const {
+  if (numeric_cache_built_) return;
+  numeric_cache_.resize(dict_.size());
+  for (int32_t c = 0; c < dict_.size(); ++c) {
+    const std::string& label = dict_.Label(c);
+    char* end = nullptr;
+    double v = std::strtod(label.c_str(), &end);
+    bool parsed = end != label.c_str() && *end == '\0' && !label.empty();
+    numeric_cache_[c] = parsed ? v : std::nan("");
+  }
+  numeric_cache_built_ = true;
+}
+
+StatusOr<double> Column::NumericValue(int32_t code) const {
+  EnsureNumericCache();
+  if (code < 0 || code >= dict_.size()) {
+    return Status::OutOfRange("code out of range for column " + name_);
+  }
+  double v = numeric_cache_[code];
+  if (std::isnan(v)) {
+    return Status::InvalidArgument("label '" + dict_.Label(code) +
+                                   "' in column " + name_ +
+                                   " is not numeric");
+  }
+  return v;
+}
+
+bool Column::IsNumericLike() const {
+  EnsureNumericCache();
+  for (double v : numeric_cache_) {
+    if (std::isnan(v)) return false;
+  }
+  return true;
+}
+
+}  // namespace hypdb

@@ -1,0 +1,107 @@
+// Dictionary-encoded categorical column.
+//
+// HypDB operates on discrete domains (paper Sec. 2): every attribute is
+// categorical. A column stores one int32 code per row plus a dictionary of
+// string labels; label order defines the code space [0, Cardinality()).
+
+#ifndef HYPDB_DATAFRAME_COLUMN_H_
+#define HYPDB_DATAFRAME_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace hypdb {
+
+/// Bidirectional string <-> code mapping for one column.
+class Dictionary {
+ public:
+  /// Returns the code for `label`, inserting it if new.
+  int32_t GetOrAdd(const std::string& label);
+
+  /// Returns the code for `label` or -1 if absent.
+  int32_t Find(const std::string& label) const;
+
+  const std::string& Label(int32_t code) const { return labels_[code]; }
+  int32_t size() const { return static_cast<int32_t>(labels_.size()); }
+  const std::vector<std::string>& labels() const { return labels_; }
+
+ private:
+  std::vector<std::string> labels_;
+  std::unordered_map<std::string, int32_t> index_;
+};
+
+/// A named categorical column: codes + dictionary.
+class Column {
+ public:
+  Column() = default;
+  Column(std::string name, Dictionary dict, std::vector<int32_t> codes)
+      : name_(std::move(name)),
+        dict_(std::move(dict)),
+        codes_(std::move(codes)) {}
+
+  const std::string& name() const { return name_; }
+  const Dictionary& dict() const { return dict_; }
+  const std::vector<int32_t>& codes() const { return codes_; }
+
+  int64_t NumRows() const { return static_cast<int64_t>(codes_.size()); }
+  int32_t Cardinality() const { return dict_.size(); }
+  int32_t CodeAt(int64_t row) const { return codes_[row]; }
+  const std::string& LabelAt(int64_t row) const {
+    return dict_.Label(codes_[row]);
+  }
+
+  /// Numeric interpretation of code `code`: the label parsed as a double.
+  /// Used by avg() aggregation (outcomes are 0/1 per the paper). Labels
+  /// that do not parse yield an error. Values are parsed once and cached.
+  StatusOr<double> NumericValue(int32_t code) const;
+
+  /// True if every label parses as a double.
+  bool IsNumericLike() const;
+
+ private:
+  void EnsureNumericCache() const;
+
+  std::string name_;
+  Dictionary dict_;
+  std::vector<int32_t> codes_;
+
+  // Lazily-built cache of parsed labels; NaN marks unparseable.
+  mutable std::vector<double> numeric_cache_;
+  mutable bool numeric_cache_built_ = false;
+};
+
+/// Incrementally builds a column from string values or raw codes.
+class ColumnBuilder {
+ public:
+  explicit ColumnBuilder(std::string name) : name_(std::move(name)) {}
+
+  void Append(const std::string& label) {
+    codes_.push_back(dict_.GetOrAdd(label));
+  }
+
+  /// Appends a code for a label previously registered via RegisterLabel.
+  void AppendCode(int32_t code) { codes_.push_back(code); }
+
+  /// Pre-registers a label (useful to pin code order, e.g. "0" -> 0).
+  int32_t RegisterLabel(const std::string& label) {
+    return dict_.GetOrAdd(label);
+  }
+
+  Column Finish() {
+    return Column(std::move(name_), std::move(dict_), std::move(codes_));
+  }
+
+ private:
+  std::string name_;
+  Dictionary dict_;
+  std::vector<int32_t> codes_;
+};
+
+}  // namespace hypdb
+
+#endif  // HYPDB_DATAFRAME_COLUMN_H_

@@ -1,0 +1,129 @@
+#include "dataframe/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace hypdb {
+namespace {
+
+// Parses one CSV record starting at `pos`; advances `pos` past the record's
+// trailing newline. Handles quoted fields (RFC-4180 style "" escapes).
+std::vector<std::string> ParseRecord(const std::string& text, size_t* pos) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool in_quotes = false;
+  size_t i = *pos;
+  const size_t n = text.size();
+  for (; i < n; ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < n && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else if (c == '\n' || c == '\r') {
+      if (c == '\r' && i + 1 < n && text[i + 1] == '\n') ++i;
+      ++i;
+      break;
+    } else {
+      field += c;
+    }
+  }
+  fields.push_back(std::move(field));
+  *pos = i;
+  return fields;
+}
+
+bool NeedsQuoting(const std::string& s) {
+  return s.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+void AppendField(const std::string& s, std::string* out) {
+  if (!NeedsQuoting(s)) {
+    *out += s;
+    return;
+  }
+  *out += '"';
+  for (char c : s) {
+    if (c == '"') *out += '"';
+    *out += c;
+  }
+  *out += '"';
+}
+
+}  // namespace
+
+StatusOr<Table> ParseCsv(const std::string& text) {
+  if (text.empty()) return Status::InvalidArgument("empty CSV input");
+  size_t pos = 0;
+  std::vector<std::string> header = ParseRecord(text, &pos);
+  std::vector<ColumnBuilder> builders;
+  builders.reserve(header.size());
+  for (const auto& name : header) builders.emplace_back(name);
+
+  int64_t line = 1;
+  while (pos < text.size()) {
+    ++line;
+    std::vector<std::string> fields = ParseRecord(text, &pos);
+    if (fields.size() == 1 && fields[0].empty()) continue;  // blank line
+    if (fields.size() != header.size()) {
+      return Status::InvalidArgument(
+          "CSV record " + std::to_string(line) + " has " +
+          std::to_string(fields.size()) + " fields, header has " +
+          std::to_string(header.size()));
+    }
+    for (size_t c = 0; c < fields.size(); ++c) builders[c].Append(fields[c]);
+  }
+
+  Table table;
+  for (auto& b : builders) {
+    HYPDB_RETURN_IF_ERROR(table.AddColumn(b.Finish()));
+  }
+  return table;
+}
+
+StatusOr<Table> ReadCsv(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseCsv(buf.str());
+}
+
+std::string ToCsv(const Table& table) {
+  std::string out;
+  for (int c = 0; c < table.NumColumns(); ++c) {
+    if (c > 0) out += ',';
+    AppendField(table.column(c).name(), &out);
+  }
+  out += '\n';
+  for (int64_t r = 0; r < table.NumRows(); ++r) {
+    for (int c = 0; c < table.NumColumns(); ++c) {
+      if (c > 0) out += ',';
+      AppendField(table.column(c).LabelAt(r), &out);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Status WriteCsv(const Table& table, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << ToCsv(table);
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::Ok();
+}
+
+}  // namespace hypdb

@@ -1,0 +1,31 @@
+// Minimal CSV reader/writer for categorical tables.
+//
+// All fields are read as categorical strings (HypDB's data model). Double
+// quotes with embedded commas/quotes are supported on read; fields that
+// need quoting are quoted on write.
+
+#ifndef HYPDB_DATAFRAME_CSV_H_
+#define HYPDB_DATAFRAME_CSV_H_
+
+#include <string>
+
+#include "dataframe/table.h"
+#include "util/statusor.h"
+
+namespace hypdb {
+
+/// Reads a headered CSV file into a Table.
+StatusOr<Table> ReadCsv(const std::string& path);
+
+/// Parses CSV text (first line = header) into a Table.
+StatusOr<Table> ParseCsv(const std::string& text);
+
+/// Writes `table` to `path` with a header row.
+Status WriteCsv(const Table& table, const std::string& path);
+
+/// Serializes `table` to CSV text.
+std::string ToCsv(const Table& table);
+
+}  // namespace hypdb
+
+#endif  // HYPDB_DATAFRAME_CSV_H_

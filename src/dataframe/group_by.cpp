@@ -1,0 +1,164 @@
+#include "dataframe/group_by.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace hypdb {
+namespace {
+
+// Sorts parallel (key, payload) arrays by key.
+template <typename Payload>
+void SortByKey(std::vector<uint64_t>* keys, std::vector<Payload>* payloads) {
+  std::vector<size_t> order(keys->size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return (*keys)[a] < (*keys)[b]; });
+  std::vector<uint64_t> sorted_keys(keys->size());
+  std::vector<Payload> sorted_payloads(payloads->size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    sorted_keys[i] = (*keys)[order[i]];
+    sorted_payloads[i] = std::move((*payloads)[order[i]]);
+  }
+  *keys = std::move(sorted_keys);
+  *payloads = std::move(sorted_payloads);
+}
+
+}  // namespace
+
+StatusOr<GroupCounts> CountBy(const TableView& view,
+                              const std::vector<int>& cols) {
+  GroupCounts out;
+  HYPDB_ASSIGN_OR_RETURN(out.codec, TupleCodec::Create(view.table(), cols));
+  const int64_t n = view.NumRows();
+  out.total = n;
+
+  // Dense counting when the domain is small relative to the data; hash
+  // aggregation otherwise.
+  const uint64_t domain = out.codec.Domain();
+  if (domain <= 1u << 20 &&
+      domain <= static_cast<uint64_t>(std::max<int64_t>(n * 4, 1024))) {
+    std::vector<int64_t> dense(domain, 0);
+    for (int64_t i = 0; i < n; ++i) ++dense[out.codec.Encode(view, i)];
+    for (uint64_t k = 0; k < domain; ++k) {
+      if (dense[k] > 0) {
+        out.keys.push_back(k);
+        out.counts.push_back(dense[k]);
+      }
+    }
+    return out;
+  }
+
+  std::unordered_map<uint64_t, int64_t> agg;
+  agg.reserve(static_cast<size_t>(std::min<int64_t>(n, 1 << 16)));
+  for (int64_t i = 0; i < n; ++i) ++agg[out.codec.Encode(view, i)];
+  out.keys.reserve(agg.size());
+  out.counts.reserve(agg.size());
+  for (const auto& [k, c] : agg) {
+    out.keys.push_back(k);
+    out.counts.push_back(c);
+  }
+  SortByKey(&out.keys, &out.counts);
+  return out;
+}
+
+StatusOr<GroupedRows> CollectGroups(const TableView& view,
+                                    const std::vector<int>& cols) {
+  GroupedRows out;
+  HYPDB_ASSIGN_OR_RETURN(out.codec, TupleCodec::Create(view.table(), cols));
+  std::unordered_map<uint64_t, size_t> slot;
+  const int64_t n = view.NumRows();
+  for (int64_t i = 0; i < n; ++i) {
+    uint64_t key = out.codec.Encode(view, i);
+    auto [it, inserted] = slot.emplace(key, out.keys.size());
+    if (inserted) {
+      out.keys.push_back(key);
+      out.rows.emplace_back();
+    }
+    out.rows[it->second].push_back(view.RowId(i));
+  }
+  SortByKey(&out.keys, &out.rows);
+  return out;
+}
+
+StatusOr<GroupedAverages> AverageBy(const TableView& view,
+                                    const std::vector<int>& group_cols,
+                                    const std::vector<int>& outcome_cols) {
+  GroupedAverages out;
+  HYPDB_ASSIGN_OR_RETURN(out.codec,
+                         TupleCodec::Create(view.table(), group_cols));
+  const int num_outcomes = static_cast<int>(outcome_cols.size());
+
+  // Pre-resolve numeric values per outcome column code to fail fast on
+  // non-numeric labels and avoid per-row parsing.
+  std::vector<std::vector<double>> outcome_values(num_outcomes);
+  for (int o = 0; o < num_outcomes; ++o) {
+    const Column& col = view.table().column(outcome_cols[o]);
+    outcome_values[o].resize(col.Cardinality());
+    for (int32_t c = 0; c < col.Cardinality(); ++c) {
+      HYPDB_ASSIGN_OR_RETURN(outcome_values[o][c], col.NumericValue(c));
+    }
+  }
+
+  struct Acc {
+    int64_t count = 0;
+    std::vector<double> sums;
+  };
+  std::unordered_map<uint64_t, Acc> agg;
+  const int64_t n = view.NumRows();
+  out.total = n;
+  for (int64_t i = 0; i < n; ++i) {
+    uint64_t key = out.codec.Encode(view, i);
+    Acc& acc = agg[key];
+    if (acc.sums.empty()) acc.sums.assign(num_outcomes, 0.0);
+    ++acc.count;
+    for (int o = 0; o < num_outcomes; ++o) {
+      acc.sums[o] += outcome_values[o][view.CodeAt(i, outcome_cols[o])];
+    }
+  }
+
+  std::vector<Acc> payload;
+  payload.reserve(agg.size());
+  out.keys.reserve(agg.size());
+  for (auto& [k, acc] : agg) {
+    out.keys.push_back(k);
+    payload.push_back(std::move(acc));
+  }
+  SortByKey(&out.keys, &payload);
+  out.counts.reserve(payload.size());
+  out.means.reserve(payload.size());
+  for (auto& acc : payload) {
+    out.counts.push_back(acc.count);
+    std::vector<double> mean(num_outcomes);
+    for (int o = 0; o < num_outcomes; ++o) {
+      mean[o] = acc.count > 0 ? acc.sums[o] / acc.count : 0.0;
+    }
+    out.means.push_back(std::move(mean));
+  }
+  return out;
+}
+
+GroupCounts MarginalizeOnto(const GroupCounts& counts,
+                            const std::vector<int>& keep) {
+  GroupCounts out;
+  out.codec = counts.codec.Project(keep);
+  out.total = counts.total;
+  std::unordered_map<uint64_t, int64_t> agg;
+  agg.reserve(counts.keys.size());
+  std::vector<int32_t> codes(keep.size());
+  for (size_t g = 0; g < counts.keys.size(); ++g) {
+    for (size_t j = 0; j < keep.size(); ++j) {
+      codes[j] = counts.codec.DecodeAt(counts.keys[g], keep[j]);
+    }
+    agg[out.codec.EncodeCodes(codes)] += counts.counts[g];
+  }
+  out.keys.reserve(agg.size());
+  out.counts.reserve(agg.size());
+  for (const auto& [k, c] : agg) {
+    out.keys.push_back(k);
+    out.counts.push_back(c);
+  }
+  SortByKey(&out.keys, &out.counts);
+  return out;
+}
+
+}  // namespace hypdb

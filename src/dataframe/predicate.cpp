@@ -1,0 +1,24 @@
+#include "dataframe/predicate.h"
+
+namespace hypdb {
+
+StatusOr<Predicate> Predicate::FromInLists(
+    const Table& table,
+    const std::vector<std::pair<std::string, std::vector<std::string>>>&
+        terms) {
+  Predicate pred;
+  for (const auto& [name, values] : terms) {
+    HYPDB_ASSIGN_OR_RETURN(int col, table.ColumnIndex(name));
+    PredicateTerm term;
+    term.col = col;
+    term.allowed.assign(table.column(col).Cardinality(), false);
+    for (const auto& v : values) {
+      int32_t code = table.column(col).dict().Find(v);
+      if (code >= 0) term.allowed[code] = true;
+    }
+    pred.AddTerm(std::move(term));
+  }
+  return pred;
+}
+
+}  // namespace hypdb

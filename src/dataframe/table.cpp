@@ -1,0 +1,35 @@
+#include "dataframe/table.h"
+
+namespace hypdb {
+
+Status Table::AddColumn(Column column) {
+  if (!columns_.empty() && column.NumRows() != NumRows()) {
+    return Status::InvalidArgument(
+        "column " + column.name() + " has " +
+        std::to_string(column.NumRows()) + " rows, table has " +
+        std::to_string(NumRows()));
+  }
+  if (index_.count(column.name()) > 0) {
+    return Status::InvalidArgument("duplicate column name " + column.name());
+  }
+  index_.emplace(column.name(), static_cast<int>(columns_.size()));
+  columns_.push_back(std::move(column));
+  return Status::Ok();
+}
+
+StatusOr<int> Table::ColumnIndex(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return Status::NotFound("no column named '" + name + "'");
+  }
+  return it->second;
+}
+
+std::vector<std::string> Table::ColumnNames() const {
+  std::vector<std::string> names;
+  names.reserve(columns_.size());
+  for (const auto& c : columns_) names.push_back(c.name());
+  return names;
+}
+
+}  // namespace hypdb

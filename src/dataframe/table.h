@@ -1,0 +1,56 @@
+// In-memory columnar table of categorical columns.
+
+#ifndef HYPDB_DATAFRAME_TABLE_H_
+#define HYPDB_DATAFRAME_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dataframe/column.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace hypdb {
+
+/// Immutable-after-build columnar table. All columns have the same number
+/// of rows. Shared via shared_ptr so views stay valid cheaply.
+class Table {
+ public:
+  Table() = default;
+
+  /// Appends a column; all columns must agree on row count.
+  Status AddColumn(Column column);
+
+  int NumColumns() const { return static_cast<int>(columns_.size()); }
+  int64_t NumRows() const {
+    return columns_.empty() ? 0 : columns_[0].NumRows();
+  }
+
+  const Column& column(int idx) const { return columns_[idx]; }
+
+  /// Index of the column named `name`, or error.
+  StatusOr<int> ColumnIndex(const std::string& name) const;
+  bool HasColumn(const std::string& name) const {
+    return index_.count(name) > 0;
+  }
+
+  /// All column names in order.
+  std::vector<std::string> ColumnNames() const;
+
+ private:
+  std::vector<Column> columns_;
+  std::unordered_map<std::string, int> index_;
+};
+
+using TablePtr = std::shared_ptr<const Table>;
+
+/// Convenience: wraps a built table into a shared pointer.
+inline TablePtr MakeTable(Table t) {
+  return std::make_shared<const Table>(std::move(t));
+}
+
+}  // namespace hypdb
+
+#endif  // HYPDB_DATAFRAME_TABLE_H_

@@ -1,0 +1,48 @@
+#include "dataframe/tuple_codec.h"
+
+namespace hypdb {
+
+StatusOr<TupleCodec> TupleCodec::Create(const Table& table,
+                                        const std::vector<int>& cols) {
+  TupleCodec codec;
+  codec.cols_ = cols;
+  codec.cards_.reserve(cols.size());
+  codec.strides_.reserve(cols.size());
+  constexpr uint64_t kMaxDomain = 1ull << 62;
+  uint64_t stride = 1;
+  for (int col : cols) {
+    if (col < 0 || col >= table.NumColumns()) {
+      return Status::OutOfRange("column index " + std::to_string(col) +
+                                " out of range");
+    }
+    int32_t card = table.column(col).Cardinality();
+    if (card <= 0) {
+      return Status::InvalidArgument("column " + table.column(col).name() +
+                                     " has empty dictionary");
+    }
+    codec.cards_.push_back(card);
+    codec.strides_.push_back(stride);
+    if (stride > kMaxDomain / static_cast<uint64_t>(card)) {
+      return Status::OutOfRange(
+          "tuple domain overflows: product of cardinalities exceeds 2^62");
+    }
+    stride *= static_cast<uint64_t>(card);
+  }
+  codec.domain_ = stride;
+  return codec;
+}
+
+TupleCodec TupleCodec::Project(const std::vector<int>& positions) const {
+  TupleCodec out;
+  uint64_t stride = 1;
+  for (int p : positions) {
+    out.cols_.push_back(cols_[p]);
+    out.cards_.push_back(cards_[p]);
+    out.strides_.push_back(stride);
+    stride *= static_cast<uint64_t>(cards_[p]);
+  }
+  out.domain_ = stride;
+  return out;
+}
+
+}  // namespace hypdb

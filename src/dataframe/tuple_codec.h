@@ -1,0 +1,86 @@
+// Mixed-radix packing of categorical tuples into uint64 keys.
+//
+// Grouping, contingency tables and OLAP-cube cells all reduce to counting
+// occurrences of attribute-value tuples. A TupleCodec maps the tuple of
+// codes of a fixed column list to a single uint64 (and back), so group-by
+// becomes a hash aggregation over scalar keys.
+
+#ifndef HYPDB_DATAFRAME_TUPLE_CODEC_H_
+#define HYPDB_DATAFRAME_TUPLE_CODEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dataframe/table.h"
+#include "dataframe/view.h"
+#include "util/statusor.h"
+
+namespace hypdb {
+
+class TableView;
+
+/// Encodes/decodes tuples over a fixed list of columns. The key space is
+/// the mixed-radix number with per-column cardinalities as digits; its size
+/// (`Domain()`) is the product of cardinalities and must fit in int64.
+class TupleCodec {
+ public:
+  TupleCodec() = default;
+
+  /// Builds a codec for `cols` (indices into `table`). Fails if the domain
+  /// product would overflow 2^62 (keys must remain exact).
+  static StatusOr<TupleCodec> Create(const Table& table,
+                                     const std::vector<int>& cols);
+
+  /// Key for the tuple at view row `i`.
+  uint64_t Encode(const TableView& view, int64_t i) const {
+    uint64_t key = 0;
+    for (size_t j = 0; j < cols_.size(); ++j) {
+      key += static_cast<uint64_t>(view.CodeAt(i, cols_[j])) * strides_[j];
+    }
+    return key;
+  }
+
+  /// Key from raw codes (one per codec column, in codec order).
+  uint64_t EncodeCodes(const std::vector<int32_t>& codes) const {
+    uint64_t key = 0;
+    for (size_t j = 0; j < cols_.size(); ++j) {
+      key += static_cast<uint64_t>(codes[j]) * strides_[j];
+    }
+    return key;
+  }
+
+  /// Inverse of EncodeCodes.
+  std::vector<int32_t> Decode(uint64_t key) const {
+    std::vector<int32_t> codes(cols_.size());
+    for (size_t j = 0; j < cols_.size(); ++j) {
+      codes[j] = static_cast<int32_t>((key / strides_[j]) % cards_[j]);
+    }
+    return codes;
+  }
+
+  /// Code of the j-th codec column within `key`.
+  int32_t DecodeAt(uint64_t key, int j) const {
+    return static_cast<int32_t>((key / strides_[j]) % cards_[j]);
+  }
+
+  /// A codec over the subset of this codec's columns at `positions`
+  /// (indices into cols()). Keys of the projected codec address the
+  /// marginal domain.
+  TupleCodec Project(const std::vector<int>& positions) const;
+
+  const std::vector<int>& cols() const { return cols_; }
+  const std::vector<int32_t>& cardinalities() const { return cards_; }
+
+  /// Product of cardinalities (1 for an empty column list).
+  uint64_t Domain() const { return domain_; }
+
+ private:
+  std::vector<int> cols_;
+  std::vector<int32_t> cards_;
+  std::vector<uint64_t> strides_;
+  uint64_t domain_ = 1;
+};
+
+}  // namespace hypdb
+
+#endif  // HYPDB_DATAFRAME_TUPLE_CODEC_H_

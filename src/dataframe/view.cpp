@@ -1,0 +1,16 @@
+#include "dataframe/view.h"
+
+namespace hypdb {
+
+TableView TableView::Filter(const Predicate& pred) const {
+  if (pred.empty()) return *this;
+  auto rows = std::make_shared<std::vector<int64_t>>();
+  int64_t n = NumRows();
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t r = RowId(i);
+    if (pred.Matches(*table_, r)) rows->push_back(r);
+  }
+  return TableView(table_, std::move(rows));
+}
+
+}  // namespace hypdb

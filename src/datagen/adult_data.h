@@ -1,0 +1,32 @@
+// Synthetic AdultData (UCI census income — paper Sec. 7.3, Fig. 3 top).
+//
+// The generator encodes the causal story HypDB uncovers in the real UCI
+// extract: Gender is a root; its large marginal association with Income
+// (≈0.11 vs ≈0.30) flows almost entirely through MaritalStatus (the
+// adjusted-gross-income inconsistency the paper reports — married filers
+// report household income) and secondarily through Education and
+// HoursPerWeek, with only a small direct Gender → Income edge. Also
+// includes EducationNum (bijective FD of Education) and Fnlwgt
+// (key-like), exercising the Sec. 4 dropping rules.
+
+#ifndef HYPDB_DATAGEN_ADULT_DATA_H_
+#define HYPDB_DATAGEN_ADULT_DATA_H_
+
+#include "dataframe/table.h"
+#include "util/statusor.h"
+
+namespace hypdb {
+
+struct AdultDataOptions {
+  int64_t num_rows = 48842;  // UCI row count
+  uint64_t seed = 1994;
+};
+
+/// 15 columns: Age, Workclass, Fnlwgt, Education, EducationNum,
+/// MaritalStatus, Occupation, Relationship, Race, Gender, CapitalGain,
+/// CapitalLoss, HoursPerWeek, NativeCountry, Income.
+StatusOr<Table> GenerateAdultData(const AdultDataOptions& options = {});
+
+}  // namespace hypdb
+
+#endif  // HYPDB_DATAGEN_ADULT_DATA_H_

@@ -1,0 +1,67 @@
+#include "datagen/berkeley_data.h"
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace hypdb {
+namespace {
+
+struct Cell {
+  const char* gender;
+  const char* department;
+  int admitted;
+  int rejected;
+};
+
+// Bickel et al. (1975), Table 1: the six largest departments.
+constexpr Cell kCells[] = {
+    {"Male", "A", 512, 313},   {"Female", "A", 89, 19},
+    {"Male", "B", 353, 207},   {"Female", "B", 17, 8},
+    {"Male", "C", 120, 205},   {"Female", "C", 202, 391},
+    {"Male", "D", 138, 279},   {"Female", "D", 131, 244},
+    {"Male", "E", 53, 138},    {"Female", "E", 94, 299},
+    {"Male", "F", 22, 351},    {"Female", "F", 24, 317},
+};
+
+}  // namespace
+
+StatusOr<Table> GenerateBerkeleyData(const BerkeleyDataOptions& options) {
+  struct Row {
+    const char* gender;
+    const char* department;
+    int accepted;
+  };
+  std::vector<Row> rows;
+  for (const Cell& cell : kCells) {
+    for (int i = 0; i < cell.admitted; ++i) {
+      rows.push_back({cell.gender, cell.department, 1});
+    }
+    for (int i = 0; i < cell.rejected; ++i) {
+      rows.push_back({cell.gender, cell.department, 0});
+    }
+  }
+  if (options.shuffle) {
+    Rng rng(options.seed);
+    rng.Shuffle(&rows);
+  }
+
+  ColumnBuilder gender_b("Gender");
+  ColumnBuilder dept_b("Department");
+  ColumnBuilder accepted_b("Accepted");
+  accepted_b.RegisterLabel("0");
+  accepted_b.RegisterLabel("1");
+  for (const Row& row : rows) {
+    gender_b.Append(row.gender);
+    dept_b.Append(row.department);
+    accepted_b.AppendCode(row.accepted);
+  }
+
+  Table table;
+  HYPDB_RETURN_IF_ERROR(table.AddColumn(gender_b.Finish()));
+  HYPDB_RETURN_IF_ERROR(table.AddColumn(dept_b.Finish()));
+  HYPDB_RETURN_IF_ERROR(table.AddColumn(accepted_b.Finish()));
+  return table;
+}
+
+}  // namespace hypdb

@@ -1,0 +1,30 @@
+// BerkeleyData: the 1973 UC Berkeley graduate admissions data
+// (Bickel, Hammel & O'Connell 1975 — paper Sec. 7.3, Fig. 4 top).
+//
+// Unlike the other datasets this one is *not* synthetic: the published
+// per-(gender, department) applicant/admit counts are public-domain
+// aggregates, replayed here row by row. Marginally men are admitted at
+// 0.445 vs women at 0.304; conditioning on Department shrinks — and in
+// the rewritten query reverses — the gap, because women applied to the
+// competitive departments.
+
+#ifndef HYPDB_DATAGEN_BERKELEY_DATA_H_
+#define HYPDB_DATAGEN_BERKELEY_DATA_H_
+
+#include "dataframe/table.h"
+#include "util/statusor.h"
+
+namespace hypdb {
+
+struct BerkeleyDataOptions {
+  /// Shuffle the emitted rows (cosmetic; statistics are unaffected).
+  bool shuffle = true;
+  uint64_t seed = 1973;
+};
+
+/// Columns: Gender {Female, Male}, Department {A..F}, Accepted {0, 1}.
+StatusOr<Table> GenerateBerkeleyData(const BerkeleyDataOptions& options = {});
+
+}  // namespace hypdb
+
+#endif  // HYPDB_DATAGEN_BERKELEY_DATA_H_

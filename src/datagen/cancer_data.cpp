@@ -1,0 +1,89 @@
+#include "datagen/cancer_data.h"
+
+#include "util/rng.h"
+
+namespace hypdb {
+namespace {
+
+// One CPT row: probability of {value 0, value 1}.
+std::vector<double> P1(double p_true) { return {1.0 - p_true, p_true}; }
+
+Cpt RootCpt(double p_true) {
+  Cpt cpt;
+  cpt.card = 2;
+  cpt.rows = {P1(p_true)};
+  return cpt;
+}
+
+// Binary node with ordered parents; p[config] = Pr(node = 1 | config),
+// configs in mixed-radix order with the FIRST parent as the
+// lowest-order digit.
+Cpt BinaryCpt(std::vector<int> parents, std::vector<double> p_true) {
+  Cpt cpt;
+  cpt.card = 2;
+  cpt.parents = std::move(parents);
+  cpt.parent_cards.assign(cpt.parents.size(), 2);
+  cpt.rows.reserve(p_true.size());
+  for (double p : p_true) cpt.rows.push_back(P1(p));
+  return cpt;
+}
+
+}  // namespace
+
+Dag LucasDag() {
+  Dag dag(kLucasNodeCount);
+  dag.AddEdge(kAnxiety, kSmoking);
+  dag.AddEdge(kPeerPressure, kSmoking);
+  dag.AddEdge(kSmoking, kYellowFingers);
+  dag.AddEdge(kSmoking, kLungCancer);
+  dag.AddEdge(kGenetics, kLungCancer);
+  dag.AddEdge(kGenetics, kAttentionDisorder);
+  dag.AddEdge(kAllergy, kCoughing);
+  dag.AddEdge(kLungCancer, kCoughing);
+  dag.AddEdge(kLungCancer, kFatigue);
+  dag.AddEdge(kCoughing, kFatigue);
+  dag.AddEdge(kAttentionDisorder, kCarAccident);
+  dag.AddEdge(kFatigue, kCarAccident);
+  return dag;
+}
+
+StatusOr<BayesNet> LucasNetwork() {
+  Dag dag = LucasDag();
+  std::vector<Cpt> cpts(kLucasNodeCount);
+  cpts[kAnxiety] = RootCpt(0.64);
+  cpts[kPeerPressure] = RootCpt(0.33);
+  // Parents listed in DAG insertion order: (Anxiety, Peer_Pressure).
+  // Config order: (A=0,P=0), (A=1,P=0), (A=0,P=1), (A=1,P=1).
+  cpts[kSmoking] =
+      BinaryCpt({kAnxiety, kPeerPressure}, {0.43, 0.74, 0.86, 0.92});
+  cpts[kYellowFingers] = BinaryCpt({kSmoking}, {0.23, 0.95});
+  cpts[kGenetics] = RootCpt(0.15);
+  // (Smoking, Genetics).
+  cpts[kLungCancer] =
+      BinaryCpt({kSmoking, kGenetics}, {0.23, 0.86, 0.83, 0.99});
+  cpts[kAttentionDisorder] = BinaryCpt({kGenetics}, {0.28, 0.68});
+  cpts[kAllergy] = RootCpt(0.33);
+  // (Allergy, Lung_Cancer).
+  cpts[kCoughing] =
+      BinaryCpt({kAllergy, kLungCancer}, {0.13, 0.64, 0.85, 0.97});
+  // (Lung_Cancer, Coughing).
+  cpts[kFatigue] =
+      BinaryCpt({kLungCancer, kCoughing}, {0.35, 0.70, 0.80, 0.95});
+  // (Attention_Disorder, Fatigue).
+  cpts[kCarAccident] =
+      BinaryCpt({kAttentionDisorder, kFatigue}, {0.43, 0.78, 0.70, 0.97});
+  cpts[kBornEvenDay] = RootCpt(0.5);
+  return BayesNet::FromCpts(dag, std::move(cpts));
+}
+
+StatusOr<Table> GenerateCancerData(const CancerDataOptions& options) {
+  HYPDB_ASSIGN_OR_RETURN(BayesNet net, LucasNetwork());
+  Rng rng(options.seed);
+  return net.Sample(options.num_rows, rng,
+                    {"Anxiety", "Peer_Pressure", "Smoking", "Yellow_Fingers",
+                     "Genetics", "Lung_Cancer", "Attention_Disorder",
+                     "Allergy", "Coughing", "Fatigue", "Car_Accident",
+                     "Born_an_Even_Day"});
+}
+
+}  // namespace hypdb

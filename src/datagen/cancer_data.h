@@ -1,0 +1,61 @@
+// CancerData: the LUCAS lung-cancer simulator (Guyon 2009) — the paper's
+// ground-truth dataset (Sec. 7.3, Fig. 4 bottom, Fig. 7).
+//
+// The causal DAG of Fig. 7, encoded verbatim as a Bayesian network over
+// 12 binary attributes. Edges:
+//   Anxiety -> Smoking;  Peer_Pressure -> Smoking;
+//   Smoking -> Yellow_Fingers;  Smoking -> Lung_Cancer;
+//   Genetics -> Lung_Cancer;  Genetics -> Attention_Disorder;
+//   Allergy -> Coughing;  Lung_Cancer -> Coughing;
+//   Lung_Cancer -> Fatigue;  Coughing -> Fatigue;
+//   Attention_Disorder -> Car_Accident;  Fatigue -> Car_Accident;
+//   Born_an_Even_Day isolated.
+//
+// There is no edge Lung_Cancer → Car_Accident: the query of Fig. 4
+// (avg(Car_Accident) GROUP BY Lung_Cancer) must show a significant total
+// effect (via Fatigue) and a null direct effect.
+
+#ifndef HYPDB_DATAGEN_CANCER_DATA_H_
+#define HYPDB_DATAGEN_CANCER_DATA_H_
+
+#include "bn/bayes_net.h"
+#include "dataframe/table.h"
+#include "graph/dag.h"
+#include "util/statusor.h"
+
+namespace hypdb {
+
+/// Node ids of the LUCAS DAG (indices into the generated table).
+enum LucasNode {
+  kAnxiety = 0,
+  kPeerPressure,
+  kSmoking,
+  kYellowFingers,
+  kGenetics,
+  kLungCancer,
+  kAttentionDisorder,
+  kAllergy,
+  kCoughing,
+  kFatigue,
+  kCarAccident,
+  kBornEvenDay,
+  kLucasNodeCount,
+};
+
+/// The Fig. 7 DAG.
+Dag LucasDag();
+
+/// The LUCAS Bayesian network (Fig. 7 structure, CPTs close to the
+/// published generator).
+StatusOr<BayesNet> LucasNetwork();
+
+struct CancerDataOptions {
+  int64_t num_rows = 2000;  // Table 1 size
+  uint64_t seed = 2009;
+};
+
+StatusOr<Table> GenerateCancerData(const CancerDataOptions& options = {});
+
+}  // namespace hypdb
+
+#endif  // HYPDB_DATAGEN_CANCER_DATA_H_

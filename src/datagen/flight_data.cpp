@@ -1,0 +1,201 @@
+#include "datagen/flight_data.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace hypdb {
+namespace {
+
+struct AirportSpec {
+  const char* code;
+  double traffic;     // relative share of flights
+  double base_delay;  // delay probability before adjustments
+  // Carrier mix at this airport: AA, UA, DL, WN, AS, B6.
+  double carrier_mix[6];
+};
+
+constexpr const char* kCarriers[6] = {"AA", "UA", "DL", "WN", "AS", "B6"};
+
+// The four Ex. 1.1 airports plus background traffic. AA concentrates on
+// the low-delay airports (COS, MFE), UA on the high-delay ones (ROC,
+// MTJ) — the Fig. 1(b)/(c) marginals.
+constexpr AirportSpec kAirports[] = {
+    {"COS", 1.2, 0.10, {0.52, 0.08, 0.10, 0.10, 0.10, 0.10}},
+    {"MFE", 1.0, 0.07, {0.56, 0.06, 0.10, 0.10, 0.09, 0.09}},
+    {"MTJ", 0.8, 0.28, {0.18, 0.42, 0.10, 0.10, 0.10, 0.10}},
+    {"ROC", 1.4, 0.44, {0.08, 0.56, 0.09, 0.09, 0.09, 0.09}},
+    {"SEA", 2.0, 0.20, {0.15, 0.15, 0.20, 0.15, 0.25, 0.10}},
+    {"DEN", 2.2, 0.24, {0.20, 0.25, 0.15, 0.20, 0.10, 0.10}},
+    {"ORD", 2.5, 0.30, {0.25, 0.30, 0.15, 0.15, 0.05, 0.10}},
+    {"PHX", 1.8, 0.16, {0.22, 0.18, 0.15, 0.25, 0.10, 0.10}},
+    {"BOS", 1.6, 0.26, {0.18, 0.22, 0.20, 0.10, 0.10, 0.20}},
+    {"SJC", 1.2, 0.14, {0.15, 0.20, 0.15, 0.25, 0.15, 0.10}},
+    {"AUS", 1.1, 0.18, {0.25, 0.15, 0.15, 0.25, 0.10, 0.10}},
+    {"PDX", 1.0, 0.15, {0.12, 0.18, 0.18, 0.17, 0.25, 0.10}},
+};
+constexpr int kNumAirports = sizeof(kAirports) / sizeof(kAirports[0]);
+
+// Per-carrier adjustment to the *inbound late-arrival* rate: at any
+// fixed airport AA is worse than UA, but entirely through this mediator
+// (Fig. 1: the total effect favors UA while the direct effect shows no
+// significant difference).
+constexpr double kCarrierArrAdj[6] = {+0.10, -0.10, 0.0, +0.05, -0.05, +0.08};
+
+// Year is a secondary confounder (Fig. 1d ranks it after Airport): 2015
+// was a bad year for delays AND UA flew relatively more in it. Year and
+// Airport are both parents of Carrier — non-adjacent, so the CD
+// identifiability assumption (Sec. 4) holds for the treatment.
+constexpr int kYears[3] = {2015, 2016, 2017};
+constexpr double kYearDelayAdj[3] = {+0.03, 0.0, -0.02};
+// Year's direct effect on the inbound late-arrival rate (strong enough
+// that the Year -> ArrDelayed edge is detectable; without it phase I of
+// CD mistakes the child ArrDelayed for a co-parent, see below).
+constexpr double kYearArrAdj[3] = {+0.05, 0.0, -0.04};
+// Carrier-mix multiplier per (carrier, year): UA over-represented early,
+// AA late.
+constexpr double kYearBoost[6][3] = {
+    {0.55, 1.0, 1.45},  // AA
+    {1.45, 1.0, 0.55},  // UA
+    {1.0, 1.0, 1.0},    // DL
+    {1.0, 1.0, 1.0},    // WN
+    {1.0, 1.0, 1.0},    // AS
+    {1.0, 1.0, 1.0},    // B6
+};
+
+constexpr const char* kDepTimes[4] = {"morning", "afternoon", "evening",
+                                      "night"};
+constexpr double kDepTimeAdj[4] = {-0.03, 0.0, +0.05, +0.02};
+
+}  // namespace
+
+StatusOr<Table> GenerateFlightData(const FlightDataOptions& options) {
+  Rng rng(options.seed);
+  const int64_t n = options.num_rows;
+
+  ColumnBuilder year_b("Year");
+  ColumnBuilder quarter_b("Quarter");
+  ColumnBuilder month_b("Month");
+  ColumnBuilder day_b("DayofMonth");
+  ColumnBuilder dow_b("DayOfWeek");
+  ColumnBuilder airport_b("Airport");
+  ColumnBuilder wac_b("AirportWAC");
+  ColumnBuilder dest_b("Dest");
+  ColumnBuilder carrier_b("Carrier");
+  ColumnBuilder deptime_b("DepTimeBlk");
+  ColumnBuilder delayed_b("Delayed");
+  ColumnBuilder arr_delayed_b("ArrDelayed");
+  ColumnBuilder id_b("Id");
+  ColumnBuilder flightnum_b("FlightNum");
+  ColumnBuilder tailnum_b("TailNum");
+  // Pin 0/1 order for the outcome columns.
+  delayed_b.RegisterLabel("0");
+  delayed_b.RegisterLabel("1");
+  arr_delayed_b.RegisterLabel("0");
+  arr_delayed_b.RegisterLabel("1");
+
+  std::vector<ColumnBuilder> noise;
+  noise.reserve(options.num_noise_columns);
+  std::vector<int> noise_cards;
+  for (int i = 0; i < options.num_noise_columns; ++i) {
+    noise.emplace_back("Aux" + std::to_string(i));
+    noise_cards.push_back(2 + static_cast<int>(rng.NextBounded(6)));
+  }
+
+  std::vector<double> traffic(kNumAirports);
+  for (int a = 0; a < kNumAirports; ++a) traffic[a] = kAirports[a].traffic;
+
+  for (int64_t row = 0; row < n; ++row) {
+    const int a = rng.WeightedIndex(traffic);
+    const AirportSpec& airport = kAirports[a];
+
+    const int y = static_cast<int>(rng.NextBounded(3));
+    // The year effect on the carrier mix is stronger at high-delay
+    // airports (exponent varies by airport). The variation matters: a
+    // purely multiplicative boost would factorize P(carrier|airport,year)
+    // and make Airport ⊥ Year | Carrier exactly — erasing the collider
+    // footprint the CD algorithm (and Prop. 4.1) relies on.
+    const double exponent = 0.4 + 2.0 * airport.base_delay;
+    std::vector<double> mix(6);
+    for (int c = 0; c < 6; ++c) {
+      mix[c] = airport.carrier_mix[c] * std::pow(kYearBoost[c][y], exponent);
+    }
+    const int c = rng.WeightedIndex(mix);
+
+    const int month = 1 + static_cast<int>(rng.NextBounded(12));
+    const int quarter = (month - 1) / 3 + 1;
+    const int day = 1 + static_cast<int>(rng.NextBounded(28));
+    const int dow = 1 + static_cast<int>(rng.NextBounded(7));
+    const int deptime = static_cast<int>(rng.NextBounded(4));
+    int dest = static_cast<int>(rng.NextBounded(kNumAirports - 1));
+    if (dest >= a) ++dest;
+
+    // A late inbound aircraft is a strong *cause* of departure delay
+    // (the paper lists ArrDelay among the mediating variables); the
+    // carriers differ only here. Year and Airport also act on the
+    // inbound rate directly — without those edges the weak
+    // ArrDelayed-Year dependence (child-through-treatment only) is below
+    // test power and phase I of CD would mistake the child for a parent.
+    // The airport term dominates the carrier adjustment on purpose: at
+    // the four focus airports the carrier mix anti-correlates with the
+    // base delay, and a weaker airport term would cancel against it,
+    // leaving ArrDelayed unfaithfully independent of Airport in the
+    // queried subpopulation.
+    const bool arr_delayed = rng.Bernoulli(std::clamp(
+        0.05 + 0.85 * airport.base_delay + kCarrierArrAdj[c] +
+            kYearArrAdj[y],
+        0.01, 0.95));
+    double p = 0.6 * airport.base_delay +
+               kYearDelayAdj[y] + kDepTimeAdj[deptime] +
+               (arr_delayed ? 0.40 : 0.0) +
+               0.01 * ((month >= 11 || month <= 1) ? 1 : 0);
+    p = std::clamp(p, 0.01, 0.95);
+    const bool delayed = rng.Bernoulli(p);
+
+    year_b.Append(std::to_string(kYears[y]));
+    quarter_b.Append("Q" + std::to_string(quarter));
+    month_b.Append(std::to_string(month));
+    day_b.Append(std::to_string(day));
+    dow_b.Append(std::to_string(dow));
+    airport_b.Append(airport.code);
+    wac_b.Append("W" + std::to_string(100 + a));  // bijective with Airport
+    dest_b.Append(kAirports[dest].code);
+    carrier_b.Append(kCarriers[c]);
+    deptime_b.Append(kDepTimes[deptime]);
+    delayed_b.AppendCode(delayed ? 1 : 0);
+    arr_delayed_b.AppendCode(arr_delayed ? 1 : 0);
+    id_b.Append(std::to_string(row));  // key
+    flightnum_b.Append(std::to_string(1000 + rng.NextBounded(5000)));
+    tailnum_b.Append("N" + std::to_string(rng.NextBounded(3000)));
+    for (int i = 0; i < options.num_noise_columns; ++i) {
+      noise[i].Append("v" +
+                      std::to_string(rng.NextBounded(noise_cards[i])));
+    }
+  }
+
+  Table table;
+  HYPDB_RETURN_IF_ERROR(table.AddColumn(year_b.Finish()));
+  HYPDB_RETURN_IF_ERROR(table.AddColumn(quarter_b.Finish()));
+  HYPDB_RETURN_IF_ERROR(table.AddColumn(month_b.Finish()));
+  HYPDB_RETURN_IF_ERROR(table.AddColumn(day_b.Finish()));
+  HYPDB_RETURN_IF_ERROR(table.AddColumn(dow_b.Finish()));
+  HYPDB_RETURN_IF_ERROR(table.AddColumn(airport_b.Finish()));
+  HYPDB_RETURN_IF_ERROR(table.AddColumn(wac_b.Finish()));
+  HYPDB_RETURN_IF_ERROR(table.AddColumn(dest_b.Finish()));
+  HYPDB_RETURN_IF_ERROR(table.AddColumn(carrier_b.Finish()));
+  HYPDB_RETURN_IF_ERROR(table.AddColumn(deptime_b.Finish()));
+  HYPDB_RETURN_IF_ERROR(table.AddColumn(delayed_b.Finish()));
+  HYPDB_RETURN_IF_ERROR(table.AddColumn(arr_delayed_b.Finish()));
+  HYPDB_RETURN_IF_ERROR(table.AddColumn(id_b.Finish()));
+  HYPDB_RETURN_IF_ERROR(table.AddColumn(flightnum_b.Finish()));
+  HYPDB_RETURN_IF_ERROR(table.AddColumn(tailnum_b.Finish()));
+  for (auto& b : noise) {
+    HYPDB_RETURN_IF_ERROR(table.AddColumn(b.Finish()));
+  }
+  return table;
+}
+
+}  // namespace hypdb

@@ -1,0 +1,37 @@
+// Synthetic FlightData (paper Sec. 7.1, Ex. 1.1).
+//
+// The DoT on-time performance extract the paper uses is not available
+// offline; this generator produces a causal replica calibrated to the
+// phenomena Fig. 1 reports:
+//  * Simpson's paradox between AA and UA at {COS, MFE, MTJ, ROC}: UA has
+//    the lower delay rate at *every* airport, yet AA has the lower
+//    aggregate rate, because AA concentrates on the low-delay airports
+//    (Airport → Carrier and Airport → Delayed confounding);
+//  * Year is a secondary confounder (smaller responsibility than
+//    Airport);
+//  * AirportWAC is a bijective FD of Airport, and Id / FlightNum /
+//    TailNum are key-like — exercising the Sec. 4 dropping rules;
+//  * dozens of independent noise columns pad the schema to the paper's
+//    101 attributes.
+
+#ifndef HYPDB_DATAGEN_FLIGHT_DATA_H_
+#define HYPDB_DATAGEN_FLIGHT_DATA_H_
+
+#include "dataframe/table.h"
+#include "util/statusor.h"
+
+namespace hypdb {
+
+struct FlightDataOptions {
+  int64_t num_rows = 50000;
+  /// Independent noise columns appended to reach the paper's width
+  /// (core schema has 15 columns; 86 noise columns give 101).
+  int num_noise_columns = 86;
+  uint64_t seed = 2018;
+};
+
+StatusOr<Table> GenerateFlightData(const FlightDataOptions& options = {});
+
+}  // namespace hypdb
+
+#endif  // HYPDB_DATAGEN_FLIGHT_DATA_H_

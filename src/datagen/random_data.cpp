@@ -1,0 +1,27 @@
+#include "datagen/random_data.h"
+
+#include "graph/random_dag.h"
+
+namespace hypdb {
+
+StatusOr<RandomDataset> GenerateRandomDataset(const RandomDataOptions& options,
+                                              Rng& rng) {
+  RandomDagOptions dag_options;
+  dag_options.num_nodes = options.num_nodes;
+  dag_options.expected_degree = options.expected_degree;
+
+  RandomDataset out;
+  out.dag = RandomErdosRenyiDag(dag_options, rng);
+
+  std::vector<int32_t> cards(options.num_nodes);
+  for (int v = 0; v < options.num_nodes; ++v) {
+    cards[v] = static_cast<int32_t>(rng.UniformInt(options.min_categories,
+                                                   options.max_categories));
+  }
+  HYPDB_ASSIGN_OR_RETURN(
+      out.net, BayesNet::Random(out.dag, cards, options.dirichlet_alpha, rng));
+  HYPDB_ASSIGN_OR_RETURN(out.table, out.net.Sample(options.num_rows, rng));
+  return out;
+}
+
+}  // namespace hypdb

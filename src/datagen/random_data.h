@@ -1,0 +1,39 @@
+// RandomData: the paper's synthetic quality-benchmark pipeline
+// (Sec. 7.1): Erdős-Rényi DAGs → random categorical CPTs (catnet
+// equivalent) → ancestral samples, with the ground-truth DAG retained
+// for F1 scoring.
+
+#ifndef HYPDB_DATAGEN_RANDOM_DATA_H_
+#define HYPDB_DATAGEN_RANDOM_DATA_H_
+
+#include "bn/bayes_net.h"
+#include "dataframe/table.h"
+#include "graph/dag.h"
+#include "util/rng.h"
+#include "util/statusor.h"
+
+namespace hypdb {
+
+struct RandomDataOptions {
+  int num_nodes = 8;           // paper: 8 / 16 / 32
+  double expected_degree = 3.0;
+  int min_categories = 2;      // paper sweeps 2-20
+  int max_categories = 4;
+  /// Dirichlet concentration of CPT rows; small = skewed rows = strong,
+  /// learnable dependencies.
+  double dirichlet_alpha = 0.5;
+  int64_t num_rows = 10000;    // paper sweeps 10k-1M+
+};
+
+struct RandomDataset {
+  Dag dag;        // ground truth
+  BayesNet net;
+  Table table;    // columns "X0".."Xn-1", labels "0".."card-1"
+};
+
+StatusOr<RandomDataset> GenerateRandomDataset(const RandomDataOptions& options,
+                                              Rng& rng);
+
+}  // namespace hypdb
+
+#endif  // HYPDB_DATAGEN_RANDOM_DATA_H_

@@ -1,0 +1,52 @@
+#include "datagen/staples_data.h"
+
+#include "util/rng.h"
+
+namespace hypdb {
+
+StatusOr<Table> GenerateStaplesData(const StaplesDataOptions& options) {
+  Rng rng(options.seed);
+
+  ColumnBuilder income_b("Income");
+  ColumnBuilder distance_b("Distance");
+  ColumnBuilder price_b("Price");
+  ColumnBuilder state_b("State");
+  ColumnBuilder urban_b("Urban");
+  ColumnBuilder session_b("SessionId");
+  income_b.RegisterLabel("0");
+  income_b.RegisterLabel("1");
+  price_b.RegisterLabel("0");
+  price_b.RegisterLabel("1");
+
+  static const char* kStates[8] = {"CA", "TX", "NY", "FL",
+                                   "WA", "IL", "MA", "OH"};
+
+  for (int64_t row = 0; row < options.num_rows; ++row) {
+    const bool high_income = rng.Bernoulli(0.45);
+    const bool urban = rng.Bernoulli(high_income ? 0.72 : 0.45);
+    // Income (and urbanity) → Distance to a competitor's store.
+    double p_far = high_income ? 0.28 : 0.62;
+    p_far += urban ? -0.10 : 0.10;
+    const bool far = rng.Bernoulli(p_far);
+    // Distance → Price; NO direct income edge.
+    const bool high_price = rng.Bernoulli(far ? 0.092 : 0.021);
+
+    income_b.AppendCode(high_income ? 1 : 0);
+    distance_b.Append(far ? "Far" : "Near");
+    price_b.AppendCode(high_price ? 1 : 0);
+    state_b.Append(kStates[rng.NextBounded(8)]);
+    urban_b.Append(urban ? "yes" : "no");
+    session_b.Append("s" + std::to_string(row));
+  }
+
+  Table table;
+  HYPDB_RETURN_IF_ERROR(table.AddColumn(income_b.Finish()));
+  HYPDB_RETURN_IF_ERROR(table.AddColumn(distance_b.Finish()));
+  HYPDB_RETURN_IF_ERROR(table.AddColumn(price_b.Finish()));
+  HYPDB_RETURN_IF_ERROR(table.AddColumn(state_b.Finish()));
+  HYPDB_RETURN_IF_ERROR(table.AddColumn(urban_b.Finish()));
+  HYPDB_RETURN_IF_ERROR(table.AddColumn(session_b.Finish()));
+  return table;
+}
+
+}  // namespace hypdb

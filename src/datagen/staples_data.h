@@ -1,0 +1,30 @@
+// Synthetic StaplesData (WSJ online-pricing investigation — paper
+// Sec. 7.3, Fig. 3 bottom).
+//
+// Causal model of the reported mechanism: Income → Distance → Price,
+// with NO direct Income → Price edge. Customers with low income tend to
+// live far from competitors' stores; the pricing algorithm discounts
+// near competitors. The headline finding HypDB must reproduce: a
+// significant (if small) total effect of Income on Price and a *null*
+// direct effect — discrimination is real but unintended.
+
+#ifndef HYPDB_DATAGEN_STAPLES_DATA_H_
+#define HYPDB_DATAGEN_STAPLES_DATA_H_
+
+#include "dataframe/table.h"
+#include "util/statusor.h"
+
+namespace hypdb {
+
+struct StaplesDataOptions {
+  int64_t num_rows = 988871;  // Table 1 size
+  uint64_t seed = 2012;
+};
+
+/// 6 columns: Income {0 = low, 1 = high}, Distance {Near, Far},
+/// Price {0 = discounted, 1 = high}, State, Urban, SessionId (key-like).
+StatusOr<Table> GenerateStaplesData(const StaplesDataOptions& options = {});
+
+}  // namespace hypdb
+
+#endif  // HYPDB_DATAGEN_STAPLES_DATA_H_

@@ -1,0 +1,68 @@
+#include "graph/d_separation.h"
+
+#include <deque>
+
+namespace hypdb {
+namespace {
+
+// Reachability with direction tags (Koller & Friedman, Alg. 3.1). A node
+// is visited "from below" (kUp: the trail arrives from one of its
+// children) or "from above" (kDown: from one of its parents); the two
+// directions expand differently at colliders.
+enum Direction { kUp = 0, kDown = 1 };
+
+}  // namespace
+
+bool DSeparatedSets(const Dag& dag, const std::vector<int>& xs,
+                    const std::vector<int>& ys,
+                    const std::vector<int>& given) {
+  const int n = dag.NumNodes();
+  std::vector<bool> in_z(n, false);
+  for (int z : given) in_z[z] = true;
+  std::vector<bool> is_target(n, false);
+  for (int y : ys) is_target[y] = true;
+
+  // Colliders may pass the trail iff they are in Z or have a descendant
+  // in Z, i.e. iff they are in Z ∪ ancestors(Z).
+  std::vector<bool> z_or_ancestor = dag.AncestorsOf(given);
+  for (int z : given) z_or_ancestor[z] = true;
+
+  std::vector<bool> visited[2] = {std::vector<bool>(n, false),
+                                  std::vector<bool>(n, false)};
+  std::deque<std::pair<int, Direction>> queue;
+  for (int x : xs) queue.emplace_back(x, kUp);
+
+  while (!queue.empty()) {
+    auto [node, dir] = queue.front();
+    queue.pop_front();
+    if (visited[dir][node]) continue;
+    visited[dir][node] = true;
+
+    if (!in_z[node] && is_target[node]) return false;  // active trail found
+
+    if (dir == kUp) {
+      // Arrived from a child: the trail may continue to parents (chain)
+      // or to children (fork), unless blocked by conditioning.
+      if (in_z[node]) continue;
+      for (int p : dag.Parents(node)) queue.emplace_back(p, kUp);
+      for (int c : dag.Children(node)) queue.emplace_back(c, kDown);
+    } else {
+      // Arrived from a parent.
+      if (!in_z[node]) {
+        for (int c : dag.Children(node)) queue.emplace_back(c, kDown);
+      }
+      if (z_or_ancestor[node]) {
+        // Collider with (a descendant in) Z: the trail turns around.
+        for (int p : dag.Parents(node)) queue.emplace_back(p, kUp);
+      }
+    }
+  }
+  return true;
+}
+
+bool DSeparated(const Dag& dag, int x, int y,
+                const std::vector<int>& given) {
+  return DSeparatedSets(dag, {x}, {y}, given);
+}
+
+}  // namespace hypdb

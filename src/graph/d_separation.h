@@ -1,0 +1,31 @@
+// d-separation (paper Appendix 10.1).
+//
+// X ⊥d Y | Z holds iff Z closes every open path between X and Y: chains
+// and forks are blocked by conditioning, colliders are open only when the
+// collider or one of its descendants is conditioned on (Berkson's
+// paradox, Ex. 10.1). Under the Causal Markov + Faithfulness assumptions
+// (Def. 10.2), d-separation coincides with conditional independence —
+// that makes this routine the *ground-truth oracle* for testing the
+// discovery algorithms on known DAGs.
+
+#ifndef HYPDB_GRAPH_D_SEPARATION_H_
+#define HYPDB_GRAPH_D_SEPARATION_H_
+
+#include <vector>
+
+#include "graph/dag.h"
+
+namespace hypdb {
+
+/// True iff every path between x and y is blocked by `given`. Implemented
+/// with the linear-time reachability ("Bayes ball") algorithm.
+bool DSeparated(const Dag& dag, int x, int y, const std::vector<int>& given);
+
+/// Set version: true iff every x ∈ xs is d-separated from every y ∈ ys.
+bool DSeparatedSets(const Dag& dag, const std::vector<int>& xs,
+                    const std::vector<int>& ys,
+                    const std::vector<int>& given);
+
+}  // namespace hypdb
+
+#endif  // HYPDB_GRAPH_D_SEPARATION_H_

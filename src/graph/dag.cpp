@@ -1,0 +1,95 @@
+#include "graph/dag.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace hypdb {
+
+bool Dag::AddEdge(int from, int to) {
+  if (adj_[from][to]) return false;
+  adj_[from][to] = true;
+  parents_[to].push_back(from);
+  children_[from].push_back(to);
+  ++num_edges_;
+  return true;
+}
+
+bool Dag::RemoveEdge(int from, int to) {
+  if (!adj_[from][to]) return false;
+  adj_[from][to] = false;
+  auto& p = parents_[to];
+  p.erase(std::find(p.begin(), p.end(), from));
+  auto& c = children_[from];
+  c.erase(std::find(c.begin(), c.end(), to));
+  --num_edges_;
+  return true;
+}
+
+std::vector<int> Dag::MarkovBlanket(int node) const {
+  std::vector<bool> in(NumNodes(), false);
+  for (int p : parents_[node]) in[p] = true;
+  for (int c : children_[node]) {
+    in[c] = true;
+    for (int sp : parents_[c]) in[sp] = true;
+  }
+  in[node] = false;
+  std::vector<int> out;
+  for (int i = 0; i < NumNodes(); ++i) {
+    if (in[i]) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<bool> Dag::AncestorsOf(const std::vector<int>& of) const {
+  std::vector<bool> visited(NumNodes(), false);
+  std::deque<int> queue(of.begin(), of.end());
+  while (!queue.empty()) {
+    int node = queue.front();
+    queue.pop_front();
+    for (int p : parents_[node]) {
+      if (!visited[p]) {
+        visited[p] = true;
+        queue.push_back(p);
+      }
+    }
+  }
+  return visited;
+}
+
+bool Dag::IsAcyclic() const { return TopologicalOrder().ok(); }
+
+StatusOr<std::vector<int>> Dag::TopologicalOrder() const {
+  const int n = NumNodes();
+  std::vector<int> in_degree(n, 0);
+  for (int v = 0; v < n; ++v) {
+    in_degree[v] = static_cast<int>(parents_[v].size());
+  }
+  std::deque<int> ready;
+  for (int v = 0; v < n; ++v) {
+    if (in_degree[v] == 0) ready.push_back(v);
+  }
+  std::vector<int> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    int v = ready.front();
+    ready.pop_front();
+    order.push_back(v);
+    for (int c : children_[v]) {
+      if (--in_degree[c] == 0) ready.push_back(c);
+    }
+  }
+  if (static_cast<int>(order.size()) != n) {
+    return Status::FailedPrecondition("graph contains a cycle");
+  }
+  return order;
+}
+
+int Dag::CountNodesWithMinParents(int k) const {
+  int count = 0;
+  for (int v = 0; v < NumNodes(); ++v) {
+    if (static_cast<int>(parents_[v].size()) >= k) ++count;
+  }
+  return count;
+}
+
+}  // namespace hypdb

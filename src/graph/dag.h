@@ -1,0 +1,72 @@
+// Causal DAGs (paper Sec. 2, Appendix 10.1).
+//
+// Nodes are attribute indices 0..n-1 (aligned with table columns when the
+// DAG describes a dataset). Edges point from cause to effect. The graph
+// also derives the structures causal inference needs: parents, children,
+// spouses (parents of children), Markov blankets, ancestors.
+
+#ifndef HYPDB_GRAPH_DAG_H_
+#define HYPDB_GRAPH_DAG_H_
+
+#include <string>
+#include <vector>
+
+#include "util/statusor.h"
+
+namespace hypdb {
+
+/// Directed graph specialized for causal-DAG workloads. Edge insertion is
+/// unchecked; callers that need acyclicity use IsAcyclic() or
+/// TopologicalOrder().
+class Dag {
+ public:
+  Dag() = default;
+  explicit Dag(int num_nodes)
+      : adj_(num_nodes, std::vector<bool>(num_nodes, false)),
+        parents_(num_nodes),
+        children_(num_nodes) {}
+
+  int NumNodes() const { return static_cast<int>(adj_.size()); }
+  int NumEdges() const { return num_edges_; }
+
+  bool HasEdge(int from, int to) const { return adj_[from][to]; }
+  /// Adds from -> to; no-op if present. Returns false if it was present.
+  bool AddEdge(int from, int to);
+  /// Removes from -> to; no-op if absent. Returns false if it was absent.
+  bool RemoveEdge(int from, int to);
+
+  const std::vector<int>& Parents(int node) const { return parents_[node]; }
+  const std::vector<int>& Children(int node) const {
+    return children_[node];
+  }
+
+  /// True if u and v are connected by an edge in either direction.
+  bool Adjacent(int u, int v) const { return adj_[u][v] || adj_[v][u]; }
+
+  /// Parents ∪ children ∪ parents-of-children (Prop. 2.5: the Markov
+  /// boundary of `node` when the distribution is DAG-isomorphic). Sorted,
+  /// excludes `node`.
+  std::vector<int> MarkovBlanket(int node) const;
+
+  /// Nodes with a directed path to any node in `of` (excluding `of`
+  /// members unless reachable).
+  std::vector<bool> AncestorsOf(const std::vector<int>& of) const;
+
+  bool IsAcyclic() const;
+
+  /// Topological order; error when cyclic.
+  StatusOr<std::vector<int>> TopologicalOrder() const;
+
+  /// Node count with ≥ k parents.
+  int CountNodesWithMinParents(int k) const;
+
+ private:
+  std::vector<std::vector<bool>> adj_;
+  std::vector<std::vector<int>> parents_;
+  std::vector<std::vector<int>> children_;
+  int num_edges_ = 0;
+};
+
+}  // namespace hypdb
+
+#endif  // HYPDB_GRAPH_DAG_H_

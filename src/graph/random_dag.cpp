@@ -1,0 +1,27 @@
+#include "graph/random_dag.h"
+
+#include <algorithm>
+
+namespace hypdb {
+
+Dag RandomErdosRenyiDag(const RandomDagOptions& options, Rng& rng) {
+  const int n = options.num_nodes;
+  Dag dag(n);
+  if (n <= 1) return dag;
+  double p = options.expected_degree / static_cast<double>(n - 1);
+  p = std::clamp(p, 0.0, 1.0);
+
+  // Random causal order so node indices carry no structural information.
+  std::vector<int> order(n);
+  for (int i = 0; i < n; ++i) order[i] = i;
+  rng.Shuffle(&order);
+
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (rng.Bernoulli(p)) dag.AddEdge(order[i], order[j]);
+    }
+  }
+  return dag;
+}
+
+}  // namespace hypdb

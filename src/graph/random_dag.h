@@ -1,0 +1,25 @@
+// Random DAG generation (paper Sec. 7.1: Erdős-Rényi model).
+
+#ifndef HYPDB_GRAPH_RANDOM_DAG_H_
+#define HYPDB_GRAPH_RANDOM_DAG_H_
+
+#include "graph/dag.h"
+#include "util/rng.h"
+
+namespace hypdb {
+
+struct RandomDagOptions {
+  int num_nodes = 8;
+  /// Expected number of edges incident to a node (the paper's DAGs use
+  /// expected edge counts in the 3-5 range).
+  double expected_degree = 3.0;
+};
+
+/// Samples an Erdős-Rényi DAG: a random topological order of the nodes,
+/// then each forward pair (i, j) becomes an edge independently with
+/// probability expected_degree / (num_nodes - 1).
+Dag RandomErdosRenyiDag(const RandomDagOptions& options, Rng& rng);
+
+}  // namespace hypdb
+
+#endif  // HYPDB_GRAPH_RANDOM_DAG_H_

@@ -1,0 +1,53 @@
+// CountProvider: where contingency counts come from.
+//
+// Every statistic in HypDB reduces to count(*) GROUP BY over some column
+// subset (paper Sec. 6). The provider abstraction lets those counts come
+// from a data scan (default), or from a pre-computed OLAP data cube
+// (src/cube) — the Fig. 6(d)/8(b) experiments swap providers.
+
+#ifndef HYPDB_STATS_COUNT_PROVIDER_H_
+#define HYPDB_STATS_COUNT_PROVIDER_H_
+
+#include <vector>
+
+#include "dataframe/group_by.h"
+#include "dataframe/view.h"
+#include "util/statusor.h"
+
+namespace hypdb {
+
+/// Source of group-by counts over a fixed row population.
+class CountProvider {
+ public:
+  virtual ~CountProvider() = default;
+
+  /// count(*) GROUP BY `cols` over this provider's population.
+  virtual StatusOr<GroupCounts> Counts(const std::vector<int>& cols) = 0;
+
+  /// Number of rows in the population.
+  virtual int64_t NumRows() const = 0;
+};
+
+/// Scans a TableView (the default provider).
+class ViewCountProvider : public CountProvider {
+ public:
+  explicit ViewCountProvider(TableView view) : view_(std::move(view)) {}
+
+  StatusOr<GroupCounts> Counts(const std::vector<int>& cols) override {
+    ++num_scans_;
+    return CountBy(view_, cols);
+  }
+
+  int64_t NumRows() const override { return view_.NumRows(); }
+
+  /// Number of data scans performed (instrumentation for Fig. 6c).
+  int64_t num_scans() const { return num_scans_; }
+
+ private:
+  TableView view_;
+  int64_t num_scans_ = 0;
+};
+
+}  // namespace hypdb
+
+#endif  // HYPDB_STATS_COUNT_PROVIDER_H_

@@ -1,0 +1,117 @@
+// MiEngine: cached entropy / (conditional) mutual-information estimation.
+//
+// Implements the paper's Sec. 6 optimizations:
+//  * "Caching entropy"      — per attribute set the engine memoizes the
+//    plugin entropy together with the support size (# distinct tuples);
+//    the Miller-Madow correction and test degrees-of-freedom derive from
+//    the same entry. The many CMI statements issued by the CD algorithm
+//    share most of their entropies (e.g. H(T), H(TZ) appear in both
+//    I(T;Y|Z) and I(T;W|Z)).
+//  * "Materializing contingency tables" — SetFocus() materializes one
+//    count(*) GROUP BY over a focus attribute set; entropies of any subset
+//    are then computed by marginalizing the summary instead of re-scanning
+//    the data.
+// Both optimizations are individually toggleable for the Fig. 6(c)
+// ablation. Counts come from a CountProvider, so a pre-computed OLAP cube
+// can replace data scans entirely (Fig. 6(d)).
+
+#ifndef HYPDB_STATS_MI_ENGINE_H_
+#define HYPDB_STATS_MI_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "stats/count_provider.h"
+#include "stats/entropy.h"
+#include "util/statusor.h"
+
+namespace hypdb {
+
+struct MiEngineOptions {
+  bool cache_entropies = true;
+  bool materialize_focus = true;
+  EntropyEstimator estimator = EntropyEstimator::kMillerMadow;
+};
+
+/// Estimates entropies and conditional mutual information over one view.
+class MiEngine {
+ public:
+  /// Engine over `view` with the default scan-based provider.
+  explicit MiEngine(TableView view, MiEngineOptions options = {});
+
+  /// Engine with a custom count source (e.g. CubeCountProvider). `view`
+  /// must describe the same population the provider aggregates.
+  MiEngine(TableView view, std::shared_ptr<CountProvider> provider,
+           MiEngineOptions options = {});
+
+  /// Ĥ(cols) with the engine's default estimator.
+  StatusOr<double> Entropy(const std::vector<int>& cols);
+  StatusOr<double> Entropy(const std::vector<int>& cols,
+                           EntropyEstimator estimator);
+
+  /// Number of distinct tuples of `cols` in the view (|Π_cols(D)|).
+  StatusOr<int64_t> Support(const std::vector<int>& cols);
+
+  /// Ĥ(of | given) = Ĥ(of ∪ given) - Ĥ(given), clamped at 0.
+  StatusOr<double> CondEntropy(const std::vector<int>& of,
+                               const std::vector<int>& given);
+
+  /// Î(x ; y | z), clamped at 0.
+  StatusOr<double> Mi(int x, int y, const std::vector<int>& z);
+  StatusOr<double> Mi(int x, int y, const std::vector<int>& z,
+                      EntropyEstimator estimator);
+
+  /// Set version: Î(xs ; ys | z) = H(xs z) + H(ys z) - H(xs ys z) - H(z).
+  StatusOr<double> MiSets(const std::vector<int>& xs,
+                          const std::vector<int>& ys,
+                          const std::vector<int>& z);
+  StatusOr<double> MiSets(const std::vector<int>& xs,
+                          const std::vector<int>& ys,
+                          const std::vector<int>& z,
+                          EntropyEstimator estimator);
+
+  /// Materializes counts over `cols`; subsequent entropies over subsets of
+  /// `cols` marginalize the summary instead of scanning. No-op when
+  /// materialization is disabled.
+  Status SetFocus(const std::vector<int>& cols);
+  void ClearFocus() { focus_.reset(); }
+
+  const TableView& view() const { return view_; }
+  const MiEngineOptions& options() const { return options_; }
+  int64_t NumRows() const { return view_.NumRows(); }
+
+  /// --- instrumentation (Fig. 6a / 6c) ---
+  int64_t entropy_evals() const { return entropy_evals_; }
+  int64_t cache_hits() const { return cache_hits_; }
+  int64_t provider_calls() const { return provider_calls_; }
+  void ResetStats() { entropy_evals_ = cache_hits_ = provider_calls_ = 0; }
+
+ private:
+  struct Entry {
+    double plugin_entropy = 0.0;
+    int64_t support = 0;
+  };
+  struct Focus {
+    std::vector<int> cols;        // sorted
+    GroupCounts counts;
+    std::map<int, int> position;  // table col -> position in codec
+  };
+
+  StatusOr<Entry> Lookup(std::vector<int> sorted_cols);
+  double Derive(const Entry& e, EntropyEstimator estimator) const;
+
+  TableView view_;
+  std::shared_ptr<CountProvider> provider_;
+  MiEngineOptions options_;
+  std::optional<Focus> focus_;
+  std::map<std::vector<int>, Entry> cache_;
+  int64_t entropy_evals_ = 0;
+  int64_t cache_hits_ = 0;
+  int64_t provider_calls_ = 0;
+};
+
+}  // namespace hypdb
+
+#endif  // HYPDB_STATS_MI_ENGINE_H_

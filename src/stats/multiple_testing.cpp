@@ -1,0 +1,49 @@
+#include "stats/multiple_testing.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace hypdb {
+
+std::vector<double> BenjaminiHochberg(const std::vector<double>& p_values) {
+  const size_t m = p_values.size();
+  if (m == 0) return {};
+  std::vector<size_t> order(m);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return p_values[a] < p_values[b]; });
+
+  // Walk from the largest p down, keeping the running minimum of
+  // p_(i)·m/i — the step-up adjustment.
+  std::vector<double> adjusted(m);
+  double running_min = 1.0;
+  for (size_t i = m; i > 0; --i) {
+    size_t idx = order[i - 1];
+    double scaled = p_values[idx] * static_cast<double>(m) /
+                    static_cast<double>(i);
+    running_min = std::min(running_min, scaled);
+    adjusted[idx] = std::min(1.0, running_min);
+  }
+  return adjusted;
+}
+
+std::vector<double> HolmBonferroni(const std::vector<double>& p_values) {
+  const size_t m = p_values.size();
+  if (m == 0) return {};
+  std::vector<size_t> order(m);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return p_values[a] < p_values[b]; });
+
+  std::vector<double> adjusted(m);
+  double running_max = 0.0;
+  for (size_t i = 0; i < m; ++i) {
+    size_t idx = order[i];
+    double scaled = p_values[idx] * static_cast<double>(m - i);
+    running_max = std::max(running_max, scaled);
+    adjusted[idx] = std::min(1.0, running_max);
+  }
+  return adjusted;
+}
+
+}  // namespace hypdb

@@ -1,0 +1,24 @@
+// Multiple-testing corrections (paper Sec. 8 "Statistical Errors": the
+// authors point to standard false-discovery-rate control as the remedy
+// for the many simultaneous independence tests; this implements it).
+
+#ifndef HYPDB_STATS_MULTIPLE_TESTING_H_
+#define HYPDB_STATS_MULTIPLE_TESTING_H_
+
+#include <vector>
+
+namespace hypdb {
+
+/// Benjamini-Hochberg adjusted p-values: q_i = min over j with
+/// p_(j) >= p_(i) of p_(j)·m/j, clamped to [p_i, 1]. Rejecting q_i ≤ α
+/// controls the FDR at α for independent (or positively dependent)
+/// tests. Order of the output matches the input.
+std::vector<double> BenjaminiHochberg(const std::vector<double>& p_values);
+
+/// Holm-Bonferroni adjusted p-values (family-wise error control; more
+/// conservative than BH).
+std::vector<double> HolmBonferroni(const std::vector<double>& p_values);
+
+}  // namespace hypdb
+
+#endif  // HYPDB_STATS_MULTIPLE_TESTING_H_

@@ -1,0 +1,92 @@
+// Status: lightweight error propagation without exceptions.
+//
+// HypDB follows the RocksDB/Arrow idiom: library functions that can fail
+// return a Status (or StatusOr<T>, see statusor.h) instead of throwing.
+// A Status is either OK or carries an error code plus a human-readable
+// message describing what went wrong.
+
+#ifndef HYPDB_UTIL_STATUS_H_
+#define HYPDB_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace hypdb {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something malformed
+  kNotFound,          // named column / attribute / key missing
+  kOutOfRange,        // index or value outside the valid domain
+  kFailedPrecondition,// operation not valid in the current state
+  kUnimplemented,     // feature intentionally not supported
+  kInternal,          // invariant violation inside the library
+  kIoError,           // file system problem
+};
+
+/// Returns a stable lowercase name for `code` (e.g. "invalid_argument").
+const char* StatusCodeName(StatusCode code);
+
+/// The result of an operation that may fail. Cheap to copy when OK.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "ok" or "<code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace hypdb
+
+/// Propagates a non-OK Status to the caller.
+#define HYPDB_RETURN_IF_ERROR(expr)                  \
+  do {                                               \
+    ::hypdb::Status _st = (expr);                    \
+    if (!_st.ok()) return _st;                       \
+  } while (0)
+
+#endif  // HYPDB_UTIL_STATUS_H_

@@ -1,0 +1,78 @@
+// StatusOr<T>: a value or the Status explaining why it is absent.
+
+#ifndef HYPDB_UTIL_STATUSOR_H_
+#define HYPDB_UTIL_STATUSOR_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace hypdb {
+
+/// Holds either a T or a non-OK Status. Accessing the value of an errored
+/// StatusOr is a programming error (asserts in debug builds).
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from value — enables `return result;`.
+  StatusOr(T value) : value_(std::move(value)) {}
+  /// Implicit from error Status — enables `return Status::NotFound(...)`.
+  StatusOr(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "StatusOr constructed from OK status");
+    if (status_.ok()) {
+      status_ = Status::Internal("StatusOr constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// OK if a value is present, otherwise the carried error.
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when errored.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // OK iff value_ present
+  std::optional<T> value_;
+};
+
+}  // namespace hypdb
+
+/// Evaluates `rexpr` (a StatusOr), propagating errors; otherwise moves the
+/// value into `lhs`. `lhs` may declare a new variable.
+#define HYPDB_ASSIGN_OR_RETURN(lhs, rexpr)                       \
+  HYPDB_ASSIGN_OR_RETURN_IMPL_(                                  \
+      HYPDB_STATUS_CONCAT_(_statusor_, __LINE__), lhs, rexpr)
+
+#define HYPDB_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                 \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+#define HYPDB_STATUS_CONCAT_(a, b) HYPDB_STATUS_CONCAT_IMPL_(a, b)
+#define HYPDB_STATUS_CONCAT_IMPL_(a, b) a##b
+
+#endif  // HYPDB_UTIL_STATUSOR_H_

@@ -1,0 +1,30 @@
+// Small string helpers shared across modules.
+
+#ifndef HYPDB_UTIL_STRING_UTIL_H_
+#define HYPDB_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace hypdb {
+
+/// Joins `parts` with `sep` ("a", "b" -> "a, b" for sep ", ").
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// Splits `s` on the single character `sep`; keeps empty fields.
+std::vector<std::string> Split(const std::string& s, char sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string Trim(const std::string& s);
+
+/// Lowercases ASCII letters.
+std::string ToLower(const std::string& s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace hypdb
+
+#endif  // HYPDB_UTIL_STRING_UTIL_H_

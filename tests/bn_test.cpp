@@ -1,0 +1,317 @@
+// Tests for src/bn (Bayesian networks) and the datagen generators that
+// build on it.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bn/bayes_net.h"
+#include "datagen/adult_data.h"
+#include "datagen/berkeley_data.h"
+#include "datagen/cancer_data.h"
+#include "datagen/flight_data.h"
+#include "datagen/random_data.h"
+#include "datagen/staples_data.h"
+#include "dataframe/group_by.h"
+#include "dataframe/predicate.h"
+#include "graph/d_separation.h"
+#include "stats/mi_engine.h"
+#include "util/rng.h"
+
+namespace hypdb {
+namespace {
+
+TEST(CptTest, ConfigIndexMixedRadix) {
+  Cpt cpt;
+  cpt.parents = {0, 1};
+  cpt.parent_cards = {2, 3};
+  cpt.card = 2;
+  // First parent = lowest-order digit.
+  EXPECT_EQ(cpt.ConfigIndex({0, 0}), 0);
+  EXPECT_EQ(cpt.ConfigIndex({1, 0}), 1);
+  EXPECT_EQ(cpt.ConfigIndex({0, 1}), 2);
+  EXPECT_EQ(cpt.ConfigIndex({1, 2}), 5);
+}
+
+TEST(BayesNetTest, FromCptsValidates) {
+  Dag dag(2);
+  dag.AddEdge(0, 1);
+  std::vector<Cpt> cpts(2);
+  cpts[0].card = 2;
+  cpts[0].rows = {{0.5, 0.5}};
+  cpts[1].card = 2;
+  cpts[1].parents = {0};
+  cpts[1].parent_cards = {2};
+  cpts[1].rows = {{0.9, 0.1}};  // wrong row count (needs 2)
+  EXPECT_FALSE(BayesNet::FromCpts(dag, cpts).ok());
+  cpts[1].rows = {{0.9, 0.1}, {0.2, 0.8}};
+  EXPECT_TRUE(BayesNet::FromCpts(dag, cpts).ok());
+  // Rows must sum to 1.
+  cpts[1].rows = {{0.9, 0.3}, {0.2, 0.8}};
+  EXPECT_FALSE(BayesNet::FromCpts(dag, cpts).ok());
+  // Parent mismatch.
+  cpts[1].rows = {{0.9, 0.1}, {0.2, 0.8}};
+  cpts[1].parents = {};
+  cpts[1].parent_cards = {};
+  cpts[1].rows = {{0.9, 0.1}};
+  EXPECT_FALSE(BayesNet::FromCpts(dag, cpts).ok());
+}
+
+TEST(BayesNetTest, SampleMarginalsMatchCpts) {
+  Dag dag(2);
+  dag.AddEdge(0, 1);
+  std::vector<Cpt> cpts(2);
+  cpts[0].card = 2;
+  cpts[0].rows = {{0.3, 0.7}};
+  cpts[1].card = 2;
+  cpts[1].parents = {0};
+  cpts[1].parent_cards = {2};
+  cpts[1].rows = {{0.9, 0.1}, {0.2, 0.8}};
+  auto net = BayesNet::FromCpts(dag, cpts);
+  ASSERT_TRUE(net.ok());
+
+  Rng rng(3);
+  auto table = net->Sample(40000, rng, {"a", "b"});
+  ASSERT_TRUE(table.ok());
+  TablePtr t = MakeTable(std::move(*table));
+  auto counts = CountBy(TableView(t), {0, 1});
+  ASSERT_TRUE(counts.ok());
+  // P(a=1) ≈ 0.7, P(b=1|a=1) ≈ 0.8, P(b=1|a=0) ≈ 0.1.
+  double n = static_cast<double>(counts->total);
+  double p_a1 = 0, p_a1b1 = 0, p_a0b1 = 0;
+  for (int g = 0; g < counts->NumGroups(); ++g) {
+    int32_t a = counts->codec.DecodeAt(counts->keys[g], 0);
+    int32_t b = counts->codec.DecodeAt(counts->keys[g], 1);
+    double frac = counts->counts[g] / n;
+    if (a == 1) p_a1 += frac;
+    if (a == 1 && b == 1) p_a1b1 += frac;
+    if (a == 0 && b == 1) p_a0b1 += frac;
+  }
+  EXPECT_NEAR(p_a1, 0.7, 0.02);
+  EXPECT_NEAR(p_a1b1 / p_a1, 0.8, 0.02);
+  EXPECT_NEAR(p_a0b1 / (1 - p_a1), 0.1, 0.02);
+}
+
+TEST(BayesNetTest, JointProbabilitySumsToOne) {
+  Rng rng(9);
+  Dag dag = LucasDag();
+  auto net = LucasNetwork();
+  ASSERT_TRUE(net.ok());
+  double total = 0.0;
+  for (int mask = 0; mask < (1 << kLucasNodeCount); ++mask) {
+    std::vector<int32_t> values(kLucasNodeCount);
+    for (int v = 0; v < kLucasNodeCount; ++v) values[v] = (mask >> v) & 1;
+    total += net->JointProbability(values);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(BayesNetTest, RandomCptsAreValidDistributions) {
+  Rng rng(17);
+  Dag dag(4);
+  dag.AddEdge(0, 2);
+  dag.AddEdge(1, 2);
+  dag.AddEdge(2, 3);
+  auto net = BayesNet::Random(dag, {2, 3, 2, 4}, 0.5, rng);
+  ASSERT_TRUE(net.ok());
+  for (int v = 0; v < 4; ++v) {
+    for (const auto& row : net->cpt(v).rows) {
+      double sum = 0;
+      for (double p : row) {
+        EXPECT_GE(p, 0.0);
+        sum += p;
+      }
+      EXPECT_NEAR(sum, 1.0, 1e-9);
+    }
+  }
+  auto table = net->Sample(100, rng);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->NumRows(), 100);
+  EXPECT_EQ(table->NumColumns(), 4);
+}
+
+// Sampled data must reflect the d-separation structure: MI between
+// d-separated nodes ≈ 0, MI between adjacent nodes > 0.
+TEST(BayesNetTest, SampleRespectsIndependences) {
+  auto net = LucasNetwork();
+  ASSERT_TRUE(net.ok());
+  Rng rng(21);
+  auto table = net->Sample(20000, rng);
+  ASSERT_TRUE(table.ok());
+  TablePtr t = MakeTable(std::move(*table));
+  MiEngine engine(TableView(t),
+                  MiEngineOptions{.estimator = EntropyEstimator::kPlugin});
+  // Anxiety ⊥ Peer_Pressure marginally.
+  EXPECT_LT(*engine.Mi(kAnxiety, kPeerPressure, {}), 0.002);
+  // Smoking strongly influences Lung_Cancer.
+  EXPECT_GT(*engine.Mi(kSmoking, kLungCancer, {}), 0.05);
+  // Berkson: conditioning on the collider Smoking induces dependence.
+  EXPECT_GT(*engine.Mi(kAnxiety, kPeerPressure, {kSmoking}),
+            *engine.Mi(kAnxiety, kPeerPressure, {}));
+}
+
+// ---- dataset generators ----
+
+TEST(FlightDataTest, SimpsonsParadoxHolds) {
+  auto table = GenerateFlightData({.num_rows = 40000, .num_noise_columns = 2});
+  ASSERT_TRUE(table.ok());
+  TablePtr t = MakeTable(std::move(*table));
+  auto pred = Predicate::FromInLists(
+      *t, {{"Carrier", {"AA", "UA"}},
+           {"Airport", {"COS", "MFE", "MTJ", "ROC"}}});
+  ASSERT_TRUE(pred.ok());
+  TableView view = TableView(t).Filter(*pred);
+  ASSERT_GT(view.NumRows(), 2000);
+
+  int carrier = *t->ColumnIndex("Carrier");
+  int airport = *t->ColumnIndex("Airport");
+  int delayed = *t->ColumnIndex("Delayed");
+
+  auto overall = AverageBy(view, {carrier}, {delayed});
+  ASSERT_TRUE(overall.ok());
+  double aa_all = -1, ua_all = -1;
+  for (int g = 0; g < overall->NumGroups(); ++g) {
+    const std::string& label = t->column(carrier).dict().Label(
+        overall->codec.DecodeAt(overall->keys[g], 0));
+    if (label == "AA") aa_all = overall->means[g][0];
+    if (label == "UA") ua_all = overall->means[g][0];
+  }
+  // Aggregate: AA looks better.
+  EXPECT_LT(aa_all, ua_all);
+
+  // Per airport: UA is better everywhere.
+  auto per_airport = AverageBy(view, {carrier, airport}, {delayed});
+  ASSERT_TRUE(per_airport.ok());
+  std::map<std::string, std::pair<double, double>> by_airport;
+  for (int g = 0; g < per_airport->NumGroups(); ++g) {
+    const std::string& c = t->column(carrier).dict().Label(
+        per_airport->codec.DecodeAt(per_airport->keys[g], 0));
+    const std::string& a = t->column(airport).dict().Label(
+        per_airport->codec.DecodeAt(per_airport->keys[g], 1));
+    if (c == "AA") by_airport[a].first = per_airport->means[g][0];
+    if (c == "UA") by_airport[a].second = per_airport->means[g][0];
+  }
+  ASSERT_EQ(by_airport.size(), 4u);
+  for (const auto& [a, rates] : by_airport) {
+    EXPECT_GT(rates.first, rates.second) << "airport " << a;
+  }
+}
+
+TEST(FlightDataTest, SchemaAndFds) {
+  auto table = GenerateFlightData({.num_rows = 2000, .num_noise_columns = 86});
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->NumColumns(), 101);  // the paper's width
+  // AirportWAC is a bijection of Airport.
+  TablePtr t = MakeTable(std::move(*table));
+  MiEngine engine(TableView(t),
+                  MiEngineOptions{.estimator = EntropyEstimator::kPlugin});
+  int airport = *t->ColumnIndex("Airport");
+  int wac = *t->ColumnIndex("AirportWAC");
+  EXPECT_NEAR(*engine.CondEntropy({airport}, {wac}), 0.0, 1e-9);
+  EXPECT_NEAR(*engine.CondEntropy({wac}, {airport}), 0.0, 1e-9);
+  // Id is a key.
+  int id = *t->ColumnIndex("Id");
+  EXPECT_EQ(*engine.Support({id}), t->NumRows());
+}
+
+TEST(BerkeleyDataTest, MatchesPublishedAggregates) {
+  auto table = GenerateBerkeleyData();
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->NumRows(), 4526);
+  TablePtr t = MakeTable(std::move(*table));
+  int gender = *t->ColumnIndex("Gender");
+  int accepted = *t->ColumnIndex("Accepted");
+  auto avg = AverageBy(TableView(t), {gender}, {accepted});
+  ASSERT_TRUE(avg.ok());
+  for (int g = 0; g < avg->NumGroups(); ++g) {
+    const std::string& label =
+        t->column(gender).dict().Label(avg->codec.DecodeAt(avg->keys[g], 0));
+    if (label == "Male") EXPECT_NEAR(avg->means[g][0], 0.445, 0.005);
+    if (label == "Female") EXPECT_NEAR(avg->means[g][0], 0.304, 0.005);
+  }
+}
+
+TEST(BerkeleyDataTest, ShuffleDoesNotChangeCounts) {
+  auto a = GenerateBerkeleyData({.shuffle = false});
+  auto b = GenerateBerkeleyData({.shuffle = true, .seed = 5});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->NumRows(), b->NumRows());
+}
+
+TEST(CancerDataTest, ReproducesPaperDirection) {
+  auto table = GenerateCancerData({.num_rows = 2000});
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->NumColumns(), 12);
+  TablePtr t = MakeTable(std::move(*table));
+  int lc = *t->ColumnIndex("Lung_Cancer");
+  int ca = *t->ColumnIndex("Car_Accident");
+  auto avg = AverageBy(TableView(t), {lc}, {ca});
+  ASSERT_TRUE(avg.ok());
+  ASSERT_EQ(avg->NumGroups(), 2);
+  // Fig. 4: avg(Car_Accident) 0.60 without cancer vs 0.77 with.
+  EXPECT_NEAR(avg->means[0][0], 0.60, 0.08);
+  EXPECT_NEAR(avg->means[1][0], 0.77, 0.08);
+}
+
+TEST(AdultDataTest, GenderIncomeGapMatchesShape) {
+  auto table = GenerateAdultData({.num_rows = 20000});
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->NumColumns(), 15);
+  TablePtr t = MakeTable(std::move(*table));
+  int gender = *t->ColumnIndex("Gender");
+  int income = *t->ColumnIndex("Income");
+  auto avg = AverageBy(TableView(t), {gender}, {income});
+  ASSERT_TRUE(avg.ok());
+  double female = -1, male = -1;
+  for (int g = 0; g < avg->NumGroups(); ++g) {
+    const std::string& label =
+        t->column(gender).dict().Label(avg->codec.DecodeAt(avg->keys[g], 0));
+    if (label == "Female") female = avg->means[g][0];
+    if (label == "Male") male = avg->means[g][0];
+  }
+  // The paper's 0.11 / 0.30 disparity, within generator tolerance.
+  EXPECT_GT(male - female, 0.12);
+  EXPECT_LT(female, 0.22);
+  // EducationNum is a bijection of Education.
+  MiEngine engine(TableView(t),
+                  MiEngineOptions{.estimator = EntropyEstimator::kPlugin});
+  int edu = *t->ColumnIndex("Education");
+  int edunum = *t->ColumnIndex("EducationNum");
+  EXPECT_NEAR(*engine.CondEntropy({edu}, {edunum}), 0.0, 1e-9);
+}
+
+TEST(StaplesDataTest, TotalEffectWithoutDirectEffect) {
+  auto table = GenerateStaplesData({.num_rows = 60000});
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->NumColumns(), 6);
+  TablePtr t = MakeTable(std::move(*table));
+  MiEngine engine(TableView(t),
+                  MiEngineOptions{.estimator = EntropyEstimator::kPlugin});
+  int income = *t->ColumnIndex("Income");
+  int price = *t->ColumnIndex("Price");
+  int distance = *t->ColumnIndex("Distance");
+  // Marginal dependence, conditional independence given Distance.
+  double marginal = *engine.Mi(income, price, {});
+  double conditional = *engine.Mi(income, price, {distance});
+  EXPECT_GT(marginal, 5 * conditional);
+}
+
+TEST(RandomDataTest, GeneratesConsistentDataset) {
+  Rng rng(31);
+  RandomDataOptions opt;
+  opt.num_nodes = 8;
+  opt.num_rows = 2000;
+  auto ds = GenerateRandomDataset(opt, rng);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->table.NumColumns(), 8);
+  EXPECT_EQ(ds->table.NumRows(), 2000);
+  EXPECT_TRUE(ds->dag.IsAcyclic());
+  for (int v = 0; v < 8; ++v) {
+    EXPECT_GE(ds->net.Cardinality(v), opt.min_categories);
+    EXPECT_LE(ds->net.Cardinality(v), opt.max_categories);
+  }
+}
+
+}  // namespace
+}  // namespace hypdb

@@ -1,0 +1,252 @@
+// Tests for the conditional-independence tests (G/χ², Pearson, MIT,
+// sampled MIT, HyMIT).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/ci_test.h"
+#include "stats/mi_engine.h"
+#include "util/rng.h"
+
+namespace hypdb {
+namespace {
+
+// Builds a 3-column table from a simple generative process:
+//   z ~ uniform(z_card), t ~ depends(z) if confounded, y ~ depends(t, z).
+struct GenOptions {
+  int64_t rows = 4000;
+  bool t_depends_on_z = true;
+  bool y_depends_on_t = true;  // direct effect
+  bool y_depends_on_z = true;
+  int z_card = 3;
+  uint64_t seed = 1;
+};
+
+TablePtr Generate(const GenOptions& g) {
+  Rng rng(g.seed);
+  ColumnBuilder t("t");
+  ColumnBuilder y("y");
+  ColumnBuilder z("z");
+  for (int64_t i = 0; i < g.rows; ++i) {
+    int zi = static_cast<int>(rng.NextBounded(g.z_card));
+    double pt = g.t_depends_on_z ? 0.2 + 0.6 * zi / (g.z_card - 1) : 0.5;
+    int ti = rng.Bernoulli(pt) ? 1 : 0;
+    double py = 0.3;
+    if (g.y_depends_on_t) py += 0.25 * ti;
+    if (g.y_depends_on_z) py += 0.3 * zi / (g.z_card - 1);
+    int yi = rng.Bernoulli(py) ? 1 : 0;
+    t.Append(std::to_string(ti));
+    y.Append(std::to_string(yi));
+    z.Append(std::to_string(zi));
+  }
+  Table table;
+  EXPECT_TRUE(table.AddColumn(t.Finish()).ok());
+  EXPECT_TRUE(table.AddColumn(y.Finish()).ok());
+  EXPECT_TRUE(table.AddColumn(z.Finish()).ok());
+  return MakeTable(std::move(table));
+}
+
+CiOptions WithMethod(CiMethod m, int permutations = 400) {
+  CiOptions o;
+  o.method = m;
+  o.permutations = permutations;
+  return o;
+}
+
+class AllMethodsTest : public testing::TestWithParam<CiMethod> {};
+
+TEST_P(AllMethodsTest, DetectsMarginalDependence) {
+  TablePtr data = Generate({});
+  MiEngine engine{TableView(data)};
+  CiTester tester(&engine, WithMethod(GetParam()), 42);
+  auto r = tester.Test(0, 1, {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(r->p_value, 0.01) << CiMethodName(r->method_used);
+}
+
+TEST_P(AllMethodsTest, AcceptsConditionalIndependence) {
+  // y depends only on z; given z, t ⫫ y.
+  GenOptions g;
+  g.y_depends_on_t = false;
+  TablePtr data = Generate(g);
+  MiEngine engine{TableView(data)};
+  CiTester tester(&engine, WithMethod(GetParam()), 43);
+  auto r = tester.Test(0, 1, {2});
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->p_value, 0.01) << CiMethodName(r->method_used);
+}
+
+TEST_P(AllMethodsTest, RejectsConditionalDependence) {
+  // Direct t -> y edge survives conditioning on z.
+  TablePtr data = Generate({});
+  MiEngine engine{TableView(data)};
+  CiTester tester(&engine, WithMethod(GetParam()), 44);
+  auto r = tester.Test(0, 1, {2});
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(r->p_value, 0.01) << CiMethodName(r->method_used);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Methods, AllMethodsTest,
+    testing::Values(CiMethod::kGTest, CiMethod::kPearson, CiMethod::kMit,
+                    CiMethod::kMitSampled, CiMethod::kHybrid),
+    [](const testing::TestParamInfo<CiMethod>& info) {
+      switch (info.param) {
+        case CiMethod::kGTest:
+          return "G";
+        case CiMethod::kPearson:
+          return "Pearson";
+        case CiMethod::kMit:
+          return "MIT";
+        case CiMethod::kMitSampled:
+          return "MITSampled";
+        case CiMethod::kHybrid:
+          return "HyMIT";
+      }
+      return "?";
+    });
+
+TEST(CiTesterTest, ValidatesArguments) {
+  TablePtr data = Generate({});
+  MiEngine engine{TableView(data)};
+  CiTester tester(&engine, CiOptions{}, 1);
+  EXPECT_FALSE(tester.Test(0, 0, {}).ok());
+  EXPECT_FALSE(tester.Test(0, 1, {0}).ok());
+  EXPECT_FALSE(tester.Test(0, 1, {1}).ok());
+  EXPECT_FALSE(tester.TestSets({}, {1}, {}).ok());
+  EXPECT_FALSE(tester.TestSets({0, 2}, {2}, {}).ok());
+}
+
+TEST(CiTesterTest, CountsTests) {
+  TablePtr data = Generate({});
+  MiEngine engine{TableView(data)};
+  CiTester tester(&engine, WithMethod(CiMethod::kGTest), 1);
+  EXPECT_EQ(tester.num_tests(), 0);
+  ASSERT_TRUE(tester.Test(0, 1, {}).ok());
+  ASSERT_TRUE(tester.Test(0, 1, {2}).ok());
+  EXPECT_EQ(tester.num_tests(), 2);
+  tester.ResetStats();
+  EXPECT_EQ(tester.num_tests(), 0);
+}
+
+TEST(CiTesterTest, GTestDegreesOfFreedom) {
+  GenOptions g;
+  g.z_card = 4;
+  TablePtr data = Generate(g);
+  MiEngine engine{TableView(data)};
+  CiTester tester(&engine, WithMethod(CiMethod::kGTest), 1);
+  auto r = tester.Test(0, 1, {2});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->df, (2 - 1) * (2 - 1) * 4);
+}
+
+TEST(CiTesterTest, MitPValueConfidenceIntervalBracketsP) {
+  TablePtr data = Generate({.rows = 800, .seed = 5});
+  MiEngine engine{TableView(data)};
+  CiTester tester(&engine, WithMethod(CiMethod::kMit, 200), 7);
+  auto r = tester.Test(0, 1, {2});
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(r->p_low, r->p_value);
+  EXPECT_GE(r->p_high, r->p_value);
+  EXPECT_GE(r->p_low, 0.0);
+  EXPECT_LE(r->p_high, 1.0);
+}
+
+// Under the null, MIT p-values should be roughly uniform: their mean
+// across repeated independent datasets ≈ 0.5.
+TEST(CiTesterTest, MitPValuesRoughlyUniformUnderNull) {
+  double sum = 0.0;
+  const int reps = 30;
+  for (int rep = 0; rep < reps; ++rep) {
+    GenOptions g;
+    g.rows = 500;
+    g.y_depends_on_t = false;
+    g.y_depends_on_z = false;  // fully independent pair
+    g.t_depends_on_z = false;
+    g.seed = 1000 + rep;
+    TablePtr data = Generate(g);
+    MiEngine engine{TableView(data)};
+    CiTester tester(&engine, WithMethod(CiMethod::kMit, 200), 50 + rep);
+    auto r = tester.Test(0, 1, {});
+    ASSERT_TRUE(r.ok());
+    sum += r->p_value;
+  }
+  EXPECT_NEAR(sum / reps, 0.5, 0.15);
+}
+
+TEST(CiTesterTest, HybridUsesChiSquaredWhenDense) {
+  // 4000 rows, df = 3: χ² path.
+  TablePtr data = Generate({});
+  MiEngine engine{TableView(data)};
+  CiTester tester(&engine, WithMethod(CiMethod::kHybrid), 1);
+  auto r = tester.Test(0, 1, {2});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->method_used, CiMethod::kGTest);
+}
+
+TEST(CiTesterTest, HybridFallsBackToPermutationWhenSparse) {
+  // Tiny sample with a huge conditioning domain: df >> n/beta.
+  Rng rng(3);
+  ColumnBuilder t("t"), y("y"), z1("z1"), z2("z2"), z3("z3");
+  for (int i = 0; i < 120; ++i) {
+    t.Append(std::to_string(rng.NextBounded(2)));
+    y.Append(std::to_string(rng.NextBounded(2)));
+    z1.Append(std::to_string(rng.NextBounded(6)));
+    z2.Append(std::to_string(rng.NextBounded(6)));
+    z3.Append(std::to_string(rng.NextBounded(6)));
+  }
+  Table table;
+  ASSERT_TRUE(table.AddColumn(t.Finish()).ok());
+  ASSERT_TRUE(table.AddColumn(y.Finish()).ok());
+  ASSERT_TRUE(table.AddColumn(z1.Finish()).ok());
+  ASSERT_TRUE(table.AddColumn(z2.Finish()).ok());
+  ASSERT_TRUE(table.AddColumn(z3.Finish()).ok());
+  TablePtr data = MakeTable(std::move(table));
+
+  MiEngine engine{TableView(data)};
+  CiTester tester(&engine, WithMethod(CiMethod::kHybrid, 200), 1);
+  auto r = tester.Test(0, 1, {2, 3, 4});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->method_used == CiMethod::kMit ||
+              r->method_used == CiMethod::kMitSampled);
+  // Random noise: should not reject.
+  EXPECT_GT(r->p_value, 0.01);
+}
+
+TEST(CiTesterTest, SampledMitAgreesWithFullMitOnStrongSignal) {
+  GenOptions g;
+  g.rows = 6000;
+  g.z_card = 12;
+  TablePtr data = Generate(g);
+  MiEngine engine{TableView(data)};
+  CiTester full(&engine, WithMethod(CiMethod::kMit, 300), 9);
+  CiTester sampled(&engine, WithMethod(CiMethod::kMitSampled, 300), 9);
+  auto rf = full.Test(0, 1, {2});
+  auto rs = sampled.Test(0, 1, {2});
+  ASSERT_TRUE(rf.ok());
+  ASSERT_TRUE(rs.ok());
+  EXPECT_LE(rf->p_value, 0.01);
+  EXPECT_LE(rs->p_value, 0.01);
+}
+
+TEST(CiTesterTest, SetVersionDetectsCompoundDependence) {
+  TablePtr data = Generate({});
+  MiEngine engine{TableView(data)};
+  CiTester tester(&engine, WithMethod(CiMethod::kGTest), 11);
+  // T depends on the compound (Y, Z).
+  auto r = tester.TestSets({0}, {1, 2}, {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(r->p_value, 0.01);
+}
+
+TEST(CiMethodNameTest, AllNamed) {
+  EXPECT_STREQ(CiMethodName(CiMethod::kGTest), "chi2(G)");
+  EXPECT_STREQ(CiMethodName(CiMethod::kMit), "MIT");
+  EXPECT_STREQ(CiMethodName(CiMethod::kMitSampled), "MIT(sampling)");
+  EXPECT_STREQ(CiMethodName(CiMethod::kHybrid), "HyMIT");
+  EXPECT_STREQ(CiMethodName(CiMethod::kPearson), "pearson");
+}
+
+}  // namespace
+}  // namespace hypdb

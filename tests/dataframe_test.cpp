@@ -1,0 +1,319 @@
+// Unit tests for src/dataframe: columns, tables, views, predicates,
+// tuple codec, group-by, CSV.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "dataframe/csv.h"
+#include "dataframe/group_by.h"
+#include "dataframe/predicate.h"
+#include "dataframe/table.h"
+#include "dataframe/tuple_codec.h"
+#include "dataframe/view.h"
+
+namespace hypdb {
+namespace {
+
+// A small fixture table:
+//   city    color  score
+//   NYC     red    1
+//   NYC     blue   0
+//   LA      red    1
+//   LA      red    0
+//   NYC     red    1
+//   SF      blue   1
+TablePtr FixtureTable() {
+  ColumnBuilder city("city");
+  ColumnBuilder color("color");
+  ColumnBuilder score("score");
+  const char* cities[] = {"NYC", "NYC", "LA", "LA", "NYC", "SF"};
+  const char* colors[] = {"red", "blue", "red", "red", "red", "blue"};
+  const char* scores[] = {"1", "0", "1", "0", "1", "1"};
+  for (int i = 0; i < 6; ++i) {
+    city.Append(cities[i]);
+    color.Append(colors[i]);
+    score.Append(scores[i]);
+  }
+  Table t;
+  EXPECT_TRUE(t.AddColumn(city.Finish()).ok());
+  EXPECT_TRUE(t.AddColumn(color.Finish()).ok());
+  EXPECT_TRUE(t.AddColumn(score.Finish()).ok());
+  return MakeTable(std::move(t));
+}
+
+TEST(DictionaryTest, GetOrAddIsStable) {
+  Dictionary d;
+  EXPECT_EQ(d.GetOrAdd("a"), 0);
+  EXPECT_EQ(d.GetOrAdd("b"), 1);
+  EXPECT_EQ(d.GetOrAdd("a"), 0);
+  EXPECT_EQ(d.size(), 2);
+  EXPECT_EQ(d.Label(1), "b");
+  EXPECT_EQ(d.Find("b"), 1);
+  EXPECT_EQ(d.Find("zz"), -1);
+}
+
+TEST(ColumnTest, NumericParsing) {
+  ColumnBuilder b("y");
+  b.Append("0");
+  b.Append("1.5");
+  b.Append("-2");
+  Column col = b.Finish();
+  EXPECT_TRUE(col.IsNumericLike());
+  EXPECT_DOUBLE_EQ(*col.NumericValue(0), 0.0);
+  EXPECT_DOUBLE_EQ(*col.NumericValue(1), 1.5);
+  EXPECT_DOUBLE_EQ(*col.NumericValue(2), -2.0);
+  EXPECT_FALSE(col.NumericValue(9).ok());
+}
+
+TEST(ColumnTest, NonNumericLabelIsError) {
+  ColumnBuilder b("y");
+  b.Append("1");
+  b.Append("yes");
+  Column col = b.Finish();
+  EXPECT_FALSE(col.IsNumericLike());
+  EXPECT_TRUE(col.NumericValue(0).ok());
+  EXPECT_FALSE(col.NumericValue(1).ok());
+}
+
+TEST(TableTest, BasicAccessors) {
+  TablePtr t = FixtureTable();
+  EXPECT_EQ(t->NumColumns(), 3);
+  EXPECT_EQ(t->NumRows(), 6);
+  EXPECT_EQ(*t->ColumnIndex("color"), 1);
+  EXPECT_FALSE(t->ColumnIndex("nope").ok());
+  EXPECT_TRUE(t->HasColumn("score"));
+  EXPECT_EQ(t->ColumnNames(),
+            (std::vector<std::string>{"city", "color", "score"}));
+}
+
+TEST(TableTest, RejectsDuplicateAndRaggedColumns) {
+  Table t;
+  ColumnBuilder a("a");
+  a.Append("x");
+  ASSERT_TRUE(t.AddColumn(a.Finish()).ok());
+  ColumnBuilder dup("a");
+  dup.Append("y");
+  EXPECT_EQ(t.AddColumn(dup.Finish()).code(), StatusCode::kInvalidArgument);
+  ColumnBuilder ragged("b");
+  ragged.Append("1");
+  ragged.Append("2");
+  EXPECT_EQ(t.AddColumn(ragged.Finish()).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PredicateTest, FilterInList) {
+  TablePtr t = FixtureTable();
+  auto pred = Predicate::FromInLists(*t, {{"city", {"NYC", "SF"}}});
+  ASSERT_TRUE(pred.ok());
+  TableView view = TableView(t).Filter(*pred);
+  EXPECT_EQ(view.NumRows(), 4);
+  for (int64_t i = 0; i < view.NumRows(); ++i) {
+    std::string city = t->column(0).dict().Label(view.CodeAt(i, 0));
+    EXPECT_TRUE(city == "NYC" || city == "SF");
+  }
+}
+
+TEST(PredicateTest, ConjunctionAndUnknownValue) {
+  TablePtr t = FixtureTable();
+  auto pred = Predicate::FromInLists(
+      *t, {{"city", {"NYC"}}, {"color", {"red"}}});
+  ASSERT_TRUE(pred.ok());
+  EXPECT_EQ(TableView(t).Filter(*pred).NumRows(), 2);
+  // Unknown values match nothing.
+  auto none = Predicate::FromInLists(*t, {{"city", {"Paris"}}});
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(TableView(t).Filter(*none).NumRows(), 0);
+}
+
+TEST(PredicateTest, UnknownColumnIsError) {
+  TablePtr t = FixtureTable();
+  EXPECT_FALSE(Predicate::FromInLists(*t, {{"nope", {"x"}}}).ok());
+}
+
+TEST(ViewTest, EmptyPredicateIsIdentity) {
+  TablePtr t = FixtureTable();
+  TableView all(t);
+  TableView filtered = all.Filter(Predicate());
+  EXPECT_EQ(filtered.NumRows(), all.NumRows());
+}
+
+TEST(ViewTest, NestedFiltersCompose) {
+  TablePtr t = FixtureTable();
+  auto p1 = Predicate::FromInLists(*t, {{"city", {"NYC", "LA"}}});
+  auto p2 = Predicate::FromInLists(*t, {{"color", {"red"}}});
+  TableView v = TableView(t).Filter(*p1).Filter(*p2);
+  EXPECT_EQ(v.NumRows(), 4);  // NYC-red x2, LA-red x2
+}
+
+TEST(ViewTest, WithRowsUsesPhysicalIds) {
+  TablePtr t = FixtureTable();
+  TableView v = TableView(t).WithRows({5, 0});
+  EXPECT_EQ(v.NumRows(), 2);
+  EXPECT_EQ(t->column(0).dict().Label(v.CodeAt(0, 0)), "SF");
+  EXPECT_EQ(t->column(0).dict().Label(v.CodeAt(1, 0)), "NYC");
+}
+
+TEST(TupleCodecTest, EncodeDecodeRoundTrip) {
+  TablePtr t = FixtureTable();
+  auto codec = TupleCodec::Create(*t, {0, 1});
+  ASSERT_TRUE(codec.ok());
+  EXPECT_EQ(codec->Domain(),
+            static_cast<uint64_t>(t->column(0).Cardinality()) *
+                t->column(1).Cardinality());
+  for (int32_t a = 0; a < t->column(0).Cardinality(); ++a) {
+    for (int32_t b = 0; b < t->column(1).Cardinality(); ++b) {
+      uint64_t key = codec->EncodeCodes({a, b});
+      EXPECT_EQ(codec->Decode(key), (std::vector<int32_t>{a, b}));
+      EXPECT_EQ(codec->DecodeAt(key, 0), a);
+      EXPECT_EQ(codec->DecodeAt(key, 1), b);
+    }
+  }
+}
+
+TEST(TupleCodecTest, EmptyColumnsSingleton) {
+  TablePtr t = FixtureTable();
+  auto codec = TupleCodec::Create(*t, {});
+  ASSERT_TRUE(codec.ok());
+  EXPECT_EQ(codec->Domain(), 1u);
+  EXPECT_EQ(codec->EncodeCodes({}), 0u);
+}
+
+TEST(TupleCodecTest, ProjectMatchesManualEncoding) {
+  TablePtr t = FixtureTable();
+  auto codec = TupleCodec::Create(*t, {0, 1, 2});
+  ASSERT_TRUE(codec.ok());
+  TupleCodec sub = codec->Project({2, 0});
+  uint64_t key = codec->EncodeCodes({2, 1, 0});
+  // Projected codec addresses (col2, col0) = (0, 2).
+  EXPECT_EQ(sub.EncodeCodes({0, 2}),
+            sub.EncodeCodes({codec->DecodeAt(key, 2), codec->DecodeAt(key, 0)}));
+}
+
+TEST(TupleCodecTest, OutOfRangeColumn) {
+  TablePtr t = FixtureTable();
+  EXPECT_FALSE(TupleCodec::Create(*t, {99}).ok());
+}
+
+TEST(GroupByTest, CountByMatchesHandCounts) {
+  TablePtr t = FixtureTable();
+  auto counts = CountBy(TableView(t), {0});
+  ASSERT_TRUE(counts.ok());
+  // NYC=3, LA=2, SF=1 — codes in first-seen order NYC=0, LA=1, SF=2.
+  ASSERT_EQ(counts->NumGroups(), 3);
+  EXPECT_EQ(counts->total, 6);
+  EXPECT_EQ(counts->counts[0], 3);
+  EXPECT_EQ(counts->counts[1], 2);
+  EXPECT_EQ(counts->counts[2], 1);
+}
+
+TEST(GroupByTest, CountByPair) {
+  TablePtr t = FixtureTable();
+  auto counts = CountBy(TableView(t), {0, 1});
+  ASSERT_TRUE(counts.ok());
+  EXPECT_EQ(counts->NumGroups(), 4);  // NYC-red, NYC-blue, LA-red, SF-blue
+  int64_t total = 0;
+  for (int64_t c : counts->counts) total += c;
+  EXPECT_EQ(total, 6);
+}
+
+TEST(GroupByTest, CountByEmptyColsSingleGroup) {
+  TablePtr t = FixtureTable();
+  auto counts = CountBy(TableView(t), {});
+  ASSERT_TRUE(counts.ok());
+  ASSERT_EQ(counts->NumGroups(), 1);
+  EXPECT_EQ(counts->counts[0], 6);
+}
+
+TEST(GroupByTest, CollectGroupsPartitionsRows) {
+  TablePtr t = FixtureTable();
+  auto groups = CollectGroups(TableView(t), {1});
+  ASSERT_TRUE(groups.ok());
+  ASSERT_EQ(groups->NumGroups(), 2);
+  size_t total = 0;
+  for (const auto& rows : groups->rows) total += rows.size();
+  EXPECT_EQ(total, 6u);
+}
+
+TEST(GroupByTest, AverageByComputesMeans) {
+  TablePtr t = FixtureTable();
+  auto avg = AverageBy(TableView(t), {0}, {2});
+  ASSERT_TRUE(avg.ok());
+  ASSERT_EQ(avg->NumGroups(), 3);
+  // NYC: (1+0+1)/3, LA: (1+0)/2, SF: 1.
+  EXPECT_NEAR(avg->means[0][0], 2.0 / 3, 1e-12);
+  EXPECT_NEAR(avg->means[1][0], 0.5, 1e-12);
+  EXPECT_NEAR(avg->means[2][0], 1.0, 1e-12);
+}
+
+TEST(GroupByTest, AverageByRejectsNonNumericOutcome) {
+  TablePtr t = FixtureTable();
+  EXPECT_FALSE(AverageBy(TableView(t), {2}, {0}).ok());
+}
+
+TEST(GroupByTest, MarginalizeOntoMatchesDirectCount) {
+  TablePtr t = FixtureTable();
+  auto full = CountBy(TableView(t), {0, 1, 2});
+  ASSERT_TRUE(full.ok());
+  GroupCounts marginal = MarginalizeOnto(*full, {1});  // onto color
+  auto direct = CountBy(TableView(t), {1});
+  ASSERT_TRUE(direct.ok());
+  ASSERT_EQ(marginal.NumGroups(), direct->NumGroups());
+  for (int g = 0; g < marginal.NumGroups(); ++g) {
+    EXPECT_EQ(marginal.keys[g], direct->keys[g]);
+    EXPECT_EQ(marginal.counts[g], direct->counts[g]);
+  }
+}
+
+TEST(GroupByTest, MarginalizeOntoEmptyGivesGrandTotal) {
+  TablePtr t = FixtureTable();
+  auto full = CountBy(TableView(t), {0, 1});
+  ASSERT_TRUE(full.ok());
+  GroupCounts marginal = MarginalizeOnto(*full, {});
+  ASSERT_EQ(marginal.NumGroups(), 1);
+  EXPECT_EQ(marginal.counts[0], 6);
+}
+
+TEST(CsvTest, RoundTrip) {
+  TablePtr t = FixtureTable();
+  std::string text = ToCsv(*t);
+  auto parsed = ParseCsv(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->NumRows(), t->NumRows());
+  EXPECT_EQ(parsed->NumColumns(), t->NumColumns());
+  for (int64_t r = 0; r < t->NumRows(); ++r) {
+    for (int c = 0; c < t->NumColumns(); ++c) {
+      EXPECT_EQ(parsed->column(c).LabelAt(r), t->column(c).LabelAt(r));
+    }
+  }
+}
+
+TEST(CsvTest, QuotedFields) {
+  auto t = ParseCsv("a,b\n\"x,1\",\"say \"\"hi\"\"\"\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->column(0).LabelAt(0), "x,1");
+  EXPECT_EQ(t->column(1).LabelAt(0), "say \"hi\"");
+  // And quoting survives a round trip.
+  auto again = ParseCsv(ToCsv(*t));
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->column(0).LabelAt(0), "x,1");
+}
+
+TEST(CsvTest, FieldCountMismatchIsError) {
+  EXPECT_FALSE(ParseCsv("a,b\n1\n").ok());
+  EXPECT_FALSE(ParseCsv("").ok());
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  TablePtr t = FixtureTable();
+  std::string path = testing::TempDir() + "/hypdb_csv_test.csv";
+  ASSERT_TRUE(WriteCsv(*t, path).ok());
+  auto back = ReadCsv(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->NumRows(), 6);
+  std::remove(path.c_str());
+  EXPECT_FALSE(ReadCsv(path + ".missing").ok());
+}
+
+}  // namespace
+}  // namespace hypdb

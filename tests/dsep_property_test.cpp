@@ -1,0 +1,129 @@
+// Property test: the linear-time reachability d-separation is
+// cross-validated against a brute-force reference that enumerates every
+// undirected path and applies the blocking rules literally (paper
+// Appendix 10.1) on random DAGs and random conditioning sets.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/d_separation.h"
+#include "graph/random_dag.h"
+#include "util/rng.h"
+
+namespace hypdb {
+namespace {
+
+// Literal path-blocking check: a path X = v0 - v1 - ... - vk = Y is open
+// iff every inner node is (a) a non-collider not in Z, or (b) a collider
+// whose descendants (or itself) intersect Z.
+class BruteForce {
+ public:
+  BruteForce(const Dag& dag, const std::vector<int>& given)
+      : dag_(dag), in_z_(dag.NumNodes(), false) {
+    for (int z : given) in_z_[z] = true;
+    z_or_ancestor_ = dag.AncestorsOf(given);
+    for (int z : given) z_or_ancestor_[z] = true;
+  }
+
+  bool Separated(int x, int y) {
+    std::vector<int> path = {x};
+    std::vector<bool> visited(dag_.NumNodes(), false);
+    visited[x] = true;
+    return !AnyOpenPath(x, y, path, visited);
+  }
+
+ private:
+  bool AnyOpenPath(int current, int target, std::vector<int>& path,
+                   std::vector<bool>& visited) {
+    if (current == target) return PathOpen(path);
+    for (int next = 0; next < dag_.NumNodes(); ++next) {
+      if (visited[next] || !dag_.Adjacent(current, next)) continue;
+      visited[next] = true;
+      path.push_back(next);
+      if (AnyOpenPath(next, target, path, visited)) return true;
+      path.pop_back();
+      visited[next] = false;
+    }
+    return false;
+  }
+
+  bool PathOpen(const std::vector<int>& path) {
+    for (size_t i = 1; i + 1 < path.size(); ++i) {
+      int prev = path[i - 1];
+      int node = path[i];
+      int next = path[i + 1];
+      bool collider =
+          dag_.HasEdge(prev, node) && dag_.HasEdge(next, node);
+      if (collider) {
+        if (!z_or_ancestor_[node]) return false;  // closed collider
+      } else {
+        if (in_z_[node]) return false;  // blocked chain/fork
+      }
+    }
+    return true;
+  }
+
+  const Dag& dag_;
+  std::vector<bool> in_z_;
+  std::vector<bool> z_or_ancestor_;
+};
+
+class DSepAgreement : public testing::TestWithParam<int> {};
+
+TEST_P(DSepAgreement, FastMatchesBruteForce) {
+  Rng rng(GetParam() * 6151);
+  Dag dag = RandomErdosRenyiDag({.num_nodes = 7, .expected_degree = 2.5},
+                                rng);
+  // Every node pair, a handful of random conditioning sets each.
+  for (int x = 0; x < dag.NumNodes(); ++x) {
+    for (int y = x + 1; y < dag.NumNodes(); ++y) {
+      for (int rep = 0; rep < 4; ++rep) {
+        std::vector<int> given;
+        for (int z = 0; z < dag.NumNodes(); ++z) {
+          if (z != x && z != y && rng.Bernoulli(0.3)) given.push_back(z);
+        }
+        BruteForce reference(dag, given);
+        EXPECT_EQ(DSeparated(dag, x, y, given), reference.Separated(x, y))
+            << "x=" << x << " y=" << y << " |Z|=" << given.size()
+            << " seed=" << GetParam();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DSepAgreement, testing::Range(1, 25));
+
+// The textbook identities d-separation must satisfy.
+TEST(DSepAxioms, SymmetryAndDecompositionOnRandomDags) {
+  Rng rng(99);
+  for (int trial = 0; trial < 10; ++trial) {
+    Dag dag = RandomErdosRenyiDag({.num_nodes = 8, .expected_degree = 2.0},
+                                  rng);
+    for (int x = 0; x < 8; ++x) {
+      for (int y = x + 1; y < 8; ++y) {
+        std::vector<int> given;
+        for (int z = 0; z < 8; ++z) {
+          if (z != x && z != y && rng.Bernoulli(0.25)) given.push_back(z);
+        }
+        // Symmetry: X ⊥ Y | Z  <=>  Y ⊥ X | Z.
+        EXPECT_EQ(DSeparated(dag, x, y, given),
+                  DSeparated(dag, y, x, given));
+        // Decomposition: X ⊥ {Y, W} | Z  =>  X ⊥ Y | Z.
+        for (int w = 0; w < 8; ++w) {
+          if (w == x || w == y) continue;
+          bool in_given = false;
+          for (int g : given) in_given |= g == w;
+          if (in_given) continue;
+          if (DSeparatedSets(dag, {x}, {y, w}, given)) {
+            EXPECT_TRUE(DSeparated(dag, x, y, given));
+            EXPECT_TRUE(DSeparated(dag, x, w, given));
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hypdb

@@ -1,0 +1,210 @@
+// Tests for src/graph: DAG structure, d-separation, random DAGs.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datagen/cancer_data.h"
+#include "graph/d_separation.h"
+#include "graph/dag.h"
+#include "graph/random_dag.h"
+#include "util/rng.h"
+
+namespace hypdb {
+namespace {
+
+// The Fig. 2 example DAG of the paper: W -> T, Z -> T, T -> Y, T -> C,
+// D -> C, D -> Y. (Z, W parents of T; C child; D parent-of-child.)
+enum Fig2 { W = 0, Z, T, C, D, Y, kFig2Count };
+
+Dag Fig2Dag() {
+  Dag dag(kFig2Count);
+  dag.AddEdge(W, T);
+  dag.AddEdge(Z, T);
+  dag.AddEdge(T, Y);
+  dag.AddEdge(T, C);
+  dag.AddEdge(D, C);
+  dag.AddEdge(D, Y);
+  return dag;
+}
+
+TEST(DagTest, EdgesAndAdjacency) {
+  Dag dag = Fig2Dag();
+  EXPECT_EQ(dag.NumNodes(), 6);
+  EXPECT_EQ(dag.NumEdges(), 6);
+  EXPECT_TRUE(dag.HasEdge(W, T));
+  EXPECT_FALSE(dag.HasEdge(T, W));
+  EXPECT_TRUE(dag.Adjacent(T, W));
+  EXPECT_FALSE(dag.Adjacent(W, Z));
+  EXPECT_FALSE(dag.AddEdge(W, T));  // duplicate
+  EXPECT_TRUE(dag.RemoveEdge(W, T));
+  EXPECT_FALSE(dag.RemoveEdge(W, T));  // absent
+  EXPECT_EQ(dag.NumEdges(), 5);
+}
+
+TEST(DagTest, ParentsAndChildren) {
+  Dag dag = Fig2Dag();
+  EXPECT_EQ(dag.Parents(T), (std::vector<int>{W, Z}));
+  EXPECT_EQ(dag.Children(T), (std::vector<int>{Y, C}));
+  EXPECT_TRUE(dag.Parents(W).empty());
+}
+
+TEST(DagTest, MarkovBlanketIsParentsChildrenSpouses) {
+  Dag dag = Fig2Dag();
+  // MB(T) = {W, Z} ∪ {Y, C} ∪ {D} (D is a co-parent of both C and Y).
+  EXPECT_EQ(dag.MarkovBlanket(T), (std::vector<int>{W, Z, C, D, Y}));
+  // MB(D) = children {C, Y} + their other parent T.
+  EXPECT_EQ(dag.MarkovBlanket(D), (std::vector<int>{T, C, Y}));
+}
+
+TEST(DagTest, AncestorsOf) {
+  Dag dag = Fig2Dag();
+  std::vector<bool> anc = dag.AncestorsOf({Y});
+  EXPECT_TRUE(anc[T]);
+  EXPECT_TRUE(anc[W]);
+  EXPECT_TRUE(anc[Z]);
+  EXPECT_TRUE(anc[D]);
+  EXPECT_FALSE(anc[C]);
+}
+
+TEST(DagTest, TopologicalOrderRespectsEdges) {
+  Dag dag = Fig2Dag();
+  auto order = dag.TopologicalOrder();
+  ASSERT_TRUE(order.ok());
+  std::vector<int> pos(kFig2Count);
+  for (size_t i = 0; i < order->size(); ++i) pos[(*order)[i]] = i;
+  EXPECT_LT(pos[W], pos[T]);
+  EXPECT_LT(pos[T], pos[Y]);
+  EXPECT_LT(pos[D], pos[C]);
+}
+
+TEST(DagTest, CycleDetected) {
+  Dag dag(3);
+  dag.AddEdge(0, 1);
+  dag.AddEdge(1, 2);
+  EXPECT_TRUE(dag.IsAcyclic());
+  dag.AddEdge(2, 0);
+  EXPECT_FALSE(dag.IsAcyclic());
+  EXPECT_FALSE(dag.TopologicalOrder().ok());
+}
+
+TEST(DagTest, CountNodesWithMinParents) {
+  Dag dag = Fig2Dag();
+  EXPECT_EQ(dag.CountNodesWithMinParents(2), 3);  // T, C, Y
+  EXPECT_EQ(dag.CountNodesWithMinParents(1), 3);  // the same three
+  EXPECT_EQ(dag.CountNodesWithMinParents(0), 6);
+}
+
+TEST(DSeparationTest, ChainForkCollider) {
+  // Chain A -> B -> C.
+  Dag chain(3);
+  chain.AddEdge(0, 1);
+  chain.AddEdge(1, 2);
+  EXPECT_FALSE(DSeparated(chain, 0, 2, {}));
+  EXPECT_TRUE(DSeparated(chain, 0, 2, {1}));
+
+  // Fork A <- B -> C.
+  Dag fork(3);
+  fork.AddEdge(1, 0);
+  fork.AddEdge(1, 2);
+  EXPECT_FALSE(DSeparated(fork, 0, 2, {}));
+  EXPECT_TRUE(DSeparated(fork, 0, 2, {1}));
+
+  // Collider A -> B <- C (Berkson's paradox, Ex. 10.1).
+  Dag collider(3);
+  collider.AddEdge(0, 1);
+  collider.AddEdge(2, 1);
+  EXPECT_TRUE(DSeparated(collider, 0, 2, {}));
+  EXPECT_FALSE(DSeparated(collider, 0, 2, {1}));
+}
+
+TEST(DSeparationTest, ColliderDescendantOpensPath) {
+  // A -> B <- C, B -> D: conditioning on the *descendant* D also opens.
+  Dag dag(4);
+  dag.AddEdge(0, 1);
+  dag.AddEdge(2, 1);
+  dag.AddEdge(1, 3);
+  EXPECT_TRUE(DSeparated(dag, 0, 2, {}));
+  EXPECT_FALSE(DSeparated(dag, 0, 2, {3}));
+}
+
+TEST(DSeparationTest, Fig2Relations) {
+  Dag dag = Fig2Dag();
+  // (Z ⊥ W) but (Z ⊮ W | T): T is a collider between its parents.
+  EXPECT_TRUE(DSeparated(dag, Z, W, {}));
+  EXPECT_FALSE(DSeparated(dag, Z, W, {T}));
+  // (D ⊥ W) but (D ⊮ W | T)? T is not a collider on a D-W path, but C
+  // and Y are colliders with ancestor... D-W paths: D->C<-T<-W and
+  // D->Y<-T<-W; conditioning on T opens neither collider (C, Y remain
+  // unconditioned) — but blocks the chains. Both stay blocked.
+  EXPECT_TRUE(DSeparated(dag, D, W, {}));
+  EXPECT_TRUE(DSeparated(dag, D, W, {T}));
+  // Conditioning on C (collider) opens D-W.
+  EXPECT_FALSE(DSeparated(dag, D, W, {C}));
+  // T ⊥ D marginally (only collider paths), dependent given C.
+  EXPECT_TRUE(DSeparated(dag, T, D, {}));
+  EXPECT_FALSE(DSeparated(dag, T, D, {C}));
+}
+
+TEST(DSeparationTest, LucasFacts) {
+  Dag dag = LucasDag();
+  // Ex. 10.1: Anxiety ⊥ Peer_Pressure, dependent given Smoking.
+  EXPECT_TRUE(DSeparated(dag, kAnxiety, kPeerPressure, {}));
+  EXPECT_FALSE(DSeparated(dag, kAnxiety, kPeerPressure, {kSmoking}));
+  // Lung_Cancer -> ... -> Car_Accident is all mediated by Fatigue /
+  // Attention_Disorder.
+  EXPECT_FALSE(DSeparated(dag, kLungCancer, kCarAccident, {}));
+  EXPECT_TRUE(DSeparated(dag, kLungCancer, kCarAccident,
+                         {kFatigue, kAttentionDisorder}));
+  // Born_an_Even_Day is isolated.
+  EXPECT_TRUE(DSeparated(dag, kBornEvenDay, kLungCancer, {}));
+  // Yellow_Fingers and Lung_Cancer share only the Smoking fork.
+  EXPECT_FALSE(DSeparated(dag, kYellowFingers, kLungCancer, {}));
+  EXPECT_TRUE(DSeparated(dag, kYellowFingers, kLungCancer, {kSmoking}));
+}
+
+TEST(DSeparationTest, SetsVersion) {
+  Dag dag = Fig2Dag();
+  EXPECT_TRUE(DSeparatedSets(dag, {Z, W}, {D}, {}));
+  EXPECT_FALSE(DSeparatedSets(dag, {Z, W}, {D, Y}, {}));
+}
+
+TEST(RandomDagTest, RespectsNodeCountAndAcyclicity) {
+  Rng rng(5);
+  for (int n : {2, 8, 32}) {
+    Dag dag = RandomErdosRenyiDag({.num_nodes = n, .expected_degree = 3.0},
+                                  rng);
+    EXPECT_EQ(dag.NumNodes(), n);
+    EXPECT_TRUE(dag.IsAcyclic());
+  }
+}
+
+TEST(RandomDagTest, ExpectedDegreeApproximatelyMet) {
+  Rng rng(11);
+  const int n = 24;
+  const double target = 4.0;
+  double total_edges = 0;
+  const int reps = 60;
+  for (int i = 0; i < reps; ++i) {
+    Dag dag = RandomErdosRenyiDag(
+        {.num_nodes = n, .expected_degree = target}, rng);
+    total_edges += dag.NumEdges();
+  }
+  // Expected edges = n * degree / 2.
+  EXPECT_NEAR(total_edges / reps, n * target / 2, n * target / 2 * 0.15);
+}
+
+TEST(RandomDagTest, EdgeCases) {
+  Rng rng(13);
+  Dag empty = RandomErdosRenyiDag({.num_nodes = 0}, rng);
+  EXPECT_EQ(empty.NumNodes(), 0);
+  Dag one = RandomErdosRenyiDag({.num_nodes = 1}, rng);
+  EXPECT_EQ(one.NumEdges(), 0);
+  // Saturated probability: complete DAG.
+  Dag full = RandomErdosRenyiDag(
+      {.num_nodes = 5, .expected_degree = 100.0}, rng);
+  EXPECT_EQ(full.NumEdges(), 10);
+}
+
+}  // namespace
+}  // namespace hypdb

@@ -1,0 +1,162 @@
+// Tests for Patefield's AS-159 sampler: margin preservation on random
+// shapes (property sweep), exactness of the 2x2 hypergeometric
+// distribution, determinism.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "stats/patefield.h"
+#include "stats/special_math.h"
+#include "util/rng.h"
+
+namespace hypdb {
+namespace {
+
+TEST(PatefieldTest, ValidatesMargins) {
+  EXPECT_FALSE(PatefieldSampler::Create({}, {1}).ok());
+  EXPECT_FALSE(PatefieldSampler::Create({1, 2}, {4}).ok());   // sums differ
+  EXPECT_FALSE(PatefieldSampler::Create({-1, 4}, {3}).ok());  // negative
+  EXPECT_TRUE(PatefieldSampler::Create({1, 2}, {3}).ok());
+}
+
+TEST(PatefieldTest, DegenerateShapesAreDeterministic) {
+  Rng rng(1);
+  auto sampler = PatefieldSampler::Create({7}, {3, 4});
+  ASSERT_TRUE(sampler.ok());
+  Table2D t;
+  ASSERT_TRUE(sampler->Sample(rng, &t).ok());
+  EXPECT_EQ(t.at(0, 0), 3);
+  EXPECT_EQ(t.at(0, 1), 4);
+
+  auto col_sampler = PatefieldSampler::Create({2, 5}, {7});
+  ASSERT_TRUE(col_sampler.ok());
+  ASSERT_TRUE(col_sampler->Sample(rng, &t).ok());
+  EXPECT_EQ(t.at(0, 0), 2);
+  EXPECT_EQ(t.at(1, 0), 5);
+}
+
+TEST(PatefieldTest, ZeroMarginsYieldZeroCells) {
+  Rng rng(2);
+  auto sampler = PatefieldSampler::Create({0, 5, 0}, {2, 0, 3});
+  ASSERT_TRUE(sampler.ok());
+  Table2D t;
+  ASSERT_TRUE(sampler->Sample(rng, &t).ok());
+  EXPECT_EQ(t.at(0, 0), 0);
+  EXPECT_EQ(t.at(1, 0), 2);
+  EXPECT_EQ(t.at(1, 2), 3);
+  EXPECT_EQ(t.at(2, 2), 0);
+}
+
+TEST(PatefieldTest, DeterministicBySeed) {
+  auto sampler = PatefieldSampler::Create({20, 30, 10}, {25, 25, 10});
+  ASSERT_TRUE(sampler.ok());
+  Rng a(99);
+  Rng b(99);
+  Table2D ta, tb;
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(sampler->Sample(a, &ta).ok());
+    ASSERT_TRUE(sampler->Sample(b, &tb).ok());
+    EXPECT_EQ(ta.cells(), tb.cells());
+  }
+}
+
+// Property sweep: margins preserved for random shapes and seeds.
+class PatefieldMarginTest : public testing::TestWithParam<int> {};
+
+TEST_P(PatefieldMarginTest, MarginsPreserved) {
+  Rng rng(GetParam() * 7919);
+  int nr = 2 + static_cast<int>(rng.NextBounded(4));
+  int nc = 2 + static_cast<int>(rng.NextBounded(4));
+  std::vector<int64_t> rows(nr);
+  int64_t total = 0;
+  for (auto& r : rows) {
+    r = rng.NextBounded(40);
+    total += r;
+  }
+  // Random column split of the same total.
+  std::vector<int64_t> cols(nc, 0);
+  for (int64_t k = 0; k < total; ++k) ++cols[rng.NextBounded(nc)];
+
+  auto sampler = PatefieldSampler::Create(rows, cols);
+  ASSERT_TRUE(sampler.ok());
+  Table2D t;
+  for (int rep = 0; rep < 25; ++rep) {
+    ASSERT_TRUE(sampler->Sample(rng, &t).ok());
+    ASSERT_EQ(t.total(), total);
+    for (int r = 0; r < nr; ++r) {
+      ASSERT_EQ(t.row_margins()[r], rows[r]) << "rep " << rep;
+    }
+    for (int c = 0; c < nc; ++c) {
+      ASSERT_EQ(t.col_margins()[c], cols[c]) << "rep " << rep;
+    }
+    for (int64_t cell : t.cells()) ASSERT_GE(cell, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, PatefieldMarginTest, testing::Range(1, 41));
+
+// For a 2x2 table with fixed margins the cell (0,0) follows the
+// hypergeometric distribution. Chi-squared goodness-of-fit against the
+// exact pmf.
+TEST(PatefieldTest, Matches2x2Hypergeometric) {
+  const int64_t r1 = 12, r2 = 18, c1 = 10;
+  const int64_t n = r1 + r2;
+  auto sampler = PatefieldSampler::Create({r1, r2}, {c1, n - c1});
+  ASSERT_TRUE(sampler.ok());
+
+  // Exact pmf of X = cell(0,0) ~ Hypergeometric(n, r1, c1).
+  auto log_choose = [](int64_t a, int64_t b) {
+    return LogFactorial(a) - LogFactorial(b) - LogFactorial(a - b);
+  };
+  int64_t lo = std::max<int64_t>(0, c1 - r2);
+  int64_t hi = std::min(r1, c1);
+  std::map<int64_t, double> pmf;
+  for (int64_t k = lo; k <= hi; ++k) {
+    pmf[k] = std::exp(log_choose(r1, k) + log_choose(r2, c1 - k) -
+                      log_choose(n, c1));
+  }
+
+  Rng rng(12345);
+  const int draws = 40000;
+  std::map<int64_t, int> counts;
+  Table2D t;
+  for (int i = 0; i < draws; ++i) {
+    ASSERT_TRUE(sampler->Sample(rng, &t).ok());
+    ++counts[t.at(0, 0)];
+  }
+
+  double chi2 = 0.0;
+  int df = -1;
+  for (const auto& [k, p] : pmf) {
+    double expected = p * draws;
+    if (expected < 5) continue;  // merge tiny tails out of the statistic
+    double observed = counts.count(k) ? counts[k] : 0;
+    chi2 += (observed - expected) * (observed - expected) / expected;
+    ++df;
+  }
+  ASSERT_GT(df, 2);
+  // Generous acceptance: reject only if astronomically unlikely.
+  EXPECT_LT(chi2, 2.0 * df + 25.0) << "chi2 " << chi2 << " df " << df;
+}
+
+// Mean of each cell under fixed margins is r_i * c_j / n.
+TEST(PatefieldTest, CellMeansMatchExpectation) {
+  auto sampler = PatefieldSampler::Create({30, 20, 50}, {40, 60});
+  ASSERT_TRUE(sampler.ok());
+  Rng rng(777);
+  const int draws = 20000;
+  double sum00 = 0, sum21 = 0;
+  Table2D t;
+  for (int i = 0; i < draws; ++i) {
+    ASSERT_TRUE(sampler->Sample(rng, &t).ok());
+    sum00 += t.at(0, 0);
+    sum21 += t.at(2, 1);
+  }
+  EXPECT_NEAR(sum00 / draws, 30.0 * 40 / 100, 0.1);
+  EXPECT_NEAR(sum21 / draws, 50.0 * 60 / 100, 0.15);
+}
+
+}  // namespace
+}  // namespace hypdb
