@@ -1,12 +1,24 @@
 // E13 — Fig. 6(c): efficacy of caching entropies and materializing
-// contingency tables. The CD algorithm runs with each optimization
-// toggled; "warm" repeats the run with the entropy cache already
-// populated (the paper's "precomputed entropies" floor).
+// contingency tables, now measured through the CountEngine subsystem.
+//
+// Part 1 (timings): the CD algorithm runs with each optimization toggled;
+// "warm" repeats the run with the caches already populated (the paper's
+// "precomputed entropies" floor). Scan counts come from the engine stats.
+//
+// Part 2 (equivalence): the same fixed CI-test workload runs once against
+// a bare scan engine and once against the caching engine. The caching
+// engine must perform strictly fewer data scans while reproducing every
+// p-value to 1e-9 — caching is a pure execution-strategy change, never a
+// statistical one. Exits non-zero on violation.
+
+#include <cmath>
+#include <cstdlib>
 
 #include "bench_util.h"
 #include "causal/cd_algorithm.h"
 #include "causal/ci_oracle.h"
 #include "datagen/random_data.h"
+#include "stats/ci_test.h"
 #include "util/stopwatch.h"
 
 using namespace hypdb;
@@ -14,8 +26,13 @@ using namespace hypdb::bench;
 
 namespace {
 
-double RunCdSeconds(const TablePtr& table, int target, bool cache,
-                    bool materialize) {
+struct CdRun {
+  double seconds = -1;
+  int64_t scans = 0;
+};
+
+CdRun RunCd(const TablePtr& table, int target, bool cache,
+            bool materialize) {
   MiEngineOptions engine_options;
   engine_options.cache_entropies = cache;
   engine_options.materialize_focus = materialize;
@@ -30,9 +47,34 @@ double RunCdSeconds(const TablePtr& table, int target, bool cache,
   }
   Stopwatch timer;
   auto r = DiscoverParents(oracle, target, candidates);
-  double seconds = timer.ElapsedSeconds();
-  if (!r.ok()) return -1;
-  return seconds;
+  CdRun run;
+  run.seconds = r.ok() ? timer.ElapsedSeconds() : -1;
+  run.scans = engine.count_engine().stats().scans;
+  return run;
+}
+
+// Fixed CI-test workload: every pair, unconditional and one-variable
+// conditioned. Returns false on any p-value divergence.
+bool RunWorkload(MiEngine* engine, uint64_t seed,
+                 std::vector<double>* p_values) {
+  CiOptions hybrid;
+  hybrid.permutations = 200;
+  CiTester tester(engine, hybrid, seed);
+  const int cols = 8;
+  for (int x = 0; x < cols; ++x) {
+    for (int y = x + 1; y < cols; ++y) {
+      for (int variant = 0; variant < 2; ++variant) {
+        std::vector<int> z;
+        if (variant == 1) z.push_back((y + 1) % cols == x ? (y + 2) % cols
+                                                          : (y + 1) % cols);
+        if (!z.empty() && (z[0] == x || z[0] == y)) continue;
+        auto r = tester.Test(x, y, z);
+        if (!r.ok()) return false;
+        p_values->push_back(r->p_value);
+      }
+    }
+  }
+  return true;
 }
 
 }  // namespace
@@ -40,9 +82,10 @@ double RunCdSeconds(const TablePtr& table, int target, bool cache,
 int main(int argc, char** argv) {
   double scale = ScaleArg(argc, argv);
   Header("bench_fig6c_caching",
-         "Fig. 6(c) — CD runtime: plain vs +materialization vs +caching "
-         "vs both vs warm cache");
-  Row({"rows", "plain[s]", "+mat[s]", "+cache[s]", "both[s]", "warm[s]"},
+         "Fig. 6(c) — CD runtime and data scans: plain vs +materialization "
+         "vs +caching vs both vs warm");
+  Row({"rows", "plain[s]", "+mat[s]", "+cache[s]", "both[s]", "warm[s]",
+       "scans:plain", "scans:both"},
       12);
 
   Rng rng(66);
@@ -56,11 +99,11 @@ int main(int argc, char** argv) {
     TablePtr table = std::make_shared<const Table>(std::move(ds->table));
     const int target = 0;
 
-    double plain = RunCdSeconds(table, target, false, false);
-    double mat = RunCdSeconds(table, target, false, true);
-    double cache = RunCdSeconds(table, target, true, false);
+    CdRun plain = RunCd(table, target, false, false);
+    CdRun mat = RunCd(table, target, false, true);
+    CdRun cache = RunCd(table, target, true, false);
 
-    // "both", then a warm re-run on the same engine (cache populated).
+    // "both", then a warm re-run on the same engine (caches populated).
     MiEngineOptions engine_options;
     CiOptions chi2;
     chi2.method = CiMethod::kGTest;
@@ -74,17 +117,63 @@ int main(int argc, char** argv) {
     Stopwatch timer;
     (void)DiscoverParents(oracle, target, candidates);
     double both = timer.ElapsedSeconds();
+    int64_t both_scans = engine.count_engine().stats().scans;
     timer.Restart();
     (void)DiscoverParents(oracle, target, candidates);
     double warm = timer.ElapsedSeconds();
 
-    Row({std::to_string(data_options.num_rows), Fmt("%.3f", plain),
-         Fmt("%.3f", mat), Fmt("%.3f", cache), Fmt("%.3f", both),
-         Fmt("%.3f", warm)},
+    Row({std::to_string(data_options.num_rows), Fmt("%.3f", plain.seconds),
+         Fmt("%.3f", mat.seconds), Fmt("%.3f", cache.seconds),
+         Fmt("%.3f", both), Fmt("%.3f", warm),
+         std::to_string(plain.scans), std::to_string(both_scans)},
         12);
   }
   std::printf("\n(expected shape: plain > +mat, +cache > both >> warm;\n"
               " the gap widens with the row count because summaries stay\n"
               " small while scans grow linearly)\n");
-  return 0;
+
+  // ---- Equivalence check: caching must change scans, never p-values.
+  std::printf("\n-- caching equivalence (fixed CI workload) --\n");
+  RandomDataOptions eq_options;
+  eq_options.num_nodes = 8;
+  eq_options.expected_degree = 2.5;
+  eq_options.num_rows = static_cast<int64_t>(20000 * scale);
+  Rng eq_rng(99);
+  auto eq_ds = GenerateRandomDataset(eq_options, eq_rng);
+  if (!eq_ds.ok()) return 1;
+  TablePtr eq_table = std::make_shared<const Table>(std::move(eq_ds->table));
+
+  MiEngine scan_engine(TableView(eq_table),
+                       MiEngineOptions{.cache_entropies = false,
+                                       .materialize_focus = false});
+  MiEngine cached_engine(TableView(eq_table), MiEngineOptions{});
+  std::vector<double> p_scan;
+  std::vector<double> p_cached;
+  if (!RunWorkload(&scan_engine, 4242, &p_scan) ||
+      !RunWorkload(&cached_engine, 4242, &p_cached) ||
+      p_scan.size() != p_cached.size()) {
+    std::printf("FAIL: workload did not complete identically\n");
+    return 1;
+  }
+  double max_dp = 0.0;
+  for (size_t i = 0; i < p_scan.size(); ++i) {
+    max_dp = std::max(max_dp, std::fabs(p_scan[i] - p_cached[i]));
+  }
+  int64_t scans_bare = scan_engine.count_engine().stats().scans;
+  CountEngineStats cached_stats = cached_engine.count_engine().stats();
+  std::printf("tests: %zu   scans (bare): %lld   scans (caching): %lld   "
+              "cache hits: %lld   marginalized: %lld\n",
+              p_scan.size(), static_cast<long long>(scans_bare),
+              static_cast<long long>(cached_stats.scans),
+              static_cast<long long>(cached_stats.cache_hits),
+              static_cast<long long>(cached_stats.marginalizations));
+  std::printf("max |Δp| = %.3g\n", max_dp);
+
+  bool fewer_scans = cached_stats.scans < scans_bare;
+  bool same_p = max_dp <= 1e-9;
+  std::printf("%s: caching engine %s scans and %s p-values\n",
+              fewer_scans && same_p ? "PASS" : "FAIL",
+              fewer_scans ? "reduces" : "DOES NOT reduce",
+              same_p ? "preserves" : "CHANGES");
+  return fewer_scans && same_p ? 0 : 1;
 }

@@ -38,6 +38,7 @@ StatusOr<CdResult> DiscoverParents(CiOracle& oracle, int treatment,
     return Status::InvalidArgument("candidates must not contain treatment");
   }
   const int64_t tests_before = oracle.num_tests();
+  const CountEngineStats counts_before = oracle.count_stats();
   CdResult result;
 
   HYPDB_ASSIGN_OR_RETURN(result.markov_blanket,
@@ -113,6 +114,16 @@ StatusOr<CdResult> DiscoverParents(CiOracle& oracle, int treatment,
 
   // ---- Phase II: evict candidates separable from T within MB(T) —
   // those were spouses (parents of children), not parents.
+  // Every phase-II test conditions within MB(T), so one materialized
+  // summary over MB(T) ∪ {T} ∪ candidates serves the whole phase.
+  {
+    std::vector<int> focus = mb_t;
+    focus.push_back(treatment);
+    for (int c : collected) {
+      if (!Contains(focus, c)) focus.push_back(c);
+    }
+    HYPDB_RETURN_IF_ERROR(oracle.Focus(focus));
+  }
   std::vector<int> parents;
   for (int c : collected) {
     std::vector<int> pool;  // MB(T) − {C}
@@ -140,6 +151,7 @@ StatusOr<CdResult> DiscoverParents(CiOracle& oracle, int treatment,
   }
   std::sort(result.parents.begin(), result.parents.end());
   result.tests_used = oracle.num_tests() - tests_before;
+  result.count_stats = oracle.count_stats() - counts_before;
   return result;
 }
 

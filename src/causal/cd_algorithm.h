@@ -55,6 +55,9 @@ struct CdResult {
   bool fell_back_to_blanket = false;
   /// Independence tests consumed (oracle delta).
   int64_t tests_used = 0;
+  /// Count-engine work consumed (oracle delta): scans vs cache hits vs
+  /// marginalizations — the Fig. 6c accounting for this discovery run.
+  CountEngineStats count_stats;
 };
 
 /// Runs CD for `treatment` over `candidates` (ids the oracle understands;

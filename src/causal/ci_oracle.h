@@ -58,6 +58,10 @@ class CiOracle {
     return Status::Ok();
   }
 
+  /// Count-engine instrumentation backing this oracle (scans, cache hits
+  /// — the Fig. 6c metrics). Exact oracles have none.
+  virtual CountEngineStats count_stats() const { return {}; }
+
   /// Number of independence queries answered — the Fig. 6(a) metric.
   int64_t num_tests() const { return num_tests_; }
   void ResetStats() { num_tests_ = 0; }
@@ -96,13 +100,14 @@ class DataCiOracle : public CiOracle {
   }
 
   Status Focus(const std::vector<int>& cols) override {
-    Status st = tester_->engine()->SetFocus(cols);
-    if (!st.ok()) {
-      // A focus that cannot be materialized (domain overflow) is a missed
-      // optimization, not an error.
-      tester_->engine()->ClearFocus();
-    }
+    // A focus that cannot be materialized (domain overflow) is a missed
+    // optimization, not an error.
+    (void)tester_->engine()->SetFocus(cols);
     return Status::Ok();
+  }
+
+  CountEngineStats count_stats() const override {
+    return tester_->engine()->count_engine().stats();
   }
 
   double alpha() const { return alpha_; }

@@ -82,6 +82,7 @@ StatusOr<GsStructureResult> LearnStructureGs(
     CiOracle& oracle, const std::vector<int>& variables,
     const GsStructureOptions& options) {
   const int64_t tests_before = oracle.num_tests();
+  const CountEngineStats counts_before = oracle.count_stats();
   int max_id = 0;
   for (int v : variables) max_id = std::max(max_id, v);
   GsStructureResult result;
@@ -167,6 +168,7 @@ StatusOr<GsStructureResult> LearnStructureGs(
   MeekPropagate(&result.pdag, variables);
 
   result.tests_used = oracle.num_tests() - tests_before;
+  result.count_stats = oracle.count_stats() - counts_before;
   return result;
 }
 

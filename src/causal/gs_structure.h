@@ -30,6 +30,8 @@ struct GsStructureResult {
   /// Markov boundary learned for each variable (indexed as `variables`).
   std::vector<std::vector<int>> blankets;
   int64_t tests_used = 0;
+  /// Count-engine work consumed (oracle delta, Fig. 6c accounting).
+  CountEngineStats count_stats;
 };
 
 /// Learns the structure over `variables` (oracle ids; the Pdag is sized

@@ -8,6 +8,11 @@ namespace {
 // Shared shrink phase: evict any member independent of the target given
 // the remaining members, repeating until stable.
 Status Shrink(CiOracle& oracle, int target, std::vector<int>* blanket) {
+  // Every shrink test runs within target ∪ blanket; hint the count engine
+  // so one materialized summary serves the whole phase (Sec. 6).
+  std::vector<int> focus = *blanket;
+  focus.push_back(target);
+  HYPDB_RETURN_IF_ERROR(oracle.Focus(focus));
   bool changed = true;
   while (changed) {
     changed = false;

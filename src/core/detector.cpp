@@ -41,7 +41,7 @@ StatusOr<BalanceTest> TestBalance(const TablePtr& table, CiTester& tester,
 StatusOr<std::vector<ContextBias>> DetectBias(
     const TablePtr& table, const BoundQuery& bound,
     const std::vector<int>& covariates, const std::vector<int>* mediators,
-    const DetectorOptions& options) {
+    const DetectorOptions& options, CountEngineStats* count_stats) {
   HYPDB_ASSIGN_OR_RETURN(std::vector<Context> contexts,
                          SplitContexts(table, bound));
   std::vector<ContextBias> out;
@@ -52,7 +52,9 @@ StatusOr<std::vector<ContextBias>> DetectBias(
     bias.context_labels = ctx.labels;
     bias.rows = ctx.view.NumRows();
 
-    MiEngine engine(ctx.view);
+    // One count engine per context: the balance tests for total and
+    // direct effect share most of their counts.
+    MiEngine engine(ctx.view, options.engine);
     CiTester tester(&engine, options.ci, seed++);
     HYPDB_ASSIGN_OR_RETURN(
         bias.total, TestBalance(table, tester, bound.treatment, covariates,
@@ -68,6 +70,7 @@ StatusOr<std::vector<ContextBias>> DetectBias(
           TestBalance(table, tester, bound.treatment, v, options.alpha));
       bias.has_direct = true;
     }
+    if (count_stats != nullptr) *count_stats += engine.count_engine().stats();
     out.push_back(std::move(bias));
   }
 

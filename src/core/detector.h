@@ -48,14 +48,18 @@ struct DetectorOptions {
   CiOptions ci;
   double alpha = 0.01;
   uint64_t seed = 0xB1A5;
+  /// Count-engine configuration for the per-context estimators.
+  MiEngineOptions engine;
 };
 
 /// Tests balance of the bound query w.r.t. covariates (and, when
 /// `mediators` is non-null, covariates ∪ mediators) in every context.
+/// When `count_stats` is non-null, the count-engine work of all contexts
+/// is accumulated into it (Fig. 6c accounting).
 StatusOr<std::vector<ContextBias>> DetectBias(
     const TablePtr& table, const BoundQuery& bound,
     const std::vector<int>& covariates, const std::vector<int>* mediators,
-    const DetectorOptions& options);
+    const DetectorOptions& options, CountEngineStats* count_stats = nullptr);
 
 }  // namespace hypdb
 

@@ -39,16 +39,19 @@ std::unordered_map<uint64_t, double> ContributionMap(
 }  // namespace
 
 StatusOr<std::vector<ExplanationTriple>> FineGrainedExplanations(
-    const TableView& view, int t_col, int y_col, int z_col, int top_k) {
+    CountEngine& engine, const Table& table, int t_col, int y_col,
+    int z_col, int top_k) {
+  // Observed triples first (Alg. 3 line 2): a caching engine then derives
+  // both pairwise marginals from this summary without touching the data.
+  HYPDB_ASSIGN_OR_RETURN(GroupCounts triples,
+                         engine.Counts({t_col, y_col, z_col}));
+
   // Pairwise contributions.
-  HYPDB_ASSIGN_OR_RETURN(GroupCounts tz, CountBy(view, {t_col, z_col}));
-  HYPDB_ASSIGN_OR_RETURN(GroupCounts yz, CountBy(view, {y_col, z_col}));
+  HYPDB_ASSIGN_OR_RETURN(GroupCounts tz, engine.Counts({t_col, z_col}));
+  HYPDB_ASSIGN_OR_RETURN(GroupCounts yz, engine.Counts({y_col, z_col}));
   std::unordered_map<uint64_t, double> kappa_tz = ContributionMap(tz);
   std::unordered_map<uint64_t, double> kappa_yz = ContributionMap(yz);
 
-  // Observed triples (Alg. 3 line 2).
-  HYPDB_ASSIGN_OR_RETURN(GroupCounts triples,
-                         CountBy(view, {t_col, y_col, z_col}));
   struct Scored {
     int32_t t, y, z;
     double k_tz, k_yz;
@@ -88,9 +91,9 @@ StatusOr<std::vector<ExplanationTriple>> FineGrainedExplanations(
     return sa != sb ? sa < sb : a < b;
   });
 
-  const Column& t_column = view.table().column(t_col);
-  const Column& y_column = view.table().column(y_col);
-  const Column& z_column = view.table().column(z_col);
+  const Column& t_column = table.column(t_col);
+  const Column& y_column = table.column(y_col);
+  const Column& z_column = table.column(z_col);
   std::vector<ExplanationTriple> out;
   for (size_t r = 0; r < order.size() && r < static_cast<size_t>(top_k);
        ++r) {
@@ -107,9 +110,19 @@ StatusOr<std::vector<ExplanationTriple>> FineGrainedExplanations(
   return out;
 }
 
+StatusOr<std::vector<ExplanationTriple>> FineGrainedExplanations(
+    const TableView& view, int t_col, int y_col, int z_col, int top_k) {
+  // Caching wrapper so the pairwise marginals derive from the (T, Y, Z)
+  // summary: one scan instead of three.
+  CachingCountEngine engine(std::make_shared<ViewCountProvider>(view));
+  return FineGrainedExplanations(engine, view.table(), t_col, y_col,
+                                 z_col, top_k);
+}
+
 StatusOr<std::vector<ContextExplanation>> ExplainBias(
     const TablePtr& table, const BoundQuery& bound,
-    const std::vector<int>& variables, const ExplainerOptions& options) {
+    const std::vector<int>& variables, const ExplainerOptions& options,
+    CountEngineStats* count_stats) {
   HYPDB_ASSIGN_OR_RETURN(std::vector<Context> contexts,
                          SplitContexts(table, bound));
   if (options.outcome_index < 0 ||
@@ -123,8 +136,9 @@ StatusOr<std::vector<ContextExplanation>> ExplainBias(
     ContextExplanation expl;
     expl.context_labels = ctx.labels;
 
-    // Coarse-grained responsibilities (Eq. 4).
-    MiEngine engine(ctx.view);
+    // Coarse-grained responsibilities (Eq. 4). The same count engine
+    // serves the fine-grained triples below.
+    MiEngine engine(ctx.view, options.engine);
     std::vector<double> numerators(variables.size(), 0.0);
     HYPDB_ASSIGN_OR_RETURN(double i_full,
                            engine.MiSets({bound.treatment}, variables, {}));
@@ -159,10 +173,12 @@ StatusOr<std::vector<ContextExplanation>> ExplainBias(
       fine.column = expl.coarse[i].column;
       HYPDB_ASSIGN_OR_RETURN(
           fine.top,
-          FineGrainedExplanations(ctx.view, bound.treatment, y_col,
-                                  fine.column, options.top_k));
+          FineGrainedExplanations(engine.count_engine(), *table,
+                                  bound.treatment, y_col, fine.column,
+                                  options.top_k));
       expl.fine.push_back(std::move(fine));
     }
+    if (count_stats != nullptr) *count_stats += engine.count_engine().stats();
     out.push_back(std::move(expl));
   }
   return out;

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/query.h"
+#include "stats/mi_engine.h"
 #include "util/statusor.h"
 
 namespace hypdb {
@@ -63,15 +64,26 @@ struct ExplainerOptions {
   int fine_covariates = 2;
   /// Outcome used for the Y side of fine-grained triples.
   int outcome_index = 0;
+  /// Count-engine configuration for the per-context estimators.
+  MiEngineOptions engine;
 };
 
 /// Explains the bias of the bound query w.r.t. V = covariates ∪ mediators
-/// in every context.
+/// in every context. When `count_stats` is non-null, the count-engine
+/// work of all contexts is accumulated into it.
 StatusOr<std::vector<ContextExplanation>> ExplainBias(
     const TablePtr& table, const BoundQuery& bound,
-    const std::vector<int>& variables, const ExplainerOptions& options);
+    const std::vector<int>& variables, const ExplainerOptions& options,
+    CountEngineStats* count_stats = nullptr);
 
-/// Alg. 3 on one view: top-k triples for covariate `z_col`.
+/// Alg. 3 over engine-served counts: top-k triples for covariate `z_col`.
+/// The (T, Y, Z) summary is queried first so the pairwise marginals can
+/// derive from it when the engine caches.
+StatusOr<std::vector<ExplanationTriple>> FineGrainedExplanations(
+    CountEngine& engine, const Table& table, int t_col, int y_col,
+    int z_col, int top_k);
+
+/// Alg. 3 on one view (scan-backed convenience wrapper).
 StatusOr<std::vector<ExplanationTriple>> FineGrainedExplanations(
     const TableView& view, int t_col, int y_col, int z_col, int top_k);
 

@@ -85,7 +85,9 @@ StatusOr<DiscoveryReport> HypDb::Discover(const AggQuery& query) const {
     if (c != bound.treatment) candidates.push_back(c);
   }
 
-  MiEngine engine(bound.population);
+  // One count engine serves both discovery runs (PA_T and PA_Y): their
+  // CI tests overlap heavily on the shared population.
+  MiEngine engine(bound.population, options_.engine);
   CiTester tester(&engine, options_.ci, options_.seed);
   DataCiOracle oracle(&tester, options_.alpha);
 
@@ -122,6 +124,7 @@ StatusOr<DiscoveryReport> HypDb::Discover(const AggQuery& query) const {
   report.covariates = Names(table_, report.covariate_cols);
   report.mediators = Names(table_, report.mediator_cols);
   report.tests_used = oracle.num_tests();
+  report.count_stats = engine.count_engine().stats();
   report.seconds = timer.ElapsedSeconds();
   return report;
 }
@@ -149,15 +152,17 @@ StatusOr<HypDbReport> HypDb::Analyze(const AggQuery& query) {
   // --- Detection (Sec. 3.1). Discovery time is reported separately; the
   // paper's "Det." column covers the balance tests.
   Stopwatch timer;
+  report.count_stats = report.discovery.count_stats;
   DetectorOptions det;
   det.ci = options_.ci;
   det.alpha = options_.alpha;
   det.seed = options_.seed ^ 0xDE7EC7;
+  det.engine = options_.engine;
   const std::vector<int>* mediators =
       options_.discover_mediators ? &report.discovery.mediator_cols : nullptr;
   HYPDB_ASSIGN_OR_RETURN(
       report.bias, DetectBias(table_, bound, report.discovery.covariate_cols,
-                              mediators, det));
+                              mediators, det, &report.count_stats));
   report.detect_seconds = timer.ElapsedSeconds();
 
   // --- Explanation (Sec. 3.2) over V = Z ∪ M.
@@ -167,8 +172,11 @@ StatusOr<HypDbReport> HypDb::Analyze(const AggQuery& query) {
     if (!Contains(v, m)) v.push_back(m);
   }
   std::sort(v.begin(), v.end());
-  HYPDB_ASSIGN_OR_RETURN(report.explanations,
-                         ExplainBias(table_, bound, v, options_.explain));
+  ExplainerOptions explain = options_.explain;
+  explain.engine = options_.engine;
+  HYPDB_ASSIGN_OR_RETURN(
+      report.explanations,
+      ExplainBias(table_, bound, v, explain, &report.count_stats));
   report.explain_seconds = timer.ElapsedSeconds();
 
   // --- Resolution (Sec. 3.3).
@@ -179,10 +187,12 @@ StatusOr<HypDbReport> HypDb::Analyze(const AggQuery& query) {
   rw.compute_direct = options_.discover_mediators;
   rw.direct_reference = options_.direct_reference;
   rw.compute_significance = options_.compute_significance;
+  rw.engine = options_.engine;
   HYPDB_ASSIGN_OR_RETURN(
       report.rewrites,
       RewriteAndEstimate(table_, bound, report.discovery.covariate_cols,
-                         report.discovery.mediator_cols, rw));
+                         report.discovery.mediator_cols, rw,
+                         &report.count_stats));
   report.resolve_seconds = timer.ElapsedSeconds();
 
   report.sql_total = RewrittenTotalSql(query, report.discovery.covariates);
@@ -346,6 +356,18 @@ std::string RenderReport(const HypDbReport& report) {
       "%.3fs\n",
       report.discovery.seconds, report.detect_seconds, report.explain_seconds,
       report.resolve_seconds);
+  const CountEngineStats& cs = report.count_stats;
+  out += StrFormat("count engine: %lld queries, %lld scans",
+                   static_cast<long long>(cs.queries),
+                   static_cast<long long>(cs.scans));
+  out += StrFormat(", %lld cache hits, %lld marginalized",
+                   static_cast<long long>(cs.cache_hits),
+                   static_cast<long long>(cs.marginalizations));
+  if (cs.cube_hits > 0) {
+    out += StrFormat(", %lld cube hits",
+                     static_cast<long long>(cs.cube_hits));
+  }
+  out += "\n";
   return out;
 }
 

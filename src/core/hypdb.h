@@ -33,6 +33,9 @@ struct HypDbOptions {
   /// Independence-test configuration shared by discovery, detection and
   /// significance testing. Default: HyMIT (Sec. 6).
   CiOptions ci;
+  /// Count-engine configuration (caching, marginalization, scan threads)
+  /// shared by every stage that reads contingency counts.
+  MiEngineOptions engine;
   /// Significance level for all tests (Sec. 7.3 uses 0.01).
   double alpha = 0.01;
   CdOptions cd;
@@ -61,6 +64,8 @@ struct DiscoveryReport {
   std::vector<std::string> dropped_fd;
   std::vector<std::string> dropped_keys;
   int64_t tests_used = 0;
+  /// Count-engine work of the discovery stage (Fig. 6c accounting).
+  CountEngineStats count_stats;
   double seconds = 0.0;
 };
 
@@ -78,6 +83,9 @@ struct HypDbReport {
   double detect_seconds = 0.0;
   double explain_seconds = 0.0;
   double resolve_seconds = 0.0;
+  /// Aggregate count-engine work across discovery, detection, explanation
+  /// and resolution (scans vs cache hits vs marginalizations — Fig. 6c).
+  CountEngineStats count_stats;
 
   /// True when any context is biased w.r.t. the covariates.
   bool AnyBias() const;

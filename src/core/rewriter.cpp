@@ -262,7 +262,7 @@ double ContextRewrite::Difference(const std::string& t1,
 StatusOr<std::vector<ContextRewrite>> RewriteAndEstimate(
     const TablePtr& table, const BoundQuery& bound,
     const std::vector<int>& covariates, const std::vector<int>& mediators,
-    const RewriterOptions& options) {
+    const RewriterOptions& options, CountEngineStats* count_stats) {
   HYPDB_ASSIGN_OR_RETURN(std::vector<Context> contexts,
                          SplitContexts(table, bound));
   std::vector<ContextRewrite> out;
@@ -301,7 +301,7 @@ StatusOr<std::vector<ContextRewrite>> RewriteAndEstimate(
     }
 
     if (options.compute_significance) {
-      MiEngine engine(ctx.view);
+      MiEngine engine(ctx.view, options.engine);
       CiTester tester(&engine, options.ci, seed++);
       for (int y : bound.outcomes) {
         std::vector<int> z_total;
@@ -329,6 +329,9 @@ StatusOr<std::vector<ContextRewrite>> RewriteAndEstimate(
               tester.TestSets({bound.treatment}, {y}, z_direct));
           rewrite.direct_sig.push_back(direct_sig);
         }
+      }
+      if (count_stats != nullptr) {
+        *count_stats += engine.count_engine().stats();
       }
     }
     out.push_back(std::move(rewrite));

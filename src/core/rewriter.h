@@ -76,14 +76,18 @@ struct RewriterOptions {
   /// lexicographically largest treatment label.
   std::string direct_reference;
   bool compute_significance = true;
+  /// Count-engine configuration for the significance tests.
+  MiEngineOptions engine;
 };
 
 /// Rewrites the bound query w.r.t. `covariates` (total effect) and
-/// `mediators` (direct effect) and evaluates it per context.
+/// `mediators` (direct effect) and evaluates it per context. When
+/// `count_stats` is non-null, the significance tests' count-engine work
+/// is accumulated into it.
 StatusOr<std::vector<ContextRewrite>> RewriteAndEstimate(
     const TablePtr& table, const BoundQuery& bound,
     const std::vector<int>& covariates, const std::vector<int>& mediators,
-    const RewriterOptions& options);
+    const RewriterOptions& options, CountEngineStats* count_stats = nullptr);
 
 }  // namespace hypdb
 

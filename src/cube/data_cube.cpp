@@ -75,21 +75,40 @@ StatusOr<GroupCounts> DataCube::Counts(const std::vector<int>& cols) const {
     }
     mask |= 1u << (it - dims_.begin());
   }
-  return cells_.at(mask);
+  // The cuboid is stored in sorted-dims order; honor the CountEngine
+  // contract that the result codec follows the requested order.
+  return ProjectOnto(cells_.at(mask), cols);
 }
 
 StatusOr<GroupCounts> CubeCountProvider::Counts(
     const std::vector<int>& cols) {
+  ++stats_.queries;
   StatusOr<GroupCounts> from_cube = cube_->Counts(cols);
   if (from_cube.ok()) {
-    ++cube_hits_;
+    ++stats_.cube_hits;
     return from_cube;
   }
   if (fallback_ != nullptr) {
-    ++fallback_calls_;
+    ++stats_.fallback_calls;
     return fallback_->Counts(cols);
   }
   return from_cube.status();
+}
+
+CountEngineStats CubeCountProvider::stats() const {
+  CountEngineStats total = stats_;
+  if (fallback_ != nullptr) {
+    total += fallback_->stats();
+    // Fallback calls were issued by this adapter for the same external
+    // queries; only count each query once.
+    total.queries = stats_.queries;
+  }
+  return total;
+}
+
+void CubeCountProvider::ResetStats() {
+  stats_ = {};
+  if (fallback_ != nullptr) fallback_->ResetStats();
 }
 
 }  // namespace hypdb

@@ -19,7 +19,7 @@
 
 #include "dataframe/group_by.h"
 #include "dataframe/view.h"
-#include "stats/count_provider.h"
+#include "engine/count_engine.h"
 #include "util/statusor.h"
 
 namespace hypdb {
@@ -52,27 +52,30 @@ class DataCube {
   int64_t total_cells_ = 0;
 };
 
-/// CountProvider view of a cube. Queries outside the cube's dimension set
-/// fail unless a fallback provider is supplied.
-class CubeCountProvider : public CountProvider {
+/// CountEngine view of a cube. Queries outside the cube's dimension set
+/// fail unless a fallback engine is supplied.
+class CubeCountProvider : public CountEngine {
  public:
   explicit CubeCountProvider(
       std::shared_ptr<const DataCube> cube,
-      std::shared_ptr<CountProvider> fallback = nullptr)
+      std::shared_ptr<CountEngine> fallback = nullptr)
       : cube_(std::move(cube)), fallback_(std::move(fallback)) {}
 
   StatusOr<GroupCounts> Counts(const std::vector<int>& cols) override;
 
   int64_t NumRows() const override { return cube_->NumRows(); }
 
-  int64_t cube_hits() const { return cube_hits_; }
-  int64_t fallback_calls() const { return fallback_calls_; }
+  /// This adapter's counters plus the fallback engine's (if any).
+  CountEngineStats stats() const override;
+  void ResetStats() override;
+
+  int64_t cube_hits() const { return stats_.cube_hits; }
+  int64_t fallback_calls() const { return stats_.fallback_calls; }
 
  private:
   std::shared_ptr<const DataCube> cube_;
-  std::shared_ptr<CountProvider> fallback_;
-  int64_t cube_hits_ = 0;
-  int64_t fallback_calls_ = 0;
+  std::shared_ptr<CountEngine> fallback_;
+  CountEngineStats stats_;
 };
 
 }  // namespace hypdb

@@ -19,8 +19,12 @@ int32_t Dictionary::Find(const std::string& label) const {
   return it == index_.end() ? -1 : it->second;
 }
 
-void Column::EnsureNumericCache() const {
-  if (numeric_cache_built_) return;
+Column::Column(std::string name, Dictionary dict, std::vector<int32_t> codes)
+    : name_(std::move(name)),
+      dict_(std::move(dict)),
+      codes_(std::move(codes)) {
+  // Eager build keeps the column free of mutable state: readers on any
+  // thread (e.g. the parallel scan kernel) only ever see const data.
   numeric_cache_.resize(dict_.size());
   for (int32_t c = 0; c < dict_.size(); ++c) {
     const std::string& label = dict_.Label(c);
@@ -29,11 +33,9 @@ void Column::EnsureNumericCache() const {
     bool parsed = end != label.c_str() && *end == '\0' && !label.empty();
     numeric_cache_[c] = parsed ? v : std::nan("");
   }
-  numeric_cache_built_ = true;
 }
 
 StatusOr<double> Column::NumericValue(int32_t code) const {
-  EnsureNumericCache();
   if (code < 0 || code >= dict_.size()) {
     return Status::OutOfRange("code out of range for column " + name_);
   }
@@ -47,7 +49,6 @@ StatusOr<double> Column::NumericValue(int32_t code) const {
 }
 
 bool Column::IsNumericLike() const {
-  EnsureNumericCache();
   for (double v : numeric_cache_) {
     if (std::isnan(v)) return false;
   }

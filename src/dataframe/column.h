@@ -35,14 +35,14 @@ class Dictionary {
   std::unordered_map<std::string, int32_t> index_;
 };
 
-/// A named categorical column: codes + dictionary.
+/// A named categorical column: codes + dictionary. Immutable once built,
+/// so concurrent readers (the parallel scan kernel) need no locking — the
+/// numeric label cache is built eagerly in the constructor for exactly
+/// that reason.
 class Column {
  public:
   Column() = default;
-  Column(std::string name, Dictionary dict, std::vector<int32_t> codes)
-      : name_(std::move(name)),
-        dict_(std::move(dict)),
-        codes_(std::move(codes)) {}
+  Column(std::string name, Dictionary dict, std::vector<int32_t> codes);
 
   const std::string& name() const { return name_; }
   const Dictionary& dict() const { return dict_; }
@@ -64,15 +64,12 @@ class Column {
   bool IsNumericLike() const;
 
  private:
-  void EnsureNumericCache() const;
-
   std::string name_;
   Dictionary dict_;
   std::vector<int32_t> codes_;
 
-  // Lazily-built cache of parsed labels; NaN marks unparseable.
-  mutable std::vector<double> numeric_cache_;
-  mutable bool numeric_cache_built_ = false;
+  // Parsed labels, built once at construction; NaN marks unparseable.
+  std::vector<double> numeric_cache_;
 };
 
 /// Incrementally builds a column from string values or raw codes.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "engine/groupby_kernel.h"
+
 namespace hypdb {
 namespace {
 
@@ -27,38 +29,9 @@ void SortByKey(std::vector<uint64_t>* keys, std::vector<Payload>* payloads) {
 
 StatusOr<GroupCounts> CountBy(const TableView& view,
                               const std::vector<int>& cols) {
-  GroupCounts out;
-  HYPDB_ASSIGN_OR_RETURN(out.codec, TupleCodec::Create(view.table(), cols));
-  const int64_t n = view.NumRows();
-  out.total = n;
-
-  // Dense counting when the domain is small relative to the data; hash
-  // aggregation otherwise.
-  const uint64_t domain = out.codec.Domain();
-  if (domain <= 1u << 20 &&
-      domain <= static_cast<uint64_t>(std::max<int64_t>(n * 4, 1024))) {
-    std::vector<int64_t> dense(domain, 0);
-    for (int64_t i = 0; i < n; ++i) ++dense[out.codec.Encode(view, i)];
-    for (uint64_t k = 0; k < domain; ++k) {
-      if (dense[k] > 0) {
-        out.keys.push_back(k);
-        out.counts.push_back(dense[k]);
-      }
-    }
-    return out;
-  }
-
-  std::unordered_map<uint64_t, int64_t> agg;
-  agg.reserve(static_cast<size_t>(std::min<int64_t>(n, 1 << 16)));
-  for (int64_t i = 0; i < n; ++i) ++agg[out.codec.Encode(view, i)];
-  out.keys.reserve(agg.size());
-  out.counts.reserve(agg.size());
-  for (const auto& [k, c] : agg) {
-    out.keys.push_back(k);
-    out.counts.push_back(c);
-  }
-  SortByKey(&out.keys, &out.counts);
-  return out;
+  // One implementation for all count(*) GROUP BYs: the packed-tuple
+  // kernel (dense radix / open-addressing hash) in src/engine.
+  return ScanCounts(view, cols);
 }
 
 StatusOr<GroupedRows> CollectGroups(const TableView& view,
@@ -135,6 +108,28 @@ StatusOr<GroupedAverages> AverageBy(const TableView& view,
     out.means.push_back(std::move(mean));
   }
   return out;
+}
+
+void SortCountsByKey(std::vector<uint64_t>* keys,
+                     std::vector<int64_t>* counts) {
+  SortByKey(keys, counts);
+}
+
+GroupCounts ProjectOnto(const GroupCounts& counts,
+                        const std::vector<int>& cols) {
+  if (counts.codec.cols() == cols) return counts;
+  const std::vector<int>& have = counts.codec.cols();
+  std::vector<int> positions;
+  positions.reserve(cols.size());
+  for (int c : cols) {
+    for (size_t j = 0; j < have.size(); ++j) {
+      if (have[j] == c) {
+        positions.push_back(static_cast<int>(j));
+        break;
+      }
+    }
+  }
+  return MarginalizeOnto(counts, positions);
 }
 
 GroupCounts MarginalizeOnto(const GroupCounts& counts,

@@ -70,6 +70,18 @@ StatusOr<GroupedAverages> AverageBy(const TableView& view,
 GroupCounts MarginalizeOnto(const GroupCounts& counts,
                             const std::vector<int>& keep);
 
+/// Projects `counts` onto table columns `cols` (each present in
+/// counts.codec.cols()), in exactly the requested order — a plain copy
+/// when the codec already matches. This is how caches and cube cells
+/// stored in one column order answer queries phrased in another.
+GroupCounts ProjectOnto(const GroupCounts& counts,
+                        const std::vector<int>& cols);
+
+/// Sorts parallel (key, count) arrays by key ascending (the GroupCounts
+/// invariant shared by every producer).
+void SortCountsByKey(std::vector<uint64_t>* keys,
+                     std::vector<int64_t>* counts);
+
 }  // namespace hypdb
 
 #endif  // HYPDB_DATAFRAME_GROUP_BY_H_

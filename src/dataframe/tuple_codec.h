@@ -70,6 +70,8 @@ class TupleCodec {
 
   const std::vector<int>& cols() const { return cols_; }
   const std::vector<int32_t>& cardinalities() const { return cards_; }
+  /// Per-column mixed-radix strides (for raw-pointer scan kernels).
+  const std::vector<uint64_t>& strides() const { return strides_; }
 
   /// Product of cardinalities (1 for an empty column list).
   uint64_t Domain() const { return domain_; }

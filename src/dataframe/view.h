@@ -41,6 +41,10 @@ class TableView {
   /// Physical row index of the i-th row of this view.
   int64_t RowId(int64_t i) const { return rows_ ? (*rows_)[i] : i; }
 
+  /// The explicit row-id list, or null when the view spans all rows
+  /// (lets scan kernels read ids through a raw pointer).
+  const std::vector<int64_t>* row_ids() const { return rows_.get(); }
+
   /// Code of column `col` at view row `i`.
   int32_t CodeAt(int64_t i, int col) const {
     return table_->column(col).CodeAt(RowId(i));

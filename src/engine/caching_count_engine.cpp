@@ -1,0 +1,130 @@
+#include "engine/caching_count_engine.h"
+
+#include <algorithm>
+
+namespace hypdb {
+namespace {
+
+std::vector<int> SortedUnique(std::vector<int> cols) {
+  std::sort(cols.begin(), cols.end());
+  cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+  return cols;
+}
+
+// True iff `sub` ⊆ `super`, both sorted ascending.
+bool IsSubset(const std::vector<int>& sub, const std::vector<int>& super) {
+  size_t j = 0;
+  for (int c : sub) {
+    while (j < super.size() && super[j] < c) ++j;
+    if (j == super.size() || super[j] != c) return false;
+    ++j;
+  }
+  return true;
+}
+
+}  // namespace
+
+CachingCountEngine::CachingCountEngine(std::shared_ptr<CountEngine> base,
+                                       CachingCountEngineOptions options)
+    : base_(std::move(base)), options_(options) {}
+
+StatusOr<GroupCounts> CachingCountEngine::Counts(
+    const std::vector<int>& cols) {
+  ++stats_.queries;
+  std::vector<int> sorted = SortedUnique(cols);
+  if (sorted.size() != cols.size()) {
+    // Duplicate columns — rare and never issued by the stats layer; bypass
+    // the cache rather than reason about repeated digits.
+    return base_->Counts(cols);
+  }
+
+  auto exact = cache_.find(sorted);
+  if (exact != cache_.end()) {
+    ++stats_.cache_hits;
+    return ProjectOnto(exact->second.counts, cols);
+  }
+
+  if (options_.marginalize_supersets) {
+    // Smallest cached superset wins: fewer groups to sum.
+    const Entry* best = nullptr;
+    for (const auto& [key, entry] : cache_) {
+      if (key.size() <= sorted.size() || !IsSubset(sorted, key)) continue;
+      if (best == nullptr ||
+          entry.counts.NumGroups() < best->counts.NumGroups()) {
+        best = &entry;
+      }
+    }
+    if (best != nullptr) {
+      ++stats_.marginalizations;
+      GroupCounts derived = ProjectOnto(best->counts, cols);
+      Insert(std::move(sorted), derived, /*pinned=*/false);
+      return derived;
+    }
+  }
+
+  HYPDB_ASSIGN_OR_RETURN(GroupCounts fresh, base_->Counts(cols));
+  Insert(std::move(sorted), fresh, /*pinned=*/false);
+  return fresh;
+}
+
+Status CachingCountEngine::Prefetch(const std::vector<int>& cols) {
+  std::vector<int> sorted = SortedUnique(cols);
+  // One pinned focus at a time: release the previous one so repeated
+  // Focus() hints (one per discovery phase) cannot accumulate unbounded
+  // pinned summaries that defeat the cell budget.
+  if (!pinned_key_.empty() && pinned_key_ != sorted) {
+    auto prev = cache_.find(pinned_key_);
+    if (prev != cache_.end()) prev->second.pinned = false;
+  }
+  pinned_key_ = sorted;
+  auto it = cache_.find(sorted);
+  if (it != cache_.end()) {
+    it->second.pinned = true;
+    return Status::Ok();
+  }
+  HYPDB_ASSIGN_OR_RETURN(GroupCounts counts, base_->Counts(sorted));
+  Insert(std::move(sorted), std::move(counts), /*pinned=*/true);
+  return Status::Ok();
+}
+
+void CachingCountEngine::Insert(std::vector<int> sorted, GroupCounts counts,
+                                bool pinned) {
+  cached_cells_ += counts.NumGroups();
+  Entry entry;
+  entry.counts = std::move(counts);
+  entry.pinned = pinned;
+  age_.push_back(sorted);
+  cache_.insert_or_assign(std::move(sorted), std::move(entry));
+  EvictToBudget();
+}
+
+void CachingCountEngine::EvictToBudget() {
+  auto it = age_.begin();
+  while (cached_cells_ > options_.max_cached_cells && it != age_.end()) {
+    auto found = cache_.find(*it);
+    if (found == cache_.end() || found->second.pinned) {
+      ++it;  // already evicted under a newer age entry, or pinned
+      continue;
+    }
+    cached_cells_ -= found->second.counts.NumGroups();
+    cache_.erase(found);
+    ++stats_.evictions;
+    it = age_.erase(it);
+  }
+}
+
+CountEngineStats CachingCountEngine::stats() const {
+  CountEngineStats total = stats_;
+  total += base_->stats();
+  // Base-engine calls were all issued by this layer on behalf of the same
+  // external queries; only count each external query once.
+  total.queries = stats_.queries;
+  return total;
+}
+
+void CachingCountEngine::ResetStats() {
+  stats_ = {};
+  base_->ResetStats();
+}
+
+}  // namespace hypdb

@@ -1,0 +1,81 @@
+// CachingCountEngine: subset-keyed count cache with marginalization.
+//
+// The CD algorithm issues thousands of CI tests whose contingency counts
+// overlap heavily (paper Sec. 6, Fig. 6c). This engine remembers every
+// GROUP BY summary it has produced, keyed by the *set* of columns, and
+// answers a query for S by (in order of preference):
+//  1. returning the cached S summary (cache hit);
+//  2. marginalizing the smallest cached S' ⊇ S summary — summing a few
+//     thousand cells instead of re-scanning millions of rows;
+//  3. delegating to the wrapped engine (a scan or a cube lookup) and
+//     caching the result.
+// Prefetch(S') materializes a superset summary once and pins it, which is
+// exactly the paper's "materializing contingency tables" optimization.
+// Cached cells are bounded; unpinned entries are evicted oldest-first.
+
+#ifndef HYPDB_ENGINE_CACHING_COUNT_ENGINE_H_
+#define HYPDB_ENGINE_CACHING_COUNT_ENGINE_H_
+
+#include <list>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "engine/count_engine.h"
+
+namespace hypdb {
+
+struct CachingCountEngineOptions {
+  /// Derive counts for S from a cached superset instead of delegating.
+  bool marginalize_supersets = true;
+  /// Budget on the total number of cached groups across entries; unpinned
+  /// entries are evicted oldest-first when exceeded.
+  int64_t max_cached_cells = int64_t{1} << 22;
+};
+
+class CachingCountEngine : public CountEngine {
+ public:
+  explicit CachingCountEngine(std::shared_ptr<CountEngine> base,
+                              CachingCountEngineOptions options = {});
+
+  StatusOr<GroupCounts> Counts(const std::vector<int>& cols) override;
+
+  /// Materializes (and pins) the summary over `cols` so subsequent subset
+  /// queries marginalize it. Propagates base-engine errors (e.g. domain
+  /// overflow) — callers treat that as a missed optimization.
+  Status Prefetch(const std::vector<int>& cols) override;
+
+  int64_t NumRows() const override { return base_->NumRows(); }
+
+  /// This layer's counters plus the base engine's.
+  CountEngineStats stats() const override;
+  void ResetStats() override;
+
+  /// Cells currently held (memory proxy), and entry count.
+  int64_t cached_cells() const { return cached_cells_; }
+  int num_entries() const { return static_cast<int>(cache_.size()); }
+
+  CountEngine& base() { return *base_; }
+
+ private:
+  struct Entry {
+    GroupCounts counts;  // codec order may be any permutation of the key
+    bool pinned = false;
+  };
+
+  /// Inserts under the sorted key, then evicts to budget.
+  void Insert(std::vector<int> sorted, GroupCounts counts, bool pinned);
+  void EvictToBudget();
+
+  std::shared_ptr<CountEngine> base_;
+  CachingCountEngineOptions options_;
+  std::map<std::vector<int>, Entry> cache_;
+  std::list<std::vector<int>> age_;  // insertion order, oldest first
+  std::vector<int> pinned_key_;      // the single pinned focus (sorted)
+  int64_t cached_cells_ = 0;
+  CountEngineStats stats_;
+};
+
+}  // namespace hypdb
+
+#endif  // HYPDB_ENGINE_CACHING_COUNT_ENGINE_H_

@@ -1,0 +1,141 @@
+// CountEngine: the single source of contingency counts for the pipeline.
+//
+// Every statistic in HypDB reduces to count(*) GROUP BY over a column
+// subset (paper Sec. 6), and the thousands of CI tests issued by the CD
+// algorithm share most of their counts. CountEngine is the interface those
+// counts flow through; implementations form a small hierarchy:
+//  * ViewCountProvider   — scans a TableView with the packed-tuple kernel
+//                          (optionally multi-threaded); the ground truth.
+//  * CubeCountProvider   — answers from a pre-computed OLAP data cube
+//                          (src/cube), the Fig. 6(d)/8(b) configuration.
+//  * CachingCountEngine  — wraps any engine with a subset-keyed cache plus
+//                          marginalization: counts for S ⊆ S' derive from
+//                          a cached S' summary instead of re-scanning
+//                          (src/engine/caching_count_engine.h).
+// Instrumentation (scans, cache hits, marginalizations) flows up the stack
+// into DiscoveryReport / HypDbReport — the Fig. 6(c) metrics.
+
+#ifndef HYPDB_ENGINE_COUNT_ENGINE_H_
+#define HYPDB_ENGINE_COUNT_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "dataframe/group_by.h"
+#include "dataframe/view.h"
+#include "engine/groupby_kernel.h"
+#include "util/statusor.h"
+
+namespace hypdb {
+
+/// Counters an engine stack accumulates while answering Counts() calls.
+/// Summing a wrapper's own counters with its base engine's is well defined
+/// because each work field is incremented by exactly one layer kind:
+/// `scans` by view scanners, `cube_hits`/`fallback_calls` by cube
+/// adapters, `cache_hits`/`marginalizations`/`evictions` by caching
+/// layers. `queries` is the exception — wrappers report their own count
+/// (each external query once), not the sum.
+struct CountEngineStats {
+  /// External Counts() calls answered by the reporting engine.
+  int64_t queries = 0;
+  /// Full data scans performed (the Fig. 6c cost driver).
+  int64_t scans = 0;
+  /// Queries answered from an exact cached entry.
+  int64_t cache_hits = 0;
+  /// Queries derived by marginalizing a cached superset summary.
+  int64_t marginalizations = 0;
+  /// Queries answered by cube-cell lookup.
+  int64_t cube_hits = 0;
+  /// Cube misses delegated to a fallback provider.
+  int64_t fallback_calls = 0;
+  /// Cache entries dropped under memory pressure.
+  int64_t evictions = 0;
+
+  CountEngineStats& operator+=(const CountEngineStats& o) {
+    queries += o.queries;
+    scans += o.scans;
+    cache_hits += o.cache_hits;
+    marginalizations += o.marginalizations;
+    cube_hits += o.cube_hits;
+    fallback_calls += o.fallback_calls;
+    evictions += o.evictions;
+    return *this;
+  }
+
+  CountEngineStats operator-(const CountEngineStats& o) const {
+    CountEngineStats d = *this;
+    d.queries -= o.queries;
+    d.scans -= o.scans;
+    d.cache_hits -= o.cache_hits;
+    d.marginalizations -= o.marginalizations;
+    d.cube_hits -= o.cube_hits;
+    d.fallback_calls -= o.fallback_calls;
+    d.evictions -= o.evictions;
+    return d;
+  }
+};
+
+/// Source of group-by counts over a fixed row population.
+class CountEngine {
+ public:
+  virtual ~CountEngine() = default;
+
+  /// count(*) GROUP BY `cols` over this engine's population. `cols` may be
+  /// in any order; the result codec preserves that order. Columns must be
+  /// distinct.
+  virtual StatusOr<GroupCounts> Counts(const std::vector<int>& cols) = 0;
+
+  /// Number of rows in the population.
+  virtual int64_t NumRows() const = 0;
+
+  /// Hints that upcoming queries touch only subsets of `cols`; caching
+  /// engines respond by materializing the superset summary once (the
+  /// paper's "materializing contingency tables", Sec. 6). Default no-op.
+  virtual Status Prefetch(const std::vector<int>& cols) {
+    (void)cols;
+    return Status::Ok();
+  }
+
+  /// Accumulated instrumentation, including any wrapped engines'.
+  virtual CountEngineStats stats() const { return {}; }
+  virtual void ResetStats() {}
+};
+
+/// Legacy name from before the engine unification; the cube adapter and
+/// older call sites still use it.
+using CountProvider = CountEngine;
+
+/// Scans a TableView via the packed-tuple kernel (the default engine).
+class ViewCountProvider : public CountEngine {
+ public:
+  explicit ViewCountProvider(TableView view, GroupByKernelOptions kernel = {})
+      : view_(std::move(view)), kernel_(kernel) {}
+
+  StatusOr<GroupCounts> Counts(const std::vector<int>& cols) override {
+    ++stats_.queries;
+    StatusOr<GroupCounts> counts = ScanCounts(view_, cols, kernel_);
+    // Count the scan only when one actually happened — domain overflow
+    // fails in codec construction before any data is read.
+    if (counts.ok()) ++stats_.scans;
+    return counts;
+  }
+
+  int64_t NumRows() const override { return view_.NumRows(); }
+
+  CountEngineStats stats() const override { return stats_; }
+  void ResetStats() override { stats_ = {}; }
+
+  /// Number of data scans performed (instrumentation for Fig. 6c).
+  int64_t num_scans() const { return stats_.scans; }
+
+  const TableView& view() const { return view_; }
+
+ private:
+  TableView view_;
+  GroupByKernelOptions kernel_;
+  CountEngineStats stats_;
+};
+
+}  // namespace hypdb
+
+#endif  // HYPDB_ENGINE_COUNT_ENGINE_H_

@@ -1,0 +1,201 @@
+#include "engine/groupby_kernel.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace hypdb {
+namespace {
+
+// splitmix64 finalizer — enough mixing for mixed-radix keys, cheap enough
+// for the per-row hot loop.
+inline uint64_t HashKey(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+// Open-addressing (linear probe) key -> count map. Keys are tuple codes,
+// always < 2^62, so ~0 serves as the empty sentinel.
+class OpenHashCounter {
+ public:
+  explicit OpenHashCounter(size_t expected) {
+    size_t cap = 64;
+    while (cap < expected * 2) cap <<= 1;
+    keys_.assign(cap, kEmpty);
+    counts_.assign(cap, 0);
+  }
+
+  void Add(uint64_t key, int64_t count) {
+    size_t mask = keys_.size() - 1;
+    size_t i = HashKey(key) & mask;
+    for (;;) {
+      if (keys_[i] == key) {
+        counts_[i] += count;
+        return;
+      }
+      if (keys_[i] == kEmpty) {
+        keys_[i] = key;
+        counts_[i] = count;
+        if (++size_ * 10 > keys_.size() * 7) Grow();
+        return;
+      }
+      i = (i + 1) & mask;
+    }
+  }
+
+  size_t size() const { return size_; }
+
+  /// Appends the occupied (key, count) pairs, unsorted.
+  void Drain(std::vector<uint64_t>* keys, std::vector<int64_t>* counts) const {
+    for (size_t i = 0; i < keys_.size(); ++i) {
+      if (keys_[i] != kEmpty) {
+        keys->push_back(keys_[i]);
+        counts->push_back(counts_[i]);
+      }
+    }
+  }
+
+  void MergeInto(OpenHashCounter* other) const {
+    for (size_t i = 0; i < keys_.size(); ++i) {
+      if (keys_[i] != kEmpty) other->Add(keys_[i], counts_[i]);
+    }
+  }
+
+ private:
+  static constexpr uint64_t kEmpty = ~0ull;
+
+  void Grow() {
+    std::vector<uint64_t> old_keys = std::move(keys_);
+    std::vector<int64_t> old_counts = std::move(counts_);
+    keys_.assign(old_keys.size() * 2, kEmpty);
+    counts_.assign(old_counts.size() * 2, 0);
+    size_t mask = keys_.size() - 1;
+    for (size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_keys[i] == kEmpty) continue;
+      size_t j = HashKey(old_keys[i]) & mask;
+      while (keys_[j] != kEmpty) j = (j + 1) & mask;
+      keys_[j] = old_keys[i];
+      counts_[j] = old_counts[i];
+    }
+  }
+
+  std::vector<uint64_t> keys_;
+  std::vector<int64_t> counts_;
+  size_t size_ = 0;
+};
+
+// Pre-resolved scan state: raw code pointers + codec strides, so the inner
+// loop never touches Column or TableView.
+struct RowEncoder {
+  std::vector<const int32_t*> codes;
+  std::vector<uint64_t> strides;
+  const int64_t* ids = nullptr;  // null = contiguous physical rows
+
+  uint64_t Key(int64_t i) const {
+    const int64_t r = ids != nullptr ? ids[i] : i;
+    uint64_t key = 0;
+    for (size_t j = 0; j < codes.size(); ++j) {
+      key += static_cast<uint64_t>(codes[j][r]) * strides[j];
+    }
+    return key;
+  }
+};
+
+// Splits [0, n) into `parts` contiguous chunks; returns boundaries.
+std::vector<int64_t> ChunkBounds(int64_t n, int parts) {
+  std::vector<int64_t> bounds(parts + 1, 0);
+  for (int p = 0; p <= parts; ++p) bounds[p] = n * p / parts;
+  return bounds;
+}
+
+}  // namespace
+
+StatusOr<GroupCounts> ScanCounts(const TableView& view,
+                                 const std::vector<int>& cols,
+                                 const GroupByKernelOptions& options) {
+  GroupCounts out;
+  HYPDB_ASSIGN_OR_RETURN(out.codec, TupleCodec::Create(view.table(), cols));
+  const int64_t n = view.NumRows();
+  out.total = n;
+
+  RowEncoder enc;
+  enc.codes.reserve(cols.size());
+  for (int c : cols) enc.codes.push_back(view.table().column(c).codes().data());
+  enc.strides = out.codec.strides();
+  enc.ids = view.row_ids() != nullptr ? view.row_ids()->data() : nullptr;
+
+  int threads = options.num_threads;
+  if (threads > 1 && n < threads * options.parallel_min_rows) {
+    threads = static_cast<int>(std::max<int64_t>(
+        1, n / std::max<int64_t>(options.parallel_min_rows, 1)));
+  }
+  threads = std::max(threads, 1);
+
+  const uint64_t domain = out.codec.Domain();
+  const bool dense =
+      domain <= 1u << 20 &&
+      domain <= static_cast<uint64_t>(std::max<int64_t>(n * 4, 1024));
+
+  if (dense) {
+    std::vector<int64_t> totals(domain, 0);
+    if (threads <= 1) {
+      for (int64_t i = 0; i < n; ++i) ++totals[enc.Key(i)];
+    } else {
+      std::vector<int64_t> bounds = ChunkBounds(n, threads);
+      std::vector<std::vector<int64_t>> partial(
+          threads, std::vector<int64_t>(domain, 0));
+      std::vector<std::thread> workers;
+      workers.reserve(threads);
+      for (int t = 0; t < threads; ++t) {
+        workers.emplace_back([&, t] {
+          std::vector<int64_t>& local = partial[t];
+          for (int64_t i = bounds[t]; i < bounds[t + 1]; ++i) {
+            ++local[enc.Key(i)];
+          }
+        });
+      }
+      for (auto& w : workers) w.join();
+      for (int t = 0; t < threads; ++t) {
+        for (uint64_t k = 0; k < domain; ++k) totals[k] += partial[t][k];
+      }
+    }
+    for (uint64_t k = 0; k < domain; ++k) {
+      if (totals[k] > 0) {
+        out.keys.push_back(k);
+        out.counts.push_back(totals[k]);
+      }
+    }
+    return out;
+  }
+
+  const size_t expected =
+      static_cast<size_t>(std::min<int64_t>(n, 1 << 16));
+  OpenHashCounter agg(expected);
+  if (threads <= 1) {
+    for (int64_t i = 0; i < n; ++i) agg.Add(enc.Key(i), 1);
+  } else {
+    std::vector<int64_t> bounds = ChunkBounds(n, threads);
+    std::vector<OpenHashCounter> partial(
+        threads, OpenHashCounter(expected / threads + 64));
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        OpenHashCounter& local = partial[t];
+        for (int64_t i = bounds[t]; i < bounds[t + 1]; ++i) {
+          local.Add(enc.Key(i), 1);
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    for (const OpenHashCounter& p : partial) p.MergeInto(&agg);
+  }
+  out.keys.reserve(agg.size());
+  out.counts.reserve(agg.size());
+  agg.Drain(&out.keys, &out.counts);
+  SortCountsByKey(&out.keys, &out.counts);
+  return out;
+}
+
+}  // namespace hypdb

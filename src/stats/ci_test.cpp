@@ -27,6 +27,20 @@ const char* CiMethodName(CiMethod method) {
 CiTester::CiTester(MiEngine* engine, CiOptions options, uint64_t seed)
     : engine_(engine), options_(options), rng_(seed) {}
 
+StatusOr<StratifiedTable> CiTester::Stratify(const std::vector<int>& xs,
+                                             const std::vector<int>& ys,
+                                             const std::vector<int>& z) {
+  // Counts come from the engine's CountEngine, so stratified summaries
+  // share the cache / cube with the entropy path instead of re-scanning.
+  std::vector<int> all = z;
+  all.insert(all.end(), xs.begin(), xs.end());
+  all.insert(all.end(), ys.begin(), ys.end());
+  HYPDB_ASSIGN_OR_RETURN(GroupCounts counts, engine_->CountsFor(all));
+  return BuildStratifiedFromCounts(counts, static_cast<int>(z.size()),
+                                   static_cast<int>(xs.size()),
+                                   static_cast<int>(ys.size()));
+}
+
 StatusOr<CiResult> CiTester::Test(int x, int y, const std::vector<int>& z) {
   return TestSets({x}, {y}, z);
 }
@@ -121,8 +135,7 @@ StatusOr<CiResult> CiTester::RunGTest(const std::vector<int>& xs,
 StatusOr<CiResult> CiTester::RunPearson(const std::vector<int>& xs,
                                         const std::vector<int>& ys,
                                         const std::vector<int>& z) {
-  HYPDB_ASSIGN_OR_RETURN(StratifiedTable table,
-                         BuildStratifiedSets(engine_->view(), xs, ys, z));
+  HYPDB_ASSIGN_OR_RETURN(StratifiedTable table, Stratify(xs, ys, z));
   CiResult result;
   result.method_used = CiMethod::kPearson;
   result.statistic = table.PearsonStatistic();
@@ -136,8 +149,7 @@ StatusOr<CiResult> CiTester::RunPearson(const std::vector<int>& xs,
 StatusOr<CiResult> CiTester::RunMit(const std::vector<int>& xs,
                                     const std::vector<int>& ys,
                                     const std::vector<int>& z, bool sampled) {
-  HYPDB_ASSIGN_OR_RETURN(StratifiedTable table,
-                         BuildStratifiedSets(engine_->view(), xs, ys, z));
+  HYPDB_ASSIGN_OR_RETURN(StratifiedTable table, Stratify(xs, ys, z));
   const int num_strata = table.NumStrata();
 
   std::vector<int> chosen(num_strata);

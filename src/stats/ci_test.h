@@ -98,6 +98,10 @@ class CiTester {
   const CiOptions& options() const { return options_; }
 
  private:
+  /// Stratified (X, Y | Z) summary built from engine-served counts.
+  StatusOr<StratifiedTable> Stratify(const std::vector<int>& xs,
+                                     const std::vector<int>& ys,
+                                     const std::vector<int>& z);
   StatusOr<CiResult> RunGTest(const std::vector<int>& xs,
                               const std::vector<int>& ys,
                               const std::vector<int>& z);

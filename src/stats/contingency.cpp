@@ -89,11 +89,14 @@ StatusOr<StratifiedTable> BuildStratifiedSets(
   all_cols.insert(all_cols.end(), t_cols.begin(), t_cols.end());
   all_cols.insert(all_cols.end(), y_cols.begin(), y_cols.end());
   HYPDB_ASSIGN_OR_RETURN(GroupCounts counts, CountBy(view, all_cols));
+  return BuildStratifiedFromCounts(counts, static_cast<int>(z_cols.size()),
+                                   static_cast<int>(t_cols.size()),
+                                   static_cast<int>(y_cols.size()));
+}
 
-  const int z_count = static_cast<int>(z_cols.size());
-  const int t_count = static_cast<int>(t_cols.size());
-  const int y_count = static_cast<int>(y_cols.size());
-
+StratifiedTable BuildStratifiedFromCounts(const GroupCounts& counts,
+                                          int z_count, int t_count,
+                                          int y_count) {
   std::vector<int> t_positions(t_count);
   for (int i = 0; i < t_count; ++i) t_positions[i] = z_count + i;
   std::vector<int> y_positions(y_count);

@@ -98,6 +98,13 @@ StatusOr<StratifiedTable> BuildStratified(const TableView& view, int t_col,
                                           int y_col,
                                           const std::vector<int>& z_cols);
 
+/// Builds the stratified summary from an existing count(*) GROUP BY whose
+/// codec columns are exactly (z..., t..., y...) in that order — the path
+/// CI tests use to reuse CountEngine summaries instead of re-scanning.
+StratifiedTable BuildStratifiedFromCounts(const GroupCounts& counts,
+                                          int z_count, int t_count,
+                                          int y_count);
+
 /// Set version: the "row variable" is the compound of t_cols and the
 /// "column variable" the compound of y_cols (used by bias detection,
 /// where V is a whole covariate set).

@@ -19,30 +19,43 @@ std::vector<int> SortedUnion(const std::vector<int>& a,
   return Normalize(std::move(out));
 }
 
+std::shared_ptr<CountEngine> WrapEngine(std::shared_ptr<CountEngine> base,
+                                        const MiEngineOptions& options) {
+  if (!options.materialize_focus) return base;
+  CachingCountEngineOptions caching;
+  caching.max_cached_cells = options.max_cached_cells;
+  return std::make_shared<CachingCountEngine>(std::move(base), caching);
+}
+
+GroupByKernelOptions KernelOptions(const MiEngineOptions& options) {
+  GroupByKernelOptions kernel;
+  kernel.num_threads = options.scan_threads;
+  return kernel;
+}
+
 }  // namespace
 
 MiEngine::MiEngine(TableView view, MiEngineOptions options)
     : view_(view),
-      provider_(std::make_shared<ViewCountProvider>(view)),
+      engine_(WrapEngine(
+          std::make_shared<ViewCountProvider>(view, KernelOptions(options)),
+          options)),
       options_(options) {}
 
-MiEngine::MiEngine(TableView view, std::shared_ptr<CountProvider> provider,
+MiEngine::MiEngine(TableView view, std::shared_ptr<CountEngine> provider,
                    MiEngineOptions options)
     : view_(std::move(view)),
-      provider_(std::move(provider)),
+      engine_(WrapEngine(std::move(provider), options)),
       options_(options) {}
 
 Status MiEngine::SetFocus(const std::vector<int>& cols) {
   if (!options_.materialize_focus) return Status::Ok();
-  Focus focus;
-  focus.cols = Normalize(cols);
+  return engine_->Prefetch(Normalize(cols));
+}
+
+StatusOr<GroupCounts> MiEngine::CountsFor(const std::vector<int>& cols) {
   ++provider_calls_;
-  HYPDB_ASSIGN_OR_RETURN(focus.counts, provider_->Counts(focus.cols));
-  for (size_t i = 0; i < focus.cols.size(); ++i) {
-    focus.position[focus.cols[i]] = static_cast<int>(i);
-  }
-  focus_ = std::move(focus);
-  return Status::Ok();
+  return engine_->Counts(cols);
 }
 
 StatusOr<MiEngine::Entry> MiEngine::Lookup(std::vector<int> sorted_cols) {
@@ -55,34 +68,11 @@ StatusOr<MiEngine::Entry> MiEngine::Lookup(std::vector<int> sorted_cols) {
     }
   }
 
+  ++provider_calls_;
+  HYPDB_ASSIGN_OR_RETURN(GroupCounts counts, engine_->Counts(sorted_cols));
   Entry entry;
-  bool resolved = false;
-  if (focus_.has_value()) {
-    std::vector<int> positions;
-    positions.reserve(sorted_cols.size());
-    bool subset = true;
-    for (int c : sorted_cols) {
-      auto it = focus_->position.find(c);
-      if (it == focus_->position.end()) {
-        subset = false;
-        break;
-      }
-      positions.push_back(it->second);
-    }
-    if (subset) {
-      GroupCounts marginal = MarginalizeOnto(focus_->counts, positions);
-      entry.plugin_entropy = EntropyOf(marginal, EntropyEstimator::kPlugin);
-      entry.support = marginal.NumGroups();
-      resolved = true;
-    }
-  }
-  if (!resolved) {
-    ++provider_calls_;
-    HYPDB_ASSIGN_OR_RETURN(GroupCounts counts,
-                           provider_->Counts(sorted_cols));
-    entry.plugin_entropy = EntropyOf(counts, EntropyEstimator::kPlugin);
-    entry.support = counts.NumGroups();
-  }
+  entry.plugin_entropy = EntropyOf(counts, EntropyEstimator::kPlugin);
+  entry.support = counts.NumGroups();
 
   if (options_.cache_entropies) cache_.emplace(std::move(sorted_cols), entry);
   return entry;
@@ -143,9 +133,11 @@ StatusOr<double> MiEngine::MiSets(const std::vector<int>& xs,
   std::vector<int> xz = SortedUnion(xs, z);
   std::vector<int> yz = SortedUnion(ys, z);
   std::vector<int> xyz = SortedUnion(xz, ys);
+  // Joint set first: a caching count engine then derives the three
+  // subset entropies by marginalizing the xyz summary (no extra scans).
+  HYPDB_ASSIGN_OR_RETURN(double h_xyz, Entropy(xyz, estimator));
   HYPDB_ASSIGN_OR_RETURN(double h_xz, Entropy(xz, estimator));
   HYPDB_ASSIGN_OR_RETURN(double h_yz, Entropy(yz, estimator));
-  HYPDB_ASSIGN_OR_RETURN(double h_xyz, Entropy(xyz, estimator));
   HYPDB_ASSIGN_OR_RETURN(double h_z, Entropy(z, estimator));
   double mi = h_xz + h_yz - h_xyz - h_z;
   // Estimation noise can push the estimate slightly negative.

@@ -1,29 +1,30 @@
 // MiEngine: cached entropy / (conditional) mutual-information estimation.
 //
-// Implements the paper's Sec. 6 optimizations:
+// Implements the paper's Sec. 6 optimizations on top of the CountEngine
+// subsystem (src/engine):
 //  * "Caching entropy"      — per attribute set the engine memoizes the
 //    plugin entropy together with the support size (# distinct tuples);
 //    the Miller-Madow correction and test degrees-of-freedom derive from
 //    the same entry. The many CMI statements issued by the CD algorithm
 //    share most of their entropies (e.g. H(T), H(TZ) appear in both
 //    I(T;Y|Z) and I(T;W|Z)).
-//  * "Materializing contingency tables" — SetFocus() materializes one
-//    count(*) GROUP BY over a focus attribute set; entropies of any subset
-//    are then computed by marginalizing the summary instead of re-scanning
-//    the data.
+//  * "Materializing contingency tables" — counts flow through a
+//    CachingCountEngine: SetFocus() prefetches one count(*) GROUP BY over
+//    a focus attribute set, and any subset query marginalizes a cached
+//    summary instead of re-scanning the data.
 // Both optimizations are individually toggleable for the Fig. 6(c)
-// ablation. Counts come from a CountProvider, so a pre-computed OLAP cube
-// can replace data scans entirely (Fig. 6(d)).
+// ablation. The base engine is swappable, so a pre-computed OLAP cube can
+// replace data scans entirely (Fig. 6(d)).
 
 #ifndef HYPDB_STATS_MI_ENGINE_H_
 #define HYPDB_STATS_MI_ENGINE_H_
 
 #include <map>
 #include <memory>
-#include <optional>
 #include <vector>
 
-#include "stats/count_provider.h"
+#include "engine/caching_count_engine.h"
+#include "engine/count_engine.h"
 #include "stats/entropy.h"
 #include "util/statusor.h"
 
@@ -31,19 +32,25 @@ namespace hypdb {
 
 struct MiEngineOptions {
   bool cache_entropies = true;
+  /// Count caching + superset marginalization (CachingCountEngine layer).
   bool materialize_focus = true;
   EntropyEstimator estimator = EntropyEstimator::kMillerMadow;
+  /// Worker threads for data scans (ViewCountProvider kernel).
+  int scan_threads = 1;
+  /// Budget for the count cache, in total cached groups.
+  int64_t max_cached_cells = int64_t{1} << 22;
 };
 
 /// Estimates entropies and conditional mutual information over one view.
 class MiEngine {
  public:
-  /// Engine over `view` with the default scan-based provider.
+  /// Engine over `view` with the default scan-based count engine.
   explicit MiEngine(TableView view, MiEngineOptions options = {});
 
   /// Engine with a custom count source (e.g. CubeCountProvider). `view`
-  /// must describe the same population the provider aggregates.
-  MiEngine(TableView view, std::shared_ptr<CountProvider> provider,
+  /// must describe the same population the source aggregates. The source
+  /// is wrapped in a CachingCountEngine unless materialization is off.
+  MiEngine(TableView view, std::shared_ptr<CountEngine> provider,
            MiEngineOptions options = {});
 
   /// Ĥ(cols) with the engine's default estimator.
@@ -72,15 +79,22 @@ class MiEngine {
                           const std::vector<int>& z,
                           EntropyEstimator estimator);
 
-  /// Materializes counts over `cols`; subsequent entropies over subsets of
-  /// `cols` marginalize the summary instead of scanning. No-op when
-  /// materialization is disabled.
+  /// Raw counts for `cols` (any order) through the count engine — the
+  /// path CI tests use to build stratified contingency tables.
+  StatusOr<GroupCounts> CountsFor(const std::vector<int>& cols);
+
+  /// Prefetches counts over `cols`; subsequent queries over subsets of
+  /// `cols` marginalize the cached summary instead of scanning. No-op
+  /// when materialization is disabled.
   Status SetFocus(const std::vector<int>& cols);
-  void ClearFocus() { focus_.reset(); }
 
   const TableView& view() const { return view_; }
   const MiEngineOptions& options() const { return options_; }
-  int64_t NumRows() const { return view_.NumRows(); }
+  int64_t NumRows() const { return engine_->NumRows(); }
+
+  /// The count engine answering this estimator's queries.
+  CountEngine& count_engine() { return *engine_; }
+  const CountEngine& count_engine() const { return *engine_; }
 
   /// --- instrumentation (Fig. 6a / 6c) ---
   int64_t entropy_evals() const { return entropy_evals_; }
@@ -93,19 +107,13 @@ class MiEngine {
     double plugin_entropy = 0.0;
     int64_t support = 0;
   };
-  struct Focus {
-    std::vector<int> cols;        // sorted
-    GroupCounts counts;
-    std::map<int, int> position;  // table col -> position in codec
-  };
 
   StatusOr<Entry> Lookup(std::vector<int> sorted_cols);
   double Derive(const Entry& e, EntropyEstimator estimator) const;
 
   TableView view_;
-  std::shared_ptr<CountProvider> provider_;
+  std::shared_ptr<CountEngine> engine_;
   MiEngineOptions options_;
-  std::optional<Focus> focus_;
   std::map<std::vector<int>, Entry> cache_;
   int64_t entropy_evals_ = 0;
   int64_t cache_hits_ = 0;

@@ -1,0 +1,262 @@
+// Tests for the CountEngine subsystem: the packed-tuple scan kernel, the
+// caching engine's subset marginalization (counts derived from a cached
+// superset must exactly match a direct scan — the Fig. 6c correctness
+// requirement), cache-hit instrumentation, and eviction.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "engine/caching_count_engine.h"
+#include "engine/count_engine.h"
+#include "engine/groupby_kernel.h"
+#include "stats/mi_engine.h"
+#include "util/rng.h"
+
+namespace hypdb {
+namespace {
+
+TablePtr RandomTable(int cols, int64_t rows, uint64_t seed,
+                     int max_card = 5) {
+  Rng rng(seed);
+  Table table;
+  for (int c = 0; c < cols; ++c) {
+    ColumnBuilder b("c" + std::to_string(c));
+    int card = 2 + static_cast<int>(rng.NextBounded(max_card - 1));
+    for (int64_t r = 0; r < rows; ++r) {
+      b.Append(std::to_string(rng.NextBounded(card)));
+    }
+    EXPECT_TRUE(table.AddColumn(b.Finish()).ok());
+  }
+  return MakeTable(std::move(table));
+}
+
+// A view selecting a pseudo-random half of the rows.
+TableView HalfView(const TablePtr& t, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int64_t> rows;
+  for (int64_t r = 0; r < t->NumRows(); ++r) {
+    if (rng.Bernoulli(0.5)) rows.push_back(r);
+  }
+  return TableView(t).WithRows(std::move(rows));
+}
+
+void ExpectSameCounts(const GroupCounts& a, const GroupCounts& b) {
+  ASSERT_EQ(a.NumGroups(), b.NumGroups());
+  EXPECT_EQ(a.total, b.total);
+  ASSERT_EQ(a.codec.cols(), b.codec.cols());
+  for (int g = 0; g < a.NumGroups(); ++g) {
+    EXPECT_EQ(a.keys[g], b.keys[g]) << "group " << g;
+    EXPECT_EQ(a.counts[g], b.counts[g]) << "group " << g;
+  }
+}
+
+// ---- scan kernel ----
+
+TEST(GroupByKernelTest, ParallelScanMatchesSequential) {
+  TablePtr t = RandomTable(4, 20000, 3);
+  for (const TableView& view : {TableView(t), HalfView(t, 5)}) {
+    for (const std::vector<int>& cols :
+         std::vector<std::vector<int>>{{0}, {2, 0}, {0, 1, 2, 3}, {}}) {
+      auto sequential = ScanCounts(view, cols);
+      ASSERT_TRUE(sequential.ok());
+      GroupByKernelOptions parallel;
+      parallel.num_threads = 4;
+      parallel.parallel_min_rows = 64;  // force the threaded path
+      auto threaded = ScanCounts(view, cols, parallel);
+      ASSERT_TRUE(threaded.ok());
+      ExpectSameCounts(*threaded, *sequential);
+    }
+  }
+}
+
+TEST(GroupByKernelTest, HashPathMatchesDensePath) {
+  // High-cardinality columns push the domain past the dense threshold.
+  TablePtr t = RandomTable(4, 5000, 7, 40);
+  TableView view(t);
+  auto joint = ScanCounts(view, {0, 1, 2, 3});
+  ASSERT_TRUE(joint.ok());
+  int64_t total = 0;
+  for (int64_t c : joint->counts) total += c;
+  EXPECT_EQ(total, view.NumRows());
+  // Keys sorted and unique.
+  for (int g = 1; g < joint->NumGroups(); ++g) {
+    EXPECT_LT(joint->keys[g - 1], joint->keys[g]);
+  }
+  // Agrees with the dense path on a small projection.
+  auto pair_direct = ScanCounts(view, {0, 1});
+  auto pair_marginal = MarginalizeOnto(*joint, {0, 1});
+  ASSERT_TRUE(pair_direct.ok());
+  ExpectSameCounts(pair_marginal, *pair_direct);
+}
+
+// ---- caching engine: marginalization property ----
+
+// The Fig. 6c requirement: counts for S ⊆ S' derived from a cached S'
+// summary must exactly equal a direct CountBy scan, for random tables,
+// views, and subset patterns.
+TEST(CachingCountEngineTest, MarginalizedCountsMatchDirectScan) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    TablePtr t = RandomTable(5, 2000 + 311 * seed, seed);
+    TableView view = seed % 2 == 0 ? TableView(t) : HalfView(t, seed * 17);
+    CachingCountEngine engine(std::make_shared<ViewCountProvider>(view));
+    ASSERT_TRUE(engine.Prefetch({0, 1, 2, 3, 4}).ok());
+
+    Rng rng(seed * 101);
+    for (int trial = 0; trial < 12; ++trial) {
+      // Random non-empty subset in random order.
+      std::vector<int> cols;
+      for (int c = 0; c < 5; ++c) {
+        if (rng.Bernoulli(0.5)) cols.push_back(c);
+      }
+      if (cols.empty()) cols.push_back(static_cast<int>(rng.NextBounded(5)));
+      rng.Shuffle(&cols);
+
+      auto from_engine = engine.Counts(cols);
+      ASSERT_TRUE(from_engine.ok());
+      auto direct = CountBy(view, cols);
+      ASSERT_TRUE(direct.ok());
+      ExpectSameCounts(*from_engine, *direct);
+    }
+    // Everything was served by the prefetched superset: one scan total.
+    EXPECT_EQ(engine.stats().scans, 1);
+  }
+}
+
+TEST(CachingCountEngineTest, CountsHitsAndMarginalizations) {
+  TablePtr t = RandomTable(4, 3000, 21);
+  CachingCountEngine engine(
+      std::make_shared<ViewCountProvider>(TableView(t)));
+
+  // Miss -> scan.
+  ASSERT_TRUE(engine.Counts({0, 1, 2}).ok());
+  CountEngineStats s = engine.stats();
+  EXPECT_EQ(s.scans, 1);
+  EXPECT_EQ(s.cache_hits, 0);
+
+  // Exact repeat -> cache hit, no scan.
+  ASSERT_TRUE(engine.Counts({0, 1, 2}).ok());
+  s = engine.stats();
+  EXPECT_EQ(s.scans, 1);
+  EXPECT_EQ(s.cache_hits, 1);
+
+  // Same set, different order -> still a cache hit.
+  ASSERT_TRUE(engine.Counts({2, 0, 1}).ok());
+  s = engine.stats();
+  EXPECT_EQ(s.scans, 1);
+  EXPECT_EQ(s.cache_hits, 2);
+
+  // Subset -> marginalization, no scan.
+  ASSERT_TRUE(engine.Counts({1, 0}).ok());
+  s = engine.stats();
+  EXPECT_EQ(s.scans, 1);
+  EXPECT_EQ(s.marginalizations, 1);
+
+  // The derived subset is now cached itself.
+  ASSERT_TRUE(engine.Counts({0, 1}).ok());
+  s = engine.stats();
+  EXPECT_EQ(s.scans, 1);
+  EXPECT_EQ(s.cache_hits, 3);
+
+  // Disjoint set -> scan.
+  ASSERT_TRUE(engine.Counts({3}).ok());
+  s = engine.stats();
+  EXPECT_EQ(s.scans, 2);
+}
+
+TEST(CachingCountEngineTest, RequestOrderDefinesCodec) {
+  TablePtr t = RandomTable(3, 1000, 33);
+  TableView view(t);
+  CachingCountEngine engine(std::make_shared<ViewCountProvider>(view));
+  ASSERT_TRUE(engine.Prefetch({0, 1, 2}).ok());
+  auto reversed = engine.Counts({2, 1});
+  ASSERT_TRUE(reversed.ok());
+  EXPECT_EQ(reversed->codec.cols(), (std::vector<int>{2, 1}));
+  auto direct = CountBy(view, {2, 1});
+  ASSERT_TRUE(direct.ok());
+  ExpectSameCounts(*reversed, *direct);
+}
+
+TEST(CachingCountEngineTest, EvictionKeepsAnswersCorrect) {
+  TablePtr t = RandomTable(4, 4000, 41);
+  TableView view(t);
+  CachingCountEngineOptions tiny;
+  tiny.max_cached_cells = 4;  // essentially nothing fits
+  CachingCountEngine engine(std::make_shared<ViewCountProvider>(view),
+                            tiny);
+  for (int trial = 0; trial < 4; ++trial) {
+    for (const std::vector<int>& cols :
+         std::vector<std::vector<int>>{{0, 1}, {1, 2}, {2, 3}}) {
+      auto counts = engine.Counts(cols);
+      ASSERT_TRUE(counts.ok());
+      auto direct = CountBy(view, cols);
+      ASSERT_TRUE(direct.ok());
+      ExpectSameCounts(*counts, *direct);
+    }
+  }
+  EXPECT_GT(engine.stats().evictions, 0);
+  EXPECT_LE(engine.cached_cells(), 4 + 4000);  // at most the newest entry
+}
+
+TEST(CachingCountEngineTest, RepeatedPrefetchPinsOnlyLatestFocus) {
+  TablePtr t = RandomTable(4, 2000, 57);
+  CachingCountEngineOptions tiny;
+  tiny.max_cached_cells = 1;  // only pinned entries can persist
+  CachingCountEngine engine(
+      std::make_shared<ViewCountProvider>(TableView(t)), tiny);
+  ASSERT_TRUE(engine.Prefetch({0, 1}).ok());
+  ASSERT_TRUE(engine.Prefetch({2, 3}).ok());
+  // The first focus is unpinned by the second and evicted by the next
+  // insert; pinned summaries never accumulate across discovery phases.
+  ASSERT_TRUE(engine.Counts({2}).ok());
+  EXPECT_EQ(engine.stats().marginalizations, 1);  // served by {2,3}
+  auto c01 = CountBy(TableView(t), {0, 1});
+  ASSERT_TRUE(c01.ok());
+  EXPECT_LE(engine.cached_cells(),
+            CountBy(TableView(t), {2, 3})->NumGroups() + c01->NumGroups());
+  ASSERT_TRUE(engine.Counts({0, 1}).ok());
+  EXPECT_EQ(engine.stats().scans, 3);  // {0,1} was evicted -> re-scan
+}
+
+TEST(CachingCountEngineTest, PrefetchedEntriesSurviveEviction) {
+  TablePtr t = RandomTable(4, 2000, 51);
+  CachingCountEngineOptions tiny;
+  tiny.max_cached_cells = 1;
+  CachingCountEngine engine(
+      std::make_shared<ViewCountProvider>(TableView(t)), tiny);
+  ASSERT_TRUE(engine.Prefetch({0, 1, 2, 3}).ok());
+  ASSERT_TRUE(engine.Counts({0}).ok());
+  ASSERT_TRUE(engine.Counts({1}).ok());
+  // The pinned superset still answers: no scan beyond the prefetch.
+  EXPECT_EQ(engine.stats().scans, 1);
+  EXPECT_EQ(engine.stats().marginalizations, 2);
+}
+
+// ---- MiEngine on top of the stack ----
+
+// Mirrors the Fig. 6c instrumentation: the ablation's "materialize"
+// configuration answers every subsequent entropy from summaries.
+TEST(MiEngineCountStatsTest, EntropiesAfterFocusNeverScan) {
+  TablePtr t = RandomTable(4, 3000, 61);
+  MiEngine engine(TableView(t),
+                  MiEngineOptions{.cache_entropies = false});
+  ASSERT_TRUE(engine.SetFocus({0, 1, 2, 3}).ok());
+  for (const std::vector<int>& cols :
+       std::vector<std::vector<int>>{{0}, {1}, {0, 2}, {1, 2, 3}, {3}}) {
+    ASSERT_TRUE(engine.Entropy(cols).ok());
+  }
+  EXPECT_EQ(engine.count_engine().stats().scans, 1);
+}
+
+TEST(MiEngineCountStatsTest, MaterializationOffScansEveryTime) {
+  TablePtr t = RandomTable(3, 1000, 71);
+  MiEngine engine(TableView(t),
+                  MiEngineOptions{.cache_entropies = false,
+                                  .materialize_focus = false});
+  ASSERT_TRUE(engine.Entropy({0, 1}).ok());
+  ASSERT_TRUE(engine.Entropy({0, 1}).ok());
+  EXPECT_EQ(engine.count_engine().stats().scans, 2);
+}
+
+}  // namespace
+}  // namespace hypdb

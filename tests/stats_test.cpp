@@ -272,13 +272,15 @@ TEST(MiEngineTest, FocusMarginalizationMatchesScan) {
   MiEngine scan(TableView(t), MiEngineOptions{.cache_entropies = false});
   MiEngine focused(TableView(t), MiEngineOptions{.cache_entropies = false});
   ASSERT_TRUE(focused.SetFocus({0, 1, 2}).ok());
-  int64_t calls_after_focus = focused.provider_calls();
+  int64_t scans_after_focus = focused.count_engine().stats().scans;
+  EXPECT_EQ(scans_after_focus, 1);  // the one materializing scan
   for (const std::vector<int>& cols :
        std::vector<std::vector<int>>{{0}, {1}, {2}, {0, 1}, {0, 2}, {1, 2}}) {
     EXPECT_NEAR(*focused.Entropy(cols), *scan.Entropy(cols), 1e-12);
   }
-  // No further provider calls after the focus scan.
-  EXPECT_EQ(focused.provider_calls(), calls_after_focus);
+  // No further data scans after the focus scan: every subset marginalizes
+  // the cached summary.
+  EXPECT_EQ(focused.count_engine().stats().scans, scans_after_focus);
 }
 
 TEST(MiEngineTest, SupportCounts) {
