@@ -1,4 +1,6 @@
-// hypdb_cli: analyze a Listing-1 SQL query against a CSV file.
+// hypdb_cli: analyze Listing-1 SQL queries, one-shot or as a service.
+//
+// One-shot mode — analyze one query against a CSV file:
 //
 //   $ ./examples/hypdb_cli data.csv \
 //       "SELECT Carrier, avg(Delayed) FROM data GROUP BY Carrier"
@@ -8,17 +10,47 @@
 //   --no-mediators      skip direct-effect analysis
 //   --bounds            also print the effect interval over all subsets
 //                       of MB(T) (the Sec. 4 bounds extension)
+//   --threads=N         worker threads for data scans (0 = all cores)
+//
+// Service mode (REPL) — a long-lived HypDbService driven line-by-line
+// from stdin, sharing discovery results and contingency caches across
+// queries and running them on a worker pool:
+//
+//   $ ./examples/hypdb_cli --serve [--workers=N] [--threads=N] [--alpha=A]
+//   hypdb> load flights /data/flights.csv      # register a CSV
+//   hypdb> gen berkeley berkeley               # or a built-in generator
+//   hypdb> analyze flights SELECT Carrier, avg(Delayed) FROM flights
+//          WHERE Airport IN ('COS','ROC') GROUP BY Carrier
+//   hypdb> submit flights SELECT ...           # async: prints a ticket
+//   ticket 3
+//   hypdb> poll 3                              # done yet?
+//   hypdb> wait 3                              # block + print the report
+//   hypdb> stats                               # cache/engine/worker stats
+//   hypdb> datasets                            # what is registered
+//   hypdb> quit
+//
+// Each report footer shows the per-request service stats: queue wait,
+// whether discovery came from the shared cache, and the shared-engine
+// scan/hit deltas. Re-`load`ing a name invalidates its caches.
 //
 // With no arguments, runs a built-in demo on the Berkeley dataset.
 
 #include <cstdio>
 #include <cstring>
+#include <iostream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/hypdb.h"
 #include "core/sql_parser.h"
 #include "dataframe/csv.h"
+#include "datagen/adult_data.h"
 #include "datagen/berkeley_data.h"
+#include "datagen/cancer_data.h"
+#include "datagen/flight_data.h"
+#include "datagen/staples_data.h"
+#include "service/hypdb_service.h"
 #include "util/string_util.h"
 
 using namespace hypdb;
@@ -30,41 +62,240 @@ int Fail(const Status& status) {
   return 1;
 }
 
+void PrintServiceStats(const RequestStats& stats) {
+  std::printf(
+      "service: ticket %llu, worker %d, queued %.3fs, ran %.3fs, "
+      "discovery %s\n",
+      static_cast<unsigned long long>(stats.ticket), stats.worker_id,
+      stats.queue_seconds, stats.run_seconds,
+      stats.discovery_coalesced ? "coalesced"
+      : stats.discovery_reused  ? "cached"
+                                : "computed");
+  const CountEngineStats& d = stats.engine_delta;
+  std::printf("shared engine delta: %lld queries, %lld scans, %lld hits, "
+              "%lld marginalized\n",
+              static_cast<long long>(d.queries),
+              static_cast<long long>(d.scans),
+              static_cast<long long>(d.cache_hits),
+              static_cast<long long>(d.marginalizations));
+}
+
+StatusOr<Table> GenerateNamed(const std::string& kind) {
+  if (kind == "berkeley") return GenerateBerkeleyData();
+  if (kind == "flight") return GenerateFlightData();
+  if (kind == "adult") return GenerateAdultData();
+  if (kind == "staples") return GenerateStaplesData();
+  if (kind == "cancer") return GenerateCancerData();
+  return Status::InvalidArgument(
+      "unknown generator '" + kind +
+      "' (expected berkeley|flight|adult|staples|cancer)");
+}
+
+// The REPL: one command per line; `analyze`/`submit` take the rest of the
+// line as SQL. Returns the process exit code.
+int RunServe(const HypDbServiceOptions& options) {
+  HypDbService service(options);
+  std::printf("HypDB service REPL — %d workers. Commands: load, gen, "
+              "analyze, submit, poll, wait, datasets, stats, quit\n",
+              service.num_workers());
+
+  std::string line;
+  while (std::printf("hypdb> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd.empty()) continue;
+    if (cmd == "quit" || cmd == "exit") break;
+
+    if (cmd == "load" || cmd == "gen") {
+      std::string name;
+      std::string src;
+      in >> name >> src;
+      if (name.empty() || src.empty()) {
+        std::printf("usage: %s <name> <%s>\n", cmd.c_str(),
+                    cmd == "load" ? "path.csv"
+                                  : "berkeley|flight|adult|staples|cancer");
+        continue;
+      }
+      StatusOr<int64_t> epoch =
+          cmd == "load" ? service.RegisterCsv(name, src) : [&] {
+            StatusOr<Table> table = GenerateNamed(src);
+            if (!table.ok()) return StatusOr<int64_t>(table.status());
+            return StatusOr<int64_t>(
+                service.RegisterTable(name, MakeTable(std::move(*table))));
+          }();
+      if (!epoch.ok()) {
+        std::printf("error: %s\n", epoch.status().ToString().c_str());
+        continue;
+      }
+      auto table = service.Dataset(name);
+      std::printf("registered '%s' (epoch %lld, %lld rows, %d columns)\n",
+                  name.c_str(), static_cast<long long>(*epoch),
+                  static_cast<long long>((*table)->NumRows()),
+                  (*table)->NumColumns());
+      continue;
+    }
+
+    if (cmd == "analyze" || cmd == "submit") {
+      AnalyzeRequest request;
+      in >> request.dataset;
+      std::getline(in, request.sql);
+      if (request.dataset.empty() || Trim(request.sql).empty()) {
+        std::printf("usage: %s <dataset> <SELECT ...>\n", cmd.c_str());
+        continue;
+      }
+      if (cmd == "submit") {
+        std::printf("ticket %llu\n",
+                    static_cast<unsigned long long>(
+                        service.Submit(std::move(request))));
+        continue;
+      }
+      auto report = service.Analyze(std::move(request));
+      if (!report.ok()) {
+        std::printf("error: %s\n", report.status().ToString().c_str());
+        continue;
+      }
+      std::printf("%s", RenderReport(report->report).c_str());
+      PrintServiceStats(report->stats);
+      continue;
+    }
+
+    if (cmd == "poll" || cmd == "wait") {
+      uint64_t ticket = 0;
+      in >> ticket;
+      if (ticket == 0) {
+        std::printf("usage: %s <ticket>\n", cmd.c_str());
+        continue;
+      }
+      if (cmd == "poll" && !service.Done(ticket)) {
+        std::printf("ticket %llu: pending\n",
+                    static_cast<unsigned long long>(ticket));
+        continue;
+      }
+      auto report = service.Wait(ticket);
+      if (!report.ok()) {
+        std::printf("error: %s\n", report.status().ToString().c_str());
+        continue;
+      }
+      std::printf("%s", RenderReport(report->report).c_str());
+      PrintServiceStats(report->stats);
+      continue;
+    }
+
+    if (cmd == "datasets") {
+      for (const DatasetInfo& d : service.Datasets()) {
+        std::printf("%-16s epoch %lld  %lld rows  %d columns  %d shards\n",
+                    d.name.c_str(), static_cast<long long>(d.epoch),
+                    static_cast<long long>(d.rows), d.columns, d.shards);
+      }
+      continue;
+    }
+
+    if (cmd == "stats") {
+      DiscoveryCacheStats ds = service.discovery_stats();
+      std::printf("discovery cache: %lld hits, %lld misses, %lld coalesced, "
+                  "%lld invalidated, %lld evicted\n",
+                  static_cast<long long>(ds.hits),
+                  static_cast<long long>(ds.misses),
+                  static_cast<long long>(ds.coalesced),
+                  static_cast<long long>(ds.invalidations),
+                  static_cast<long long>(ds.evictions));
+      for (const DatasetInfo& d : service.Datasets()) {
+        auto es = service.engine_stats(d.name);
+        if (!es.ok()) continue;
+        std::printf("engine[%s]: %lld queries, %lld scans, %lld hits, "
+                    "%lld marginalized, %lld evictions\n",
+                    d.name.c_str(), static_cast<long long>(es->queries),
+                    static_cast<long long>(es->scans),
+                    static_cast<long long>(es->cache_hits),
+                    static_cast<long long>(es->marginalizations),
+                    static_cast<long long>(es->evictions));
+      }
+      continue;
+    }
+
+    std::printf("unknown command '%s'\n", cmd.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  TablePtr table;
-  std::string sql;
   HypDbOptions options;
   bool bounds = false;
+  bool serve = false;
+  int workers = 0;
 
-  if (argc < 3) {
+  // Flags may appear anywhere; positionals are collected in order.
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    if (flag.rfind("--alpha=", 0) == 0) {
+      options.alpha = std::atof(flag.c_str() + 8);
+    } else if (flag == "--no-mediators") {
+      options.discover_mediators = false;
+    } else if (flag == "--bounds") {
+      bounds = true;
+    } else if (flag.rfind("--threads=", 0) == 0) {
+      options.engine.scan_threads = std::atoi(flag.c_str() + 10);
+    } else if (flag.rfind("--workers=", 0) == 0) {
+      workers = std::atoi(flag.c_str() + 10);
+    } else if (flag == "--serve") {
+      serve = true;
+    } else if (flag.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
+      return 1;
+    } else {
+      positional.push_back(flag);
+    }
+  }
+
+  // Mode/flag consistency: silently ignored arguments mislead.
+  if (serve && !positional.empty()) {
+    std::fprintf(stderr, "--serve takes no positional arguments (register "
+                 "data with the REPL's 'load'/'gen' commands)\n");
+    return 1;
+  }
+  if (serve && bounds) {
+    std::fprintf(stderr, "--bounds is one-shot only\n");
+    return 1;
+  }
+  if (!serve && workers != 0) {
+    std::fprintf(stderr, "--workers requires --serve\n");
+    return 1;
+  }
+  if (!serve && positional.size() > 2) {
+    std::fprintf(stderr, "unexpected argument %s\n", positional[2].c_str());
+    return 1;
+  }
+
+  if (serve) {
+    HypDbServiceOptions service_options;
+    service_options.num_workers = workers;
+    service_options.analysis = options;
+    return RunServe(service_options);
+  }
+
+  TablePtr table;
+  std::string sql;
+  if (positional.size() < 2) {
     std::printf("usage: %s <data.csv> \"<SELECT ...>\" [--alpha=A] "
-                "[--no-mediators] [--bounds]\n\n",
-                argv[0]);
+                "[--no-mediators] [--bounds] [--threads=N]\n"
+                "       %s --serve [--workers=N] [--threads=N] [--alpha=A]\n"
+                "\n",
+                argv[0], argv[0]);
     std::printf("no arguments given — running the built-in Berkeley demo\n\n");
     auto demo = GenerateBerkeleyData();
     if (!demo.ok()) return Fail(demo.status());
     table = MakeTable(std::move(*demo));
     sql = "SELECT Gender, avg(Accepted) FROM Berkeley GROUP BY Gender";
   } else {
-    auto csv = ReadCsv(argv[1]);
+    auto csv = ReadCsv(positional[0]);
     if (!csv.ok()) return Fail(csv.status());
     table = MakeTable(std::move(*csv));
-    sql = argv[2];
-    for (int i = 3; i < argc; ++i) {
-      std::string flag = argv[i];
-      if (flag.rfind("--alpha=", 0) == 0) {
-        options.alpha = std::atof(flag.c_str() + 8);
-      } else if (flag == "--no-mediators") {
-        options.discover_mediators = false;
-      } else if (flag == "--bounds") {
-        bounds = true;
-      } else {
-        std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
-        return 1;
-      }
-    }
+    sql = positional[1];
   }
 
   HypDb db(table, options);

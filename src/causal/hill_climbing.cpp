@@ -6,6 +6,7 @@
 #include <map>
 
 #include "dataframe/group_by.h"
+#include "stats/special_math.h"
 
 namespace hypdb {
 namespace {
@@ -101,13 +102,13 @@ class Scorer {
       const double alpha_px = iss / (q * static_cast<double>(r));
       double score = 0.0;
       for (const auto& [pk, np] : parent_counts) {
-        score += std::lgamma(alpha_p) -
-                 std::lgamma(alpha_p + static_cast<double>(np));
+        score += LnGamma(alpha_p) -
+                 LnGamma(alpha_p + static_cast<double>(np));
       }
       for (size_t g = 0; g < joint.keys.size(); ++g) {
-        score += std::lgamma(alpha_px +
+        score += LnGamma(alpha_px +
                              static_cast<double>(joint.counts[g])) -
-                 std::lgamma(alpha_px);
+                 LnGamma(alpha_px);
       }
       return score;
     }

@@ -43,6 +43,12 @@ StatusOr<QueryAnswers> HypDb::Answers(const AggQuery& query) const {
 }
 
 StatusOr<DiscoveryReport> HypDb::Discover(const AggQuery& query) const {
+  return Discover(query, nullptr);
+}
+
+StatusOr<DiscoveryReport> HypDb::Discover(
+    const AggQuery& query,
+    const std::shared_ptr<CountEngine>& population_engine) const {
   Stopwatch timer;
   HYPDB_ASSIGN_OR_RETURN(BoundQuery bound, BindQuery(table_, query));
   DiscoveryReport report;
@@ -86,8 +92,20 @@ StatusOr<DiscoveryReport> HypDb::Discover(const AggQuery& query) const {
   }
 
   // One count engine serves both discovery runs (PA_T and PA_Y): their
-  // CI tests overlap heavily on the shared population.
-  MiEngine engine(bound.population, options_.engine);
+  // CI tests overlap heavily on the shared population. A service-provided
+  // engine is used as-is (it already caches and may be shared across
+  // concurrent queries); its stats are reported as a delta over this
+  // call. The delta excludes work done before the call but NOT work other
+  // queries do concurrently during it — with a shared engine the counters
+  // are approximate attribution, never part of the bit-identity
+  // invariant (report digests exclude count_stats for this reason).
+  const bool external = population_engine != nullptr;
+  MiEngine engine =
+      external ? MiEngine(bound.population, population_engine,
+                          options_.engine, /*wrap_provider=*/false)
+               : MiEngine(bound.population, options_.engine);
+  const CountEngineStats stats_before =
+      external ? engine.count_engine().stats() : CountEngineStats{};
   CiTester tester(&engine, options_.ci, options_.seed);
   DataCiOracle oracle(&tester, options_.alpha);
 
@@ -124,7 +142,7 @@ StatusOr<DiscoveryReport> HypDb::Discover(const AggQuery& query) const {
   report.covariates = Names(table_, report.covariate_cols);
   report.mediators = Names(table_, report.mediator_cols);
   report.tests_used = oracle.num_tests();
-  report.count_stats = engine.count_engine().stats();
+  report.count_stats = engine.count_engine().stats() - stats_before;
   report.seconds = timer.ElapsedSeconds();
   return report;
 }
@@ -141,13 +159,23 @@ StatusOr<EffectBounds> HypDb::BoundEffects(
 }
 
 StatusOr<HypDbReport> HypDb::Analyze(const AggQuery& query) {
+  return Analyze(query, AnalyzeHooks{});
+}
+
+StatusOr<HypDbReport> HypDb::Analyze(const AggQuery& query,
+                                     const AnalyzeHooks& hooks) {
   HypDbReport report;
   report.query = query;
   report.sql_plain = query.ToSql();
 
   HYPDB_ASSIGN_OR_RETURN(BoundQuery bound, BindQuery(table_, query));
   HYPDB_ASSIGN_OR_RETURN(report.plain, EvaluatePlainQuery(table_, query));
-  HYPDB_ASSIGN_OR_RETURN(report.discovery, Discover(query));
+  if (hooks.reuse_discovery != nullptr) {
+    report.discovery = *hooks.reuse_discovery;
+  } else {
+    HYPDB_ASSIGN_OR_RETURN(report.discovery,
+                           Discover(query, hooks.population_engine));
+  }
 
   // --- Detection (Sec. 3.1). Discovery time is reported separately; the
   // paper's "Det." column covers the balance tests.

@@ -14,6 +14,7 @@
 #ifndef HYPDB_CORE_HYPDB_H_
 #define HYPDB_CORE_HYPDB_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -69,6 +70,23 @@ struct DiscoveryReport {
   double seconds = 0.0;
 };
 
+/// Hooks the service layer (src/service) threads into Analyze() to share
+/// work across concurrent queries. Both members are optional; a
+/// default-constructed AnalyzeHooks reproduces the one-shot behavior.
+struct AnalyzeHooks {
+  /// Count engine aggregating exactly the rows of the bound WHERE
+  /// population. When set, discovery routes its counts through it instead
+  /// of a private engine, so concurrent queries on the same subpopulation
+  /// share cached contingency summaries. Must be thread-safe when shared
+  /// (CachingCountEngine over ViewCountProvider is).
+  std::shared_ptr<CountEngine> population_engine;
+  /// When set, steps 2-3 (FD filtering + CD discovery) are skipped and
+  /// this report is reused verbatim — the DiscoveryCache path. The caller
+  /// guarantees it was produced for the same table, treatment, outcomes
+  /// and subpopulation under equivalent options.
+  const DiscoveryReport* reuse_discovery = nullptr;
+};
+
 /// Everything HypDB has to say about one query (Fig. 1/3/4 reports).
 struct HypDbReport {
   AggQuery query;
@@ -100,6 +118,10 @@ class HypDb {
 
   /// Full pipeline.
   StatusOr<HypDbReport> Analyze(const AggQuery& query);
+  /// Full pipeline with service-layer hooks (shared population engine
+  /// and/or a cached discovery to reuse).
+  StatusOr<HypDbReport> Analyze(const AggQuery& query,
+                                const AnalyzeHooks& hooks);
   /// Full pipeline from Listing-1 SQL text.
   StatusOr<HypDbReport> AnalyzeSql(const std::string& sql);
 
@@ -108,6 +130,12 @@ class HypDb {
 
   /// Steps 2-3 only: logical-dependency filtering + CD discovery.
   StatusOr<DiscoveryReport> Discover(const AggQuery& query) const;
+  /// Discovery routing counts through `population_engine` (may be null =
+  /// private engine). The engine must aggregate the bound WHERE
+  /// population; its stats delta over the call is reported.
+  StatusOr<DiscoveryReport> Discover(
+      const AggQuery& query,
+      const std::shared_ptr<CountEngine>& population_engine) const;
 
   /// The Sec. 4 future-work extension: when the parents of T are not
   /// identifiable, evaluate the adjustment formula under every subset of

@@ -30,83 +30,143 @@ CachingCountEngine::CachingCountEngine(std::shared_ptr<CountEngine> base,
 
 StatusOr<GroupCounts> CachingCountEngine::Counts(
     const std::vector<int>& cols) {
-  ++stats_.queries;
   std::vector<int> sorted = SortedUnique(cols);
   if (sorted.size() != cols.size()) {
     // Duplicate columns — rare and never issued by the stats layer; bypass
-    // the cache rather than reason about repeated digits.
+    // the cache rather than reason about repeated digits. The delegated
+    // scan runs outside the lock like any other miss.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.queries;
+    }
     return base_->Counts(cols);
   }
 
-  auto exact = cache_.find(sorted);
-  if (exact != cache_.end()) {
-    ++stats_.cache_hits;
-    return ProjectOnto(exact->second.counts, cols);
-  }
+  // Under the lock: bookkeeping and a pointer grab only. Projection,
+  // marginalization and scans all run outside it (entries are immutable,
+  // so a grabbed shared_ptr stays valid past eviction).
+  std::shared_ptr<const GroupCounts> source;
+  bool derive = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.queries;
 
-  if (options_.marginalize_supersets) {
-    // Smallest cached superset wins: fewer groups to sum.
-    const Entry* best = nullptr;
-    for (const auto& [key, entry] : cache_) {
-      if (key.size() <= sorted.size() || !IsSubset(sorted, key)) continue;
-      if (best == nullptr ||
-          entry.counts.NumGroups() < best->counts.NumGroups()) {
-        best = &entry;
+    auto exact = cache_.find(sorted);
+    if (exact != cache_.end()) {
+      ++stats_.cache_hits;
+      source = exact->second.counts;
+    } else if (options_.marginalize_supersets) {
+      // Smallest cached superset wins: fewer groups to sum.
+      const Entry* best = nullptr;
+      for (const auto& [key, entry] : cache_) {
+        if (key.size() <= sorted.size() || !IsSubset(sorted, key)) continue;
+        if (best == nullptr ||
+            entry.counts->NumGroups() < best->counts->NumGroups()) {
+          best = &entry;
+        }
+      }
+      if (best != nullptr) {
+        ++stats_.marginalizations;
+        source = best->counts;
+        derive = true;
       }
     }
-    if (best != nullptr) {
-      ++stats_.marginalizations;
-      GroupCounts derived = ProjectOnto(best->counts, cols);
-      Insert(std::move(sorted), derived, /*pinned=*/false);
-      return derived;
-    }
   }
 
+  if (source != nullptr) {
+    GroupCounts result = ProjectOnto(*source, cols);
+    if (derive) {
+      std::lock_guard<std::mutex> lock(mu_);
+      Insert(std::move(sorted),
+             std::make_shared<const GroupCounts>(result),
+             /*pinned=*/false);
+    }
+    return result;
+  }
+
+  // Miss: delegate outside the lock so concurrent misses scan in
+  // parallel. A racing thread may insert the same key meanwhile; Insert
+  // reconciles the duplicate (counts are identical either way).
   HYPDB_ASSIGN_OR_RETURN(GroupCounts fresh, base_->Counts(cols));
-  Insert(std::move(sorted), fresh, /*pinned=*/false);
+  std::lock_guard<std::mutex> lock(mu_);
+  Insert(std::move(sorted), std::make_shared<const GroupCounts>(fresh),
+         /*pinned=*/false);
   return fresh;
 }
 
 Status CachingCountEngine::Prefetch(const std::vector<int>& cols) {
   std::vector<int> sorted = SortedUnique(cols);
-  // One pinned focus at a time: release the previous one so repeated
-  // Focus() hints (one per discovery phase) cannot accumulate unbounded
-  // pinned summaries that defeat the cell budget.
-  if (!pinned_key_.empty() && pinned_key_ != sorted) {
-    auto prev = cache_.find(pinned_key_);
-    if (prev != cache_.end()) prev->second.pinned = false;
-  }
-  pinned_key_ = sorted;
-  auto it = cache_.find(sorted);
-  if (it != cache_.end()) {
-    it->second.pinned = true;
-    return Status::Ok();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // One pinned focus at a time: release the previous one so repeated
+    // Focus() hints (one per discovery phase) cannot accumulate unbounded
+    // pinned summaries that defeat the cell budget.
+    if (!pinned_key_.empty() && pinned_key_ != sorted) {
+      auto prev = cache_.find(pinned_key_);
+      if (prev != cache_.end() && prev->second.pinned) {
+        prev->second.pinned = false;
+        pinned_cells_ -= prev->second.counts->NumGroups();
+      }
+    }
+    pinned_key_ = sorted;
+    auto it = cache_.find(sorted);
+    if (it != cache_.end()) {
+      if (!it->second.pinned) {
+        it->second.pinned = true;
+        pinned_cells_ += it->second.counts->NumGroups();
+      }
+      EvictToBudget();  // the focus just left the budgeted set
+      return Status::Ok();
+    }
   }
   HYPDB_ASSIGN_OR_RETURN(GroupCounts counts, base_->Counts(sorted));
-  Insert(std::move(sorted), std::move(counts), /*pinned=*/true);
+  std::lock_guard<std::mutex> lock(mu_);
+  // A concurrent Prefetch may have repointed the focus while we scanned;
+  // only pin if this key is still the focus.
+  const bool still_focus = pinned_key_ == sorted;
+  Insert(std::move(sorted),
+         std::make_shared<const GroupCounts>(std::move(counts)),
+         /*pinned=*/still_focus);
   return Status::Ok();
 }
 
-void CachingCountEngine::Insert(std::vector<int> sorted, GroupCounts counts,
+void CachingCountEngine::Insert(std::vector<int> sorted,
+                                std::shared_ptr<const GroupCounts> counts,
                                 bool pinned) {
-  cached_cells_ += counts.NumGroups();
+  auto existing = cache_.find(sorted);
+  if (existing != cache_.end()) {
+    // Concurrent double-miss (or Prefetch racing Counts): replace the
+    // payload, fix the accounting, and never drop an existing pin.
+    cached_cells_ -= existing->second.counts->NumGroups();
+    if (existing->second.pinned) {
+      pinned_cells_ -= existing->second.counts->NumGroups();
+      pinned = true;
+    }
+  } else {
+    age_.push_back(sorted);
+  }
+  cached_cells_ += counts->NumGroups();
+  if (pinned) pinned_cells_ += counts->NumGroups();
   Entry entry;
   entry.counts = std::move(counts);
   entry.pinned = pinned;
-  age_.push_back(sorted);
   cache_.insert_or_assign(std::move(sorted), std::move(entry));
   EvictToBudget();
 }
 
 void CachingCountEngine::EvictToBudget() {
+  // Pinned cells are exempt: the budget bounds the evictable set, so a
+  // large pinned focus cannot starve every derived summary out of the
+  // cache (it used to — see the eviction regression test).
   auto it = age_.begin();
-  while (cached_cells_ > options_.max_cached_cells && it != age_.end()) {
+  while (cached_cells_ - pinned_cells_ > options_.max_cached_cells &&
+         it != age_.end()) {
     auto found = cache_.find(*it);
     if (found == cache_.end() || found->second.pinned) {
       ++it;  // already evicted under a newer age entry, or pinned
       continue;
     }
-    cached_cells_ -= found->second.counts.NumGroups();
+    cached_cells_ -= found->second.counts->NumGroups();
     cache_.erase(found);
     ++stats_.evictions;
     it = age_.erase(it);
@@ -114,6 +174,7 @@ void CachingCountEngine::EvictToBudget() {
 }
 
 CountEngineStats CachingCountEngine::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
   CountEngineStats total = stats_;
   total += base_->stats();
   // Base-engine calls were all issued by this layer on behalf of the same
@@ -123,8 +184,24 @@ CountEngineStats CachingCountEngine::stats() const {
 }
 
 void CachingCountEngine::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
   stats_ = {};
   base_->ResetStats();
+}
+
+int64_t CachingCountEngine::cached_cells() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cached_cells_;
+}
+
+int64_t CachingCountEngine::pinned_cells() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pinned_cells_;
+}
+
+int CachingCountEngine::num_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(cache_.size());
 }
 
 }  // namespace hypdb

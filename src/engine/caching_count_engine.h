@@ -12,6 +12,16 @@
 // Prefetch(S') materializes a superset summary once and pins it, which is
 // exactly the paper's "materializing contingency tables" optimization.
 // Cached cells are bounded; unpinned entries are evicted oldest-first.
+// Pinned cells live outside the budget: the focus summary is the working
+// set every marginalization derives from, so it must never force the
+// derived entries out.
+//
+// Thread safety: all public methods may be called concurrently (the
+// service layer shares one engine per subpopulation shard across worker
+// threads). The cache mutex is released around delegated base scans, so
+// concurrent misses scan in parallel; a racing duplicate insert is
+// reconciled by Insert(). Counts are exact integers, so results are
+// bit-identical regardless of interleaving.
 
 #ifndef HYPDB_ENGINE_CACHING_COUNT_ENGINE_H_
 #define HYPDB_ENGINE_CACHING_COUNT_ENGINE_H_
@@ -19,6 +29,7 @@
 #include <list>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "engine/count_engine.h"
@@ -28,8 +39,9 @@ namespace hypdb {
 struct CachingCountEngineOptions {
   /// Derive counts for S from a cached superset instead of delegating.
   bool marginalize_supersets = true;
-  /// Budget on the total number of cached groups across entries; unpinned
-  /// entries are evicted oldest-first when exceeded.
+  /// Budget on the total number of cached groups across *unpinned*
+  /// entries; unpinned entries are evicted oldest-first when exceeded.
+  /// Pinned (prefetched) entries are exempt — see the header comment.
   int64_t max_cached_cells = int64_t{1} << 22;
 };
 
@@ -52,27 +64,41 @@ class CachingCountEngine : public CountEngine {
   void ResetStats() override;
 
   /// Cells currently held (memory proxy), and entry count.
-  int64_t cached_cells() const { return cached_cells_; }
-  int num_entries() const { return static_cast<int>(cache_.size()); }
+  int64_t cached_cells() const;
+  /// Cells held by pinned entries (exempt from the eviction budget).
+  int64_t pinned_cells() const;
+  int num_entries() const;
 
   CountEngine& base() { return *base_; }
 
  private:
+  /// Summaries are immutable once cached (replacement swaps the pointer,
+  /// never mutates), so readers project/copy OUTSIDE the lock from a
+  /// shared_ptr grabbed under it — a cache hit holds mu_ for a map
+  /// lookup, not for copying a multi-million-cell summary.
   struct Entry {
-    GroupCounts counts;  // codec order may be any permutation of the key
+    std::shared_ptr<const GroupCounts> counts;  // codec order: any
+                                                // permutation of the key
     bool pinned = false;
   };
 
-  /// Inserts under the sorted key, then evicts to budget.
-  void Insert(std::vector<int> sorted, GroupCounts counts, bool pinned);
+  /// Inserts under the sorted key, then evicts to budget. Reconciles a
+  /// pre-existing entry under the same key (concurrent double-miss):
+  /// accounting is adjusted and an existing pin is preserved. Requires
+  /// mu_ held.
+  void Insert(std::vector<int> sorted,
+              std::shared_ptr<const GroupCounts> counts, bool pinned);
   void EvictToBudget();
 
   std::shared_ptr<CountEngine> base_;
   CachingCountEngineOptions options_;
+
+  mutable std::mutex mu_;
   std::map<std::vector<int>, Entry> cache_;
   std::list<std::vector<int>> age_;  // insertion order, oldest first
   std::vector<int> pinned_key_;      // the single pinned focus (sorted)
   int64_t cached_cells_ = 0;
+  int64_t pinned_cells_ = 0;
   CountEngineStats stats_;
 };
 

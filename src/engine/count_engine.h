@@ -19,6 +19,7 @@
 #define HYPDB_ENGINE_COUNT_ENGINE_H_
 
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "dataframe/group_by.h"
@@ -106,14 +107,18 @@ class CountEngine {
 using CountProvider = CountEngine;
 
 /// Scans a TableView via the packed-tuple kernel (the default engine).
+/// Concurrent Counts() calls are safe: the scan reads immutable column
+/// data and the counters are mutex-guarded (the service layer shares one
+/// provider per subpopulation shard across worker threads).
 class ViewCountProvider : public CountEngine {
  public:
   explicit ViewCountProvider(TableView view, GroupByKernelOptions kernel = {})
       : view_(std::move(view)), kernel_(kernel) {}
 
   StatusOr<GroupCounts> Counts(const std::vector<int>& cols) override {
-    ++stats_.queries;
     StatusOr<GroupCounts> counts = ScanCounts(view_, cols, kernel_);
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.queries;
     // Count the scan only when one actually happened — domain overflow
     // fails in codec construction before any data is read.
     if (counts.ok()) ++stats_.scans;
@@ -122,17 +127,24 @@ class ViewCountProvider : public CountEngine {
 
   int64_t NumRows() const override { return view_.NumRows(); }
 
-  CountEngineStats stats() const override { return stats_; }
-  void ResetStats() override { stats_ = {}; }
+  CountEngineStats stats() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  void ResetStats() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_ = {};
+  }
 
   /// Number of data scans performed (instrumentation for Fig. 6c).
-  int64_t num_scans() const { return stats_.scans; }
+  int64_t num_scans() const { return stats().scans; }
 
   const TableView& view() const { return view_; }
 
  private:
   TableView view_;
   GroupByKernelOptions kernel_;
+  mutable std::mutex mu_;
   CountEngineStats stats_;
 };
 

@@ -126,6 +126,12 @@ StatusOr<GroupCounts> ScanCounts(const TableView& view,
   enc.ids = view.row_ids() != nullptr ? view.row_ids()->data() : nullptr;
 
   int threads = options.num_threads;
+  if (threads == 0) {
+    // 0 = "use the machine": hardware_concurrency, floored at 1 because
+    // the standard allows it to return 0 when undetectable.
+    threads = static_cast<int>(
+        std::max(1u, std::thread::hardware_concurrency()));
+  }
   if (threads > 1 && n < threads * options.parallel_min_rows) {
     threads = static_cast<int>(std::max<int64_t>(
         1, n / std::max<int64_t>(options.parallel_min_rows, 1)));

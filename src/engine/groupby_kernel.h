@@ -22,7 +22,9 @@
 namespace hypdb {
 
 struct GroupByKernelOptions {
-  /// Worker threads for the scan; <= 1 scans sequentially.
+  /// Worker threads for the scan; 1 scans sequentially, 0 resolves to
+  /// std::thread::hardware_concurrency() (the production default — see
+  /// MiEngineOptions::scan_threads).
   int num_threads = 1;
   /// Minimum rows per worker — below num_threads * this, scan sequentially
   /// (thread startup would dominate).

@@ -1,0 +1,131 @@
+#include "service/dataset_registry.h"
+
+#include <algorithm>
+
+#include "dataframe/csv.h"
+#include "engine/caching_count_engine.h"
+
+namespace hypdb {
+
+DatasetRegistry::DatasetRegistry(DatasetRegistryOptions options)
+    : options_(std::move(options)) {}
+
+int64_t DatasetRegistry::Register(const std::string& name, TablePtr table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Dataset& ds = datasets_[name];
+  ds.table = std::move(table);
+  ++ds.epoch;
+  // New data invalidates every cached summary: shards aggregate rows of
+  // the replaced table. Live engines held by in-flight queries stay valid
+  // for the old view (shared_ptr), they just stop being handed out.
+  ds.shards.clear();
+  ds.shard_age.clear();
+  return ds.epoch;
+}
+
+StatusOr<int64_t> DatasetRegistry::RegisterCsv(const std::string& name,
+                                               const std::string& path) {
+  HYPDB_ASSIGN_OR_RETURN(Table table, ReadCsv(path));
+  return Register(name, MakeTable(std::move(table)));
+}
+
+StatusOr<TablePtr> DatasetRegistry::Get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = datasets_.find(name);
+  if (it == datasets_.end() || it->second.table == nullptr) {
+    return Status::NotFound("dataset not registered: " + name);
+  }
+  return it->second.table;
+}
+
+StatusOr<int64_t> DatasetRegistry::Epoch(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = datasets_.find(name);
+  if (it == datasets_.end()) {
+    return Status::NotFound("dataset not registered: " + name);
+  }
+  return it->second.epoch;
+}
+
+StatusOr<DatasetRegistry::Snapshot> DatasetRegistry::GetSnapshot(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = datasets_.find(name);
+  if (it == datasets_.end() || it->second.table == nullptr) {
+    return Status::NotFound("dataset not registered: " + name);
+  }
+  return Snapshot{it->second.table, it->second.epoch};
+}
+
+std::vector<DatasetInfo> DatasetRegistry::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<DatasetInfo> out;
+  out.reserve(datasets_.size());
+  for (const auto& [name, ds] : datasets_) {
+    DatasetInfo info;
+    info.name = name;
+    info.epoch = ds.epoch;
+    info.rows = ds.table ? ds.table->NumRows() : 0;
+    info.columns = ds.table ? ds.table->NumColumns() : 0;
+    info.shards = static_cast<int>(ds.shards.size());
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+StatusOr<std::shared_ptr<CountEngine>> DatasetRegistry::ShardEngine(
+    const std::string& name, int64_t epoch, const std::string& signature,
+    const TableView& population) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = datasets_.find(name);
+  if (it == datasets_.end()) {
+    return Status::NotFound("dataset not registered: " + name);
+  }
+  Dataset& ds = it->second;
+  if (ds.epoch != epoch) {
+    // The caller's snapshot predates a re-registration; its population
+    // view aggregates the replaced table and must not seed this pool.
+    return Status::FailedPrecondition(
+        "dataset " + name + " re-registered (snapshot epoch " +
+        std::to_string(epoch) + ", current " + std::to_string(ds.epoch) +
+        ")");
+  }
+  auto shard = ds.shards.find(signature);
+  if (shard != ds.shards.end()) return shard->second;
+
+  // Mirror MiEngine's engine stack: a kernel-backed scanner, wrapped in a
+  // (thread-safe) caching layer unless materialization is disabled.
+  GroupByKernelOptions kernel;
+  kernel.num_threads = options_.engine.scan_threads;
+  std::shared_ptr<CountEngine> engine =
+      std::make_shared<ViewCountProvider>(population, kernel);
+  if (options_.engine.materialize_focus) {
+    CachingCountEngineOptions caching;
+    caching.max_cached_cells = options_.engine.max_cached_cells;
+    engine = std::make_shared<CachingCountEngine>(std::move(engine), caching);
+  }
+  ds.shards.emplace(signature, engine);
+  ds.shard_age.push_back(signature);
+  while (static_cast<int>(ds.shards.size()) >
+         std::max(1, options_.max_shards_per_dataset)) {
+    ds.shards.erase(ds.shard_age.front());
+    ds.shard_age.pop_front();
+  }
+  return engine;
+}
+
+StatusOr<CountEngineStats> DatasetRegistry::EngineStats(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = datasets_.find(name);
+  if (it == datasets_.end()) {
+    return Status::NotFound("dataset not registered: " + name);
+  }
+  CountEngineStats total;
+  for (const auto& [sig, engine] : it->second.shards) {
+    total += engine->stats();
+  }
+  return total;
+}
+
+}  // namespace hypdb

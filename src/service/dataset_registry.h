@@ -1,0 +1,108 @@
+// DatasetRegistry: named tables plus their shared, sharded count engines.
+//
+// The one-shot pipeline re-loads data and re-scans counts per Analyze()
+// call. The registry is the service's antidote: a table is registered
+// once under a name, and every query against it draws counts from a
+// per-dataset pool of CachingCountEngines, *sharded by subpopulation
+// signature* (the canonical WHERE rendering — see service/request.h).
+// Concurrent queries on the same (dataset, subpopulation) therefore share
+// one thread-safe contingency cache instead of each owning a private one;
+// queries on different subpopulations get different shards, so their
+// caches (whose counts aggregate different row sets) never mix — the
+// ROADMAP's "context-keyed cache pool" sharding.
+//
+// Re-registering a name replaces the table, bumps its epoch and drops its
+// shards; the service layer uses the epoch in discovery-cache keys so
+// stale discoveries can never serve the new data.
+
+#ifndef HYPDB_SERVICE_DATASET_REGISTRY_H_
+#define HYPDB_SERVICE_DATASET_REGISTRY_H_
+
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "engine/count_engine.h"
+#include "stats/mi_engine.h"
+#include "util/statusor.h"
+
+namespace hypdb {
+
+struct DatasetRegistryOptions {
+  /// Count-engine configuration for shard engines (kernel threads, cache
+  /// budget, materialization toggle).
+  MiEngineOptions engine;
+  /// Shard engines kept per dataset; oldest-first eviction beyond this.
+  int max_shards_per_dataset = 32;
+};
+
+/// One row of List(): a registered dataset's shape and pool state.
+struct DatasetInfo {
+  std::string name;
+  int64_t epoch = 0;
+  int64_t rows = 0;
+  int columns = 0;
+  int shards = 0;
+};
+
+/// Thread-safe. All methods may be called concurrently with each other.
+class DatasetRegistry {
+ public:
+  explicit DatasetRegistry(DatasetRegistryOptions options = {});
+
+  /// Registers (or replaces) `table` under `name`. Replacement bumps the
+  /// epoch and drops the dataset's engine shards. Returns the new epoch.
+  int64_t Register(const std::string& name, TablePtr table);
+
+  /// Loads `path` as CSV and registers it. Returns the new epoch.
+  StatusOr<int64_t> RegisterCsv(const std::string& name,
+                                const std::string& path);
+
+  StatusOr<TablePtr> Get(const std::string& name) const;
+  StatusOr<int64_t> Epoch(const std::string& name) const;
+  std::vector<DatasetInfo> List() const;
+
+  /// A consistent (table, epoch) pair read under one lock — the handle a
+  /// request works against for its whole lifetime, so a concurrent
+  /// re-registration can never mix the old table with the new epoch.
+  struct Snapshot {
+    TablePtr table;
+    int64_t epoch = 0;
+  };
+  StatusOr<Snapshot> GetSnapshot(const std::string& name) const;
+
+  /// The shared count engine of shard (`name`, `signature`), created over
+  /// `population` on first use. Callers pass the bound WHERE view of
+  /// their snapshot table; equal signatures select equal row sets by
+  /// construction, so later callers may pass their own (content-
+  /// identical) view. `epoch` must match the dataset's current epoch —
+  /// FailedPrecondition otherwise (the dataset was re-registered since
+  /// the caller's snapshot; a stale population must not seed the new
+  /// epoch's pool). Oldest shards are dropped beyond
+  /// max_shards_per_dataset.
+  StatusOr<std::shared_ptr<CountEngine>> ShardEngine(
+      const std::string& name, int64_t epoch, const std::string& signature,
+      const TableView& population);
+
+  /// Aggregate count-engine stats across a dataset's live shards.
+  StatusOr<CountEngineStats> EngineStats(const std::string& name) const;
+
+ private:
+  struct Dataset {
+    TablePtr table;
+    int64_t epoch = 0;
+    std::map<std::string, std::shared_ptr<CountEngine>> shards;
+    std::list<std::string> shard_age;  // creation order, oldest first
+  };
+
+  mutable std::mutex mu_;
+  DatasetRegistryOptions options_;
+  std::map<std::string, Dataset> datasets_;
+};
+
+}  // namespace hypdb
+
+#endif  // HYPDB_SERVICE_DATASET_REGISTRY_H_

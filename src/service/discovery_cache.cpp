@@ -1,0 +1,92 @@
+#include "service/discovery_cache.h"
+
+#include <algorithm>
+
+namespace hypdb {
+
+DiscoveryCache::DiscoveryCache(DiscoveryCacheOptions options)
+    : options_(options) {}
+
+StatusOr<DiscoveryReport> DiscoveryCache::LookupOrCompute(
+    const std::string& key,
+    const std::function<StatusOr<DiscoveryReport>()>& compute, bool* reused,
+    bool* coalesced) {
+  if (reused != nullptr) *reused = false;
+  if (coalesced != nullptr) *coalesced = false;
+
+  std::unique_lock<std::mutex> lock(mu_);
+  auto hit = cache_.find(key);
+  if (hit != cache_.end()) {
+    ++stats_.hits;
+    if (reused != nullptr) *reused = true;
+    return hit->second;
+  }
+
+  auto flight = inflight_.find(key);
+  if (flight != inflight_.end()) {
+    // Coalesce: another worker is computing this exact discovery right
+    // now. Wait for it instead of duplicating the work — this is the
+    // same-(table, treatment) request batching.
+    std::shared_ptr<InFlight> state = flight->second;
+    ++stats_.coalesced;
+    state->cv.wait(lock, [&] { return state->done; });
+    if (!state->status.ok()) return state->status;
+    if (reused != nullptr) *reused = true;
+    if (coalesced != nullptr) *coalesced = true;
+    return *state->report;
+  }
+
+  ++stats_.misses;
+  auto state = std::make_shared<InFlight>();
+  inflight_.emplace(key, state);
+  lock.unlock();
+
+  StatusOr<DiscoveryReport> result = compute();
+
+  lock.lock();
+  inflight_.erase(key);
+  state->done = true;
+  if (result.ok()) {
+    state->report = *result;
+    if (cache_.emplace(key, *result).second) age_.push_back(key);
+    while (static_cast<int64_t>(cache_.size()) >
+               std::max<int64_t>(1, options_.max_entries) &&
+           !age_.empty()) {
+      if (cache_.erase(age_.front()) > 0) ++stats_.evictions;
+      age_.pop_front();
+    }
+  } else {
+    state->status = result.status();
+  }
+  state->cv.notify_all();
+  return result;
+}
+
+int64_t DiscoveryCache::InvalidatePrefix(const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t dropped = 0;
+  auto it = cache_.lower_bound(prefix);
+  while (it != cache_.end() && it->first.rfind(prefix, 0) == 0) {
+    it = cache_.erase(it);
+    ++dropped;
+  }
+  if (dropped > 0) {
+    age_.remove_if([&](const std::string& key) {
+      return key.rfind(prefix, 0) == 0;
+    });
+    stats_.invalidations += dropped;
+  }
+  return dropped;
+}
+
+DiscoveryCacheStats DiscoveryCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+int64_t DiscoveryCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(cache_.size());
+}
+
+}  // namespace hypdb

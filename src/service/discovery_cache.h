@@ -1,0 +1,87 @@
+// DiscoveryCache: share covariate/mediator discovery across queries.
+//
+// Discovery (FD filtering + two CD runs) dominates Analyze() cost and
+// depends only on (dataset, epoch, treatment, outcomes, subpopulation,
+// discovery options) — the DiscoveryKey. Analyze-style workloads repeat
+// that key constantly ("think twice" reruns, dashboards refreshing, many
+// analysts probing the same grouping), so the service computes each
+// distinct discovery once:
+//  * completed results are cached (bounded, oldest-first eviction);
+//  * concurrent requests for the same key are *coalesced*: the first
+//    caller computes while the rest block on its result — the multi-query
+//    batching for same-(table, treatment) requests. Errors propagate to
+//    every coalesced waiter but are not cached (transient failures should
+//    not stick).
+// Invalidation: keys embed the dataset epoch, so re-registration makes
+// stale entries unreachable; InvalidatePrefix() additionally frees them.
+
+#ifndef HYPDB_SERVICE_DISCOVERY_CACHE_H_
+#define HYPDB_SERVICE_DISCOVERY_CACHE_H_
+
+#include <condition_variable>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "core/hypdb.h"
+
+namespace hypdb {
+
+struct DiscoveryCacheOptions {
+  /// Cached discovery reports kept; oldest-first eviction beyond this.
+  int64_t max_entries = 256;
+};
+
+struct DiscoveryCacheStats {
+  int64_t hits = 0;           // served from a completed entry
+  int64_t misses = 0;         // computed by the caller
+  int64_t coalesced = 0;      // waited on an in-flight computation
+  int64_t invalidations = 0;  // entries dropped by InvalidatePrefix
+  int64_t evictions = 0;      // entries dropped by the size bound
+};
+
+/// Thread-safe; LookupOrCompute may be called concurrently with any key.
+class DiscoveryCache {
+ public:
+  explicit DiscoveryCache(DiscoveryCacheOptions options = {});
+
+  /// Returns the report cached under `key`, or runs `compute` — at most
+  /// once across concurrent callers of the same key — and caches an OK
+  /// result. `reused` (optional) reports whether this caller skipped the
+  /// computation; `coalesced` whether it waited on an in-flight twin.
+  /// `compute` runs without the cache lock held.
+  StatusOr<DiscoveryReport> LookupOrCompute(
+      const std::string& key,
+      const std::function<StatusOr<DiscoveryReport>()>& compute,
+      bool* reused = nullptr, bool* coalesced = nullptr);
+
+  /// Drops every completed entry whose key starts with `prefix` (see
+  /// DatasetKeyPrefix). Returns the number dropped.
+  int64_t InvalidatePrefix(const std::string& prefix);
+
+  DiscoveryCacheStats stats() const;
+  int64_t size() const;
+
+ private:
+  struct InFlight {
+    bool done = false;
+    Status status;                          // meaningful once done
+    std::optional<DiscoveryReport> report;  // set when status is OK
+    std::condition_variable cv;             // waits on mu_
+  };
+
+  mutable std::mutex mu_;
+  DiscoveryCacheOptions options_;
+  std::map<std::string, DiscoveryReport> cache_;
+  std::list<std::string> age_;  // insertion order, oldest first
+  std::map<std::string, std::shared_ptr<InFlight>> inflight_;
+  DiscoveryCacheStats stats_;
+};
+
+}  // namespace hypdb
+
+#endif  // HYPDB_SERVICE_DISCOVERY_CACHE_H_

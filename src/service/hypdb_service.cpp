@@ -1,0 +1,80 @@
+#include "service/hypdb_service.h"
+
+namespace hypdb {
+namespace {
+
+DatasetRegistryOptions RegistryOptions(const HypDbServiceOptions& o) {
+  DatasetRegistryOptions out;
+  out.engine = o.analysis.engine;
+  out.max_shards_per_dataset = o.max_shards_per_dataset;
+  return out;
+}
+
+QuerySchedulerOptions SchedulerOptions(const HypDbServiceOptions& o) {
+  QuerySchedulerOptions out;
+  out.num_workers = o.num_workers;
+  out.batch_max = o.batch_max;
+  out.share_engines = o.share_engines;
+  out.share_discovery = o.share_discovery;
+  out.defaults = o.analysis;
+  return out;
+}
+
+}  // namespace
+
+HypDbService::HypDbService(HypDbServiceOptions options)
+    : options_(std::move(options)),
+      registry_(RegistryOptions(options_)),
+      discovery_(DiscoveryCacheOptions{options_.max_discovery_entries}),
+      scheduler_(std::make_unique<QueryScheduler>(
+          &registry_, &discovery_, SchedulerOptions(options_))) {}
+
+int64_t HypDbService::RegisterTable(const std::string& name,
+                                    TablePtr table) {
+  const int64_t epoch = registry_.Register(name, std::move(table));
+  // The epoch in DiscoveryKey already makes stale entries unreachable;
+  // invalidation frees their memory eagerly.
+  discovery_.InvalidatePrefix(DatasetKeyPrefix(name));
+  return epoch;
+}
+
+StatusOr<int64_t> HypDbService::RegisterCsv(const std::string& name,
+                                            const std::string& path) {
+  HYPDB_ASSIGN_OR_RETURN(int64_t epoch, registry_.RegisterCsv(name, path));
+  discovery_.InvalidatePrefix(DatasetKeyPrefix(name));
+  return epoch;
+}
+
+StatusOr<TablePtr> HypDbService::Dataset(const std::string& name) const {
+  return registry_.Get(name);
+}
+
+std::vector<DatasetInfo> HypDbService::Datasets() const {
+  return registry_.List();
+}
+
+StatusOr<ServiceReport> HypDbService::Analyze(AnalyzeRequest request) {
+  return Wait(Submit(std::move(request)));
+}
+
+StatusOr<ServiceReport> HypDbService::AnalyzeSql(const std::string& dataset,
+                                                 const std::string& sql) {
+  AnalyzeRequest request;
+  request.dataset = dataset;
+  request.sql = sql;
+  return Analyze(std::move(request));
+}
+
+uint64_t HypDbService::Submit(AnalyzeRequest request) {
+  return scheduler_->Submit(std::move(request));
+}
+
+bool HypDbService::Done(uint64_t ticket) const {
+  return scheduler_->Done(ticket);
+}
+
+StatusOr<ServiceReport> HypDbService::Wait(uint64_t ticket) {
+  return scheduler_->Wait(ticket);
+}
+
+}  // namespace hypdb

@@ -1,0 +1,103 @@
+// HypDbService: HypDB as a long-lived, concurrent analysis service.
+//
+// The one-shot library usage — construct a HypDb around a table, call
+// Analyze() — re-loads data and re-discovers covariates per call. The
+// service turns that into the paper's interactive "think twice about your
+// group-by query" workflow at production shape:
+//
+//   HypDbService service;                      // workers = hardware
+//   service.RegisterTable("flights", table);   // load once
+//   auto r = service.AnalyzeSql("flights",     // synchronous facade
+//       "SELECT Carrier, avg(Delayed) FROM flights GROUP BY Carrier");
+//   uint64_t t = service.Submit({...});        // async submit/poll
+//   ... service.Done(t) ... service.Wait(t);
+//
+// Composition (each part is its own module under src/service/):
+//  * DatasetRegistry — named tables + per-dataset pools of thread-safe
+//    CachingCountEngines sharded by subpopulation signature;
+//  * DiscoveryCache  — covariate/mediator discovery computed once per
+//    DiscoveryKey, with coalescing of concurrent twins and invalidation
+//    on dataset re-registration;
+//  * QueryScheduler  — the worker pool, with same-(dataset, treatment,
+//    subpopulation) batching.
+// Reports come back as ServiceReport: the ordinary HypDbReport plus
+// RequestStats (queue wait, cache reuse, shared-engine work deltas).
+// Reports are bit-identical to cold serial execution by construction —
+// see service/report_digest.h for the checked invariant.
+
+#ifndef HYPDB_SERVICE_HYPDB_SERVICE_H_
+#define HYPDB_SERVICE_HYPDB_SERVICE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "service/dataset_registry.h"
+#include "service/discovery_cache.h"
+#include "service/query_scheduler.h"
+#include "service/request.h"
+
+namespace hypdb {
+
+struct HypDbServiceOptions {
+  /// Worker threads; 0 resolves to hardware_concurrency.
+  int num_workers = 0;
+  /// Analysis options for requests without per-request overrides. Also
+  /// configures the shared shard engines (engine member).
+  HypDbOptions analysis;
+  /// Shard engines kept per dataset.
+  int max_shards_per_dataset = 32;
+  /// Cached discovery reports kept.
+  int64_t max_discovery_entries = 256;
+  /// Same-batch-key requests a worker drains per pickup.
+  int batch_max = 8;
+  /// Feature toggles (both on in production; tests ablate them).
+  bool share_engines = true;
+  bool share_discovery = true;
+};
+
+/// Thread-safe: any number of client threads may register datasets and
+/// submit/await queries concurrently.
+class HypDbService {
+ public:
+  explicit HypDbService(HypDbServiceOptions options = {});
+
+  /// Registers (or replaces) a dataset. Replacement invalidates the
+  /// dataset's cached discoveries and engine shards. Returns the epoch.
+  int64_t RegisterTable(const std::string& name, TablePtr table);
+  StatusOr<int64_t> RegisterCsv(const std::string& name,
+                                const std::string& path);
+  StatusOr<TablePtr> Dataset(const std::string& name) const;
+  std::vector<DatasetInfo> Datasets() const;
+
+  /// Synchronous facade: submit + wait.
+  StatusOr<ServiceReport> Analyze(AnalyzeRequest request);
+  StatusOr<ServiceReport> AnalyzeSql(const std::string& dataset,
+                                     const std::string& sql);
+
+  /// Async API: Submit returns a ticket; Done polls; Wait blocks and
+  /// claims the result (one Wait per ticket).
+  uint64_t Submit(AnalyzeRequest request);
+  bool Done(uint64_t ticket) const;
+  StatusOr<ServiceReport> Wait(uint64_t ticket);
+
+  /// Introspection.
+  DiscoveryCacheStats discovery_stats() const { return discovery_.stats(); }
+  StatusOr<CountEngineStats> engine_stats(const std::string& dataset) const {
+    return registry_.EngineStats(dataset);
+  }
+  int num_workers() const { return scheduler_->num_workers(); }
+  const HypDbServiceOptions& options() const { return options_; }
+
+ private:
+  HypDbServiceOptions options_;
+  DatasetRegistry registry_;
+  DiscoveryCache discovery_;
+  // Last member: workers touch registry_/discovery_, so they must be
+  // joined (scheduler destroyed) before those die.
+  std::unique_ptr<QueryScheduler> scheduler_;
+};
+
+}  // namespace hypdb
+
+#endif  // HYPDB_SERVICE_HYPDB_SERVICE_H_

@@ -1,0 +1,242 @@
+#include "service/query_scheduler.h"
+
+#include <algorithm>
+
+#include "core/sql_parser.h"
+
+namespace hypdb {
+
+QueryScheduler::QueryScheduler(DatasetRegistry* registry,
+                               DiscoveryCache* discovery,
+                               QuerySchedulerOptions options)
+    : registry_(registry), discovery_(discovery),
+      options_(std::move(options)) {
+  int workers = options_.num_workers;
+  if (workers <= 0) {
+    workers = static_cast<int>(
+        std::max(1u, std::thread::hardware_concurrency()));
+  }
+  workers_.reserve(workers);
+  for (int w = 0; w < workers; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+QueryScheduler::~QueryScheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    // Queued-but-unpicked jobs complete with an error so Wait() never
+    // hangs across shutdown.
+    for (Job& job : queue_) {
+      auto slot = slots_.find(job.ticket);
+      if (slot != slots_.end() && !slot->second->done) {
+        slot->second->done = true;
+        slot->second->result =
+            StatusOr<ServiceReport>(Status::FailedPrecondition(
+                "scheduler shut down before the request ran"));
+      }
+    }
+    queue_.clear();
+  }
+  queue_cv_.notify_all();
+  done_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+uint64_t QueryScheduler::Submit(AnalyzeRequest request) {
+  Job job;
+  job.request = std::move(request);
+
+  StatusOr<AggQuery> parsed = ParseAggQuery(job.request.sql);
+  std::unique_lock<std::mutex> lock(mu_);
+  const uint64_t ticket = next_ticket_++;
+  job.ticket = ticket;
+  slots_.emplace(ticket, std::make_shared<Slot>());
+  if (!parsed.ok()) {
+    // Malformed SQL never reaches a worker; the ticket completes
+    // immediately with the parser error — through the same accounting as
+    // worker completions, so it counts against the retention bound.
+    CompleteLocked(ticket, StatusOr<ServiceReport>(parsed.status()));
+    lock.unlock();
+    done_cv_.notify_all();
+    return ticket;
+  }
+  job.query = std::move(*parsed);
+  job.batch_key = BatchKey(job.request.dataset, job.query);
+  queue_.push_back(std::move(job));
+  lock.unlock();
+  queue_cv_.notify_one();
+  return ticket;
+}
+
+StatusOr<ServiceReport> QueryScheduler::Wait(uint64_t ticket) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = slots_.find(ticket);
+  if (it == slots_.end()) {
+    return Status::NotFound("unknown or already-claimed ticket " +
+                            std::to_string(ticket));
+  }
+  std::shared_ptr<Slot> slot = it->second;
+  done_cv_.wait(lock, [&] { return slot->done || stopping_; });
+  if (!slot->done) {
+    return Status::FailedPrecondition("scheduler shutting down");
+  }
+  // Claim-once even when two threads raced Wait() on the same pending
+  // ticket: the result moves out exactly once; the loser gets the same
+  // error a sequential double-Wait does.
+  if (!slot->result.has_value()) {
+    return Status::NotFound("ticket " + std::to_string(ticket) +
+                            " already claimed");
+  }
+  StatusOr<ServiceReport> result = std::move(*slot->result);
+  slot->result.reset();
+  if (slots_.erase(ticket) > 0) --retained_results_;
+  return result;
+}
+
+bool QueryScheduler::Done(uint64_t ticket) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = slots_.find(ticket);
+  return it == slots_.end() || it->second->done;
+}
+
+void QueryScheduler::WorkerLoop(int worker_id) {
+  for (;;) {
+    std::vector<Job> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (stopping_) return;
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+      // Batching: drain queued twins of this request (same dataset,
+      // treatment, subpopulation) and run them back-to-back — the first
+      // run leaves the discovery cache and count shards warm for them.
+      // Copied, not referenced: push_back below reallocates `batch`.
+      const std::string key = batch.front().batch_key;
+      for (auto it = queue_.begin();
+           it != queue_.end() &&
+           static_cast<int>(batch.size()) < std::max(1, options_.batch_max);) {
+        if (it->batch_key == key) {
+          batch.push_back(std::move(*it));
+          it = queue_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    for (Job& job : batch) RunJob(std::move(job), worker_id);
+  }
+}
+
+void QueryScheduler::RunJob(Job job, int worker_id) {
+  RequestStats stats;
+  stats.ticket = job.ticket;
+  stats.worker_id = worker_id;
+  stats.queue_seconds = job.queued.ElapsedSeconds();
+  Stopwatch run;
+  StatusOr<ServiceReport> result = Execute(job, worker_id, &stats);
+  stats.run_seconds = run.ElapsedSeconds();
+  if (result.ok()) result->stats = stats;
+  Complete(job.ticket, std::move(result));
+}
+
+StatusOr<ServiceReport> QueryScheduler::Execute(const Job& job,
+                                                int worker_id,
+                                                RequestStats* stats) {
+  (void)worker_id;
+  // One snapshot for the whole request: table and epoch are read
+  // atomically, every later step (binding, shard lookup, discovery key)
+  // uses this pair, so a concurrent re-registration can neither mix old
+  // counts into the new epoch's pool nor cache old-table discovery under
+  // a new-epoch key.
+  HYPDB_ASSIGN_OR_RETURN(DatasetRegistry::Snapshot snapshot,
+                         registry_->GetSnapshot(job.request.dataset));
+  const HypDbOptions& options = job.request.options.has_value()
+                                    ? *job.request.options
+                                    : options_.defaults;
+  HypDb db(snapshot.table, options);
+
+  AnalyzeHooks hooks;
+  std::shared_ptr<CountEngine> engine;
+  CountEngineStats engine_before;
+  if (options_.share_engines) {
+    // Bind once here to materialize the WHERE view the shard engine
+    // aggregates. Analyze() re-binds internally; both binds produce the
+    // same row set, which is all count equality needs.
+    HYPDB_ASSIGN_OR_RETURN(BoundQuery bound,
+                           BindQuery(snapshot.table, job.query));
+    StatusOr<std::shared_ptr<CountEngine>> shard = registry_->ShardEngine(
+        job.request.dataset, snapshot.epoch,
+        SubpopulationSignature(job.query), bound.population);
+    if (shard.ok()) {
+      engine = std::move(*shard);
+      hooks.population_engine = engine;
+      engine_before = engine->stats();
+    } else if (shard.status().code() != StatusCode::kFailedPrecondition) {
+      return shard.status();
+    }
+    // FailedPrecondition = the dataset was re-registered after our
+    // snapshot. Run unshared over the snapshot table — still correct,
+    // just not pooled; the discovery below caches under the (now stale,
+    // unreachable) snapshot epoch.
+  }
+
+  DiscoveryReport discovery;
+  if (options_.share_discovery) {
+    const std::string key = DiscoveryKey(job.request.dataset,
+                                         snapshot.epoch, job.query, options);
+    HYPDB_ASSIGN_OR_RETURN(
+        discovery,
+        discovery_->LookupOrCompute(
+            key,
+            [&] { return db.Discover(job.query, hooks.population_engine); },
+            &stats->discovery_reused, &stats->discovery_coalesced));
+    hooks.reuse_discovery = &discovery;
+  }
+
+  ServiceReport out;
+  HYPDB_ASSIGN_OR_RETURN(out.report, db.Analyze(job.query, hooks));
+  // RunJob stamps the finished stats (including this delta) onto the
+  // report after timing completes.
+  if (engine != nullptr) {
+    stats->engine_delta = engine->stats() - engine_before;
+  }
+  return out;
+}
+
+void QueryScheduler::CompleteLocked(uint64_t ticket,
+                                    StatusOr<ServiceReport> result) {
+  auto it = slots_.find(ticket);
+  if (it == slots_.end()) return;
+  it->second->result = std::move(result);
+  it->second->done = true;
+  done_order_.push_back(ticket);
+  ++retained_results_;
+  // Fire-and-forget submitters never Wait(); drop the oldest *live*
+  // unclaimed results so slots_ cannot grow without bound. Stale queue
+  // entries (tickets Wait() already claimed and erased) are popped
+  // without counting against the bound.
+  const int64_t cap = std::max<int64_t>(1, options_.max_retained_results);
+  while (retained_results_ > cap && !done_order_.empty()) {
+    const uint64_t oldest = done_order_.front();
+    done_order_.pop_front();
+    auto found = slots_.find(oldest);
+    if (found != slots_.end() && found->second->done) {
+      slots_.erase(found);
+      --retained_results_;
+    }
+  }
+}
+
+void QueryScheduler::Complete(uint64_t ticket,
+                              StatusOr<ServiceReport> result) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CompleteLocked(ticket, std::move(result));
+  }
+  done_cv_.notify_all();
+}
+
+}  // namespace hypdb

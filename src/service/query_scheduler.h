@@ -1,0 +1,120 @@
+// QueryScheduler: worker pool executing AnalyzeRequests with batching.
+//
+// Submit() parses and enqueues a request and returns a ticket; a pool of
+// worker threads drains the queue. Two mechanisms share work between
+// requests on the same data:
+//  * Batching — a worker that picks up a request also drains (up to
+//    batch_max) queued requests with the same batch key (dataset,
+//    treatment, subpopulation) and runs them back-to-back, so the first
+//    one's discovery and contingency summaries are warm for the rest.
+//  * Coalescing — requests with equal discovery keys that are *already
+//    running* on other workers block on the in-flight computation via
+//    DiscoveryCache::LookupOrCompute instead of recomputing.
+// Per-request RequestStats record queue wait, run time, reuse flags and
+// the shared shard-engine work delta.
+//
+// Results are bit-identical to serial execution: counts are exact
+// integers whatever the cache state, permutation tests are seeded from
+// the request options, and a reused discovery is the verbatim report the
+// equivalent computation produces (service tests assert digest equality).
+
+#ifndef HYPDB_SERVICE_QUERY_SCHEDULER_H_
+#define HYPDB_SERVICE_QUERY_SCHEDULER_H_
+
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/dataset_registry.h"
+#include "service/discovery_cache.h"
+#include "service/request.h"
+#include "util/stopwatch.h"
+
+namespace hypdb {
+
+struct QuerySchedulerOptions {
+  /// Worker threads; 0 resolves to hardware_concurrency.
+  int num_workers = 0;
+  /// Same-batch-key requests a worker drains per pickup (1 = no batching).
+  int batch_max = 8;
+  /// Completed-but-unclaimed results retained; beyond this the oldest are
+  /// dropped (their tickets then Wait() as not-found). Bounds the memory
+  /// of fire-and-forget submitters that never collect.
+  int64_t max_retained_results = 1024;
+  /// Route discovery counts through the registry's shared shard engines.
+  bool share_engines = true;
+  /// Reuse/coalesce discovery via the DiscoveryCache.
+  bool share_discovery = true;
+  /// Analysis options for requests that do not carry their own.
+  HypDbOptions defaults;
+};
+
+/// Thread-safe. Destruction waits for in-flight work, discarding queued
+/// requests that no worker has picked up.
+class QueryScheduler {
+ public:
+  QueryScheduler(DatasetRegistry* registry, DiscoveryCache* discovery,
+                 QuerySchedulerOptions options = {});
+  ~QueryScheduler();
+
+  /// Enqueues `request`; returns the ticket to Wait()/Done() on.
+  uint64_t Submit(AnalyzeRequest request);
+
+  /// Blocks until the ticket completes; a ticket can be waited on once.
+  StatusOr<ServiceReport> Wait(uint64_t ticket);
+
+  /// True when the ticket has completed (Wait() will not block).
+  bool Done(uint64_t ticket) const;
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  struct Job {
+    uint64_t ticket = 0;
+    AnalyzeRequest request;
+    AggQuery query;         // parsed at Submit
+    std::string batch_key;  // dataset + treatment + subpopulation
+    Stopwatch queued;       // started at Submit; read at pickup
+  };
+
+  struct Slot {
+    bool done = false;
+    std::optional<StatusOr<ServiceReport>> result;
+  };
+
+  void WorkerLoop(int worker_id);
+  void RunJob(Job job, int worker_id);
+  StatusOr<ServiceReport> Execute(const Job& job, int worker_id,
+                                  RequestStats* stats);
+  void Complete(uint64_t ticket, StatusOr<ServiceReport> result);
+  /// Marks the ticket done and bounds retained unclaimed results.
+  /// Requires mu_ held; caller notifies done_cv_ after unlocking.
+  void CompleteLocked(uint64_t ticket, StatusOr<ServiceReport> result);
+
+  DatasetRegistry* registry_;
+  DiscoveryCache* discovery_;
+  QuerySchedulerOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;  // workers: queue non-empty / stop
+  std::condition_variable done_cv_;   // waiters: a ticket completed
+  std::deque<Job> queue_;
+  std::map<uint64_t, std::shared_ptr<Slot>> slots_;
+  std::deque<uint64_t> done_order_;  // completion order; may hold stale
+                                     // (already-claimed) tickets
+  int64_t retained_results_ = 0;     // live completed-unclaimed slots
+  uint64_t next_ticket_ = 1;
+  bool stopping_ = false;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace hypdb
+
+#endif  // HYPDB_SERVICE_QUERY_SCHEDULER_H_

@@ -1,0 +1,117 @@
+#include "service/report_digest.h"
+
+#include "util/string_util.h"
+
+namespace hypdb {
+namespace {
+
+void AppendDouble(std::string* out, double v) {
+  *out += StrFormat("%.17g", v);
+  *out += ";";
+}
+
+void AppendCi(std::string* out, const CiResult& r) {
+  AppendDouble(out, r.statistic);
+  AppendDouble(out, r.p_value);
+  AppendDouble(out, r.p_low);
+  AppendDouble(out, r.p_high);
+  *out += StrFormat("df=%lld,m=%d;", static_cast<long long>(r.df),
+                    static_cast<int>(r.method_used));
+}
+
+void AppendBalance(std::string* out, const BalanceTest& b) {
+  *out += "[" + Join(b.variables, ",") + "]";
+  AppendCi(out, b.ci);
+  *out += b.biased ? "B" : "u";
+  AppendDouble(out, b.p_adjusted);
+  *out += b.biased_fdr ? "B" : "u";
+  *out += "|";
+}
+
+void AppendGroups(std::string* out, const std::vector<AdjustedGroup>& gs) {
+  for (const auto& g : gs) {
+    *out += g.treatment_label + StrFormat(":%lld:",
+                                          static_cast<long long>(g.rows));
+    for (double m : g.means) AppendDouble(out, m);
+  }
+}
+
+}  // namespace
+
+std::string CanonicalReportDigest(const HypDbReport& report) {
+  std::string out;
+  out += "sql:" + report.sql_plain + "\n";
+  out += "sql_total:" + report.sql_total + "\n";
+  out += "sql_direct:" + report.sql_direct + "\n";
+
+  out += "discovery:Z=[" + Join(report.discovery.covariates, ",") + "]M=[" +
+         Join(report.discovery.mediators, ",") + "]fd=[" +
+         Join(report.discovery.dropped_fd, ",") + "]keys=[" +
+         Join(report.discovery.dropped_keys, ",") + "]";
+  out += report.discovery.covariates_fell_back ? "ZF" : "z";
+  out += report.discovery.mediators_fell_back ? "MF" : "m";
+  out += StrFormat("tests=%lld",
+                   static_cast<long long>(report.discovery.tests_used));
+  out += "\n";
+
+  out += "plain:" + Join(report.plain.outcome_names, ",") + "\n";
+  for (const auto& ctx : report.plain.contexts) {
+    out += "ctx[" + Join(ctx.context_labels, ",") + "]:";
+    for (const auto& g : ctx.groups) {
+      out += g.treatment_label +
+             StrFormat(":%lld:", static_cast<long long>(g.count));
+      for (double a : g.averages) AppendDouble(&out, a);
+    }
+    out += "\n";
+  }
+
+  for (const auto& b : report.bias) {
+    out += "bias[" + Join(b.context_labels, ",") +
+           StrFormat("]r=%lld:", static_cast<long long>(b.rows));
+    AppendBalance(&out, b.total);
+    if (b.has_direct) AppendBalance(&out, b.direct);
+    out += "\n";
+  }
+
+  for (const auto& e : report.explanations) {
+    out += "expl[" + Join(e.context_labels, ",") + "]:";
+    for (const auto& r : e.coarse) {
+      out += r.attribute + ":";
+      AppendDouble(&out, r.rho);
+    }
+    for (const auto& f : e.fine) {
+      out += "fine(" + f.covariate + "):";
+      for (const auto& t : f.top) {
+        out += StrFormat("#%d(", t.borda_rank) + t.t_label + "," +
+               t.y_label + "," + t.z_label + ")";
+        AppendDouble(&out, t.kappa_tz);
+        AppendDouble(&out, t.kappa_yz);
+      }
+    }
+    out += "\n";
+  }
+
+  for (const auto& rw : report.rewrites) {
+    out += "rw[" + Join(rw.context_labels, ",") +
+           StrFormat("]r=%lld,b=%lld/%lld,db=%lld/%lld:",
+                     static_cast<long long>(rw.rows),
+                     static_cast<long long>(rw.blocks_used),
+                     static_cast<long long>(rw.blocks_seen),
+                     static_cast<long long>(rw.direct_blocks_used),
+                     static_cast<long long>(rw.direct_blocks_seen));
+    out += "T:";
+    AppendGroups(&out, rw.total);
+    if (rw.has_direct) {
+      out += "D(" + rw.direct_reference + "):";
+      AppendGroups(&out, rw.direct);
+    }
+    out += "sig:";
+    for (const auto& s : rw.plain_sig) AppendCi(&out, s);
+    for (const auto& s : rw.total_sig) AppendCi(&out, s);
+    for (const auto& s : rw.direct_sig) AppendCi(&out, s);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace hypdb

@@ -1,0 +1,28 @@
+// Canonical digest of a HypDbReport's analytical content.
+//
+// The service promises that sharing work across queries (cached counts,
+// reused discovery, concurrent workers) is pure execution strategy: every
+// report is bit-identical to the one a cold, serial HypDb::Analyze()
+// produces. This digest is how that promise is checked — a deterministic,
+// full-precision (%.17g round-trips doubles exactly) rendering of every
+// statistical output, excluding only wall-clock timings and count-engine
+// work counters, which legitimately vary with execution strategy.
+// Used by the service tests and bench_service_throughput.
+
+#ifndef HYPDB_SERVICE_REPORT_DIGEST_H_
+#define HYPDB_SERVICE_REPORT_DIGEST_H_
+
+#include <string>
+
+#include "core/hypdb.h"
+
+namespace hypdb {
+
+/// Deterministic rendering of `report`'s analytical content. Two reports
+/// digest equal iff every answer, discovery outcome, bias verdict,
+/// explanation and rewrite matches to the last bit.
+std::string CanonicalReportDigest(const HypDbReport& report);
+
+}  // namespace hypdb
+
+#endif  // HYPDB_SERVICE_REPORT_DIGEST_H_

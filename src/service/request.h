@@ -1,0 +1,90 @@
+// Request/response types of the HypDB service layer, plus the cache-key
+// helpers that make work sharable across queries.
+//
+// The service keys shared state two ways:
+//  * SubpopulationSignature(query) — a canonical rendering of the WHERE
+//    clause. Queries whose WHERE clauses select the same rows (up to term
+//    and value order) map to the same shard of a dataset's CountEngine
+//    pool, so their contingency summaries share one cache.
+//  * DiscoveryKey(dataset, epoch, query, options) — everything the
+//    covariate/mediator discovery outcome depends on: the dataset (and
+//    its registration epoch, so re-registering invalidates), the
+//    treatment, the outcomes, the subpopulation, and the discovery-
+//    relevant options (CI test config, CD/FD knobs, alpha, seed). Two
+//    requests with equal keys provably compute the same DiscoveryReport,
+//    which is what lets the DiscoveryCache serve one computation to many
+//    queries.
+
+#ifndef HYPDB_SERVICE_REQUEST_H_
+#define HYPDB_SERVICE_REQUEST_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/hypdb.h"
+
+namespace hypdb {
+
+/// One unit of service work: a Listing-1 SQL query against a registered
+/// dataset, with optional per-request analysis options.
+struct AnalyzeRequest {
+  /// Name the dataset was registered under (DatasetRegistry).
+  std::string dataset;
+  /// Listing-1 SQL text (see core/sql_parser.h for the dialect).
+  std::string sql;
+  /// Per-request override of the service-wide analysis options.
+  std::optional<HypDbOptions> options;
+};
+
+/// Service-side accounting for one request — what the pipeline itself
+/// cannot know (queue wait, cross-query reuse, shared-engine work).
+struct RequestStats {
+  uint64_t ticket = 0;
+  int worker_id = -1;
+  /// Seconds between Submit() and a worker picking the request up.
+  double queue_seconds = 0.0;
+  /// Seconds the worker spent executing the pipeline.
+  double run_seconds = 0.0;
+  /// Discovery was served from the DiscoveryCache (a prior request
+  /// computed it).
+  bool discovery_reused = false;
+  /// Discovery was coalesced with an in-flight twin request (computed
+  /// once, shared by both — the scheduler's same-(table,treatment)
+  /// batching).
+  bool discovery_coalesced = false;
+  /// Shared shard-engine work observed during this request (scan/hit
+  /// deltas). Attribution is approximate under concurrency: overlapping
+  /// requests on the same shard see each other's work.
+  CountEngineStats engine_delta;
+};
+
+/// What HypDbService hands back: the full report plus service stats.
+struct ServiceReport {
+  HypDbReport report;
+  RequestStats stats;
+};
+
+/// Canonical rendering of the query's WHERE clause: terms sorted by
+/// attribute, values sorted and de-duplicated within each term. Queries
+/// selecting the same subpopulation (up to term/value order) share it.
+std::string SubpopulationSignature(const AggQuery& query);
+
+/// Prefix every cache key of `dataset` starts with — the invalidation
+/// handle used when a dataset is re-registered.
+std::string DatasetKeyPrefix(const std::string& dataset);
+
+/// Cache key for the discovery outcome of `query` under `options` against
+/// registration `epoch` of `dataset`. Includes every option that can
+/// change the discovered covariates/mediators.
+std::string DiscoveryKey(const std::string& dataset, int64_t epoch,
+                         const AggQuery& query, const HypDbOptions& options);
+
+/// Batch key of the scheduler: requests sharing (dataset, treatment,
+/// subpopulation) are drained together so the first one's discovery warms
+/// the cache for the rest.
+std::string BatchKey(const std::string& dataset, const AggQuery& query);
+
+}  // namespace hypdb
+
+#endif  // HYPDB_SERVICE_REQUEST_H_

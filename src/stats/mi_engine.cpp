@@ -43,9 +43,10 @@ MiEngine::MiEngine(TableView view, MiEngineOptions options)
       options_(options) {}
 
 MiEngine::MiEngine(TableView view, std::shared_ptr<CountEngine> provider,
-                   MiEngineOptions options)
+                   MiEngineOptions options, bool wrap_provider)
     : view_(std::move(view)),
-      engine_(WrapEngine(std::move(provider), options)),
+      engine_(wrap_provider ? WrapEngine(std::move(provider), options)
+                            : std::move(provider)),
       options_(options) {}
 
 Status MiEngine::SetFocus(const std::vector<int>& cols) {

@@ -35,7 +35,9 @@ struct MiEngineOptions {
   /// Count caching + superset marginalization (CachingCountEngine layer).
   bool materialize_focus = true;
   EntropyEstimator estimator = EntropyEstimator::kMillerMadow;
-  /// Worker threads for data scans (ViewCountProvider kernel).
+  /// Worker threads for data scans (ViewCountProvider kernel). 0 resolves
+  /// to std::thread::hardware_concurrency() — the production setting the
+  /// service layer and `hypdb_cli --threads=0` use.
   int scan_threads = 1;
   /// Budget for the count cache, in total cached groups.
   int64_t max_cached_cells = int64_t{1} << 22;
@@ -49,9 +51,12 @@ class MiEngine {
 
   /// Engine with a custom count source (e.g. CubeCountProvider). `view`
   /// must describe the same population the source aggregates. The source
-  /// is wrapped in a CachingCountEngine unless materialization is off.
+  /// is wrapped in a CachingCountEngine unless materialization is off or
+  /// `wrap_provider` is false — pass false for a provider that already
+  /// caches (the service layer's shared per-subpopulation engines), so a
+  /// private cache does not shadow the shared one.
   MiEngine(TableView view, std::shared_ptr<CountEngine> provider,
-           MiEngineOptions options = {});
+           MiEngineOptions options = {}, bool wrap_provider = true);
 
   /// Ĥ(cols) with the engine's default estimator.
   StatusOr<double> Entropy(const std::vector<int>& cols);

@@ -3,6 +3,17 @@
 #include <cmath>
 
 namespace hypdb {
+
+double LnGamma(double x) {
+#if defined(__unix__) || defined(__APPLE__)
+  // lgamma_r keeps the sign in a local instead of the signgam global.
+  int sign = 0;
+  return ::lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
+
 namespace {
 
 // Series expansion of P(a, x), converges quickly for x < a + 1.
@@ -16,7 +27,7 @@ double GammaPSeries(double a, double x) {
     sum += del;
     if (std::fabs(del) < std::fabs(sum) * 1e-15) break;
   }
-  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+  return sum * std::exp(-x + a * std::log(x) - LnGamma(a));
 }
 
 // Continued fraction (modified Lentz) of Q(a, x), for x >= a + 1.
@@ -38,14 +49,14 @@ double GammaQContinuedFraction(double a, double x) {
     h *= del;
     if (std::fabs(del - 1.0) < 1e-15) break;
   }
-  return std::exp(-x + a * std::log(x) - std::lgamma(a)) * h;
+  return std::exp(-x + a * std::log(x) - LnGamma(a)) * h;
 }
 
 }  // namespace
 
 double LogFactorial(int64_t n) {
   if (n <= 1) return 0.0;
-  return std::lgamma(static_cast<double>(n) + 1.0);
+  return LnGamma(static_cast<double>(n) + 1.0);
 }
 
 std::vector<double> LogFactorialTable(int64_t n) {

@@ -10,6 +10,12 @@
 
 namespace hypdb {
 
+/// ln|Γ(x)|, thread-safe. std::lgamma writes the global `signgam` on
+/// glibc — a data race under the service's worker pool — so every
+/// concurrent path routes through this wrapper (lgamma_r where
+/// available).
+double LnGamma(double x);
+
 /// ln(n!). Exact-table backed for small n, lgamma otherwise.
 double LogFactorial(int64_t n);
 

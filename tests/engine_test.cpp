@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <thread>
 
 #include "engine/caching_count_engine.h"
 #include "engine/count_engine.h"
@@ -230,6 +232,124 @@ TEST(CachingCountEngineTest, PrefetchedEntriesSurviveEviction) {
   // The pinned superset still answers: no scan beyond the prefetch.
   EXPECT_EQ(engine.stats().scans, 1);
   EXPECT_EQ(engine.stats().marginalizations, 2);
+}
+
+// Regression for the eviction accounting bug: pinned-entry cells used to
+// count against max_cached_cells, so a prefetched focus larger than the
+// budget forced every derived summary out immediately — repeated subset
+// queries re-marginalized the superset forever instead of hitting cache.
+// Pinned cells are exempt now: the budget bounds the evictable set.
+TEST(CachingCountEngineTest, PinnedCellsExemptFromEvictionBudget) {
+  TablePtr t = RandomTable(4, 2000, 91);
+  TableView view(t);
+  auto joint = CountBy(view, {0, 1, 2, 3});
+  ASSERT_TRUE(joint.ok());
+
+  CachingCountEngineOptions options;
+  // Budget below the joint summary but with room for small derived
+  // entries — the configuration the bug hit.
+  options.max_cached_cells = joint->NumGroups() - 1;
+  CachingCountEngine engine(std::make_shared<ViewCountProvider>(view),
+                            options);
+  ASSERT_TRUE(engine.Prefetch({0, 1, 2, 3}).ok());
+  EXPECT_EQ(engine.pinned_cells(), joint->NumGroups());
+
+  // First query derives from the pinned superset and must stay cached...
+  ASSERT_TRUE(engine.Counts({0, 1}).ok());
+  EXPECT_EQ(engine.num_entries(), 2);
+  // ...so the repeat is an exact cache hit, not a re-marginalization.
+  ASSERT_TRUE(engine.Counts({0, 1}).ok());
+  CountEngineStats s = engine.stats();
+  EXPECT_EQ(s.cache_hits, 1);
+  EXPECT_EQ(s.marginalizations, 1);
+  EXPECT_EQ(s.evictions, 0);
+  EXPECT_EQ(s.scans, 1);
+
+  // The unpinned budget still evicts: flood with derived subsets until
+  // the evictable set exceeds it, and the pinned focus must survive.
+  for (const std::vector<int>& cols :
+       std::vector<std::vector<int>>{{0}, {1}, {2}, {3}, {0, 2}, {1, 3},
+                                     {2, 3}, {0, 3}, {1, 2}, {0, 1, 2}}) {
+    ASSERT_TRUE(engine.Counts(cols).ok());
+  }
+  EXPECT_LE(engine.cached_cells() - engine.pinned_cells(),
+            options.max_cached_cells);
+  EXPECT_EQ(engine.pinned_cells(), joint->NumGroups());
+  EXPECT_EQ(engine.stats().scans, 1);  // the pinned focus kept serving
+}
+
+// Concurrent use of one caching engine (the service's shard sharing):
+// results stay bit-identical to a direct scan and accounting stays
+// consistent whatever the interleaving.
+TEST(CachingCountEngineTest, ConcurrentCountsMatchDirectScan) {
+  TablePtr t = RandomTable(5, 8000, 77);
+  TableView view(t);
+  auto engine = std::make_shared<CachingCountEngine>(
+      std::make_shared<ViewCountProvider>(view));
+  ASSERT_TRUE(engine->Prefetch({0, 1, 2, 3}).ok());
+
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int w = 0; w < kThreads; ++w) {
+    threads.emplace_back([&, w] {
+      Rng rng(1000 + w);
+      for (int trial = 0; trial < 30; ++trial) {
+        std::vector<int> cols;
+        for (int c = 0; c < 5; ++c) {
+          if (rng.Bernoulli(0.5)) cols.push_back(c);
+        }
+        if (cols.empty()) cols.push_back(w);
+        rng.Shuffle(&cols);
+        auto counts = engine->Counts(cols);
+        auto direct = CountBy(view, cols);
+        if (!counts.ok() || !direct.ok() ||
+            counts->keys != direct->keys ||
+            counts->counts != direct->counts) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  // Every query was answered, and the cache accounting reconciled any
+  // racing duplicate inserts.
+  EXPECT_EQ(engine->stats().queries, kThreads * 30);
+  EXPECT_GE(engine->cached_cells(), 0);
+}
+
+// ---- scan_threads auto default (0 = hardware concurrency) ----
+
+TEST(GroupByKernelTest, ZeroThreadsResolvesToHardwareDefault) {
+  TablePtr t = RandomTable(4, 20000, 83);
+  GroupByKernelOptions autodetect;
+  autodetect.num_threads = 0;
+  autodetect.parallel_min_rows = 64;
+  for (const std::vector<int>& cols :
+       std::vector<std::vector<int>>{{0}, {1, 3}, {0, 1, 2, 3}}) {
+    auto sequential = ScanCounts(TableView(t), cols);
+    auto detected = ScanCounts(TableView(t), cols, autodetect);
+    ASSERT_TRUE(sequential.ok());
+    ASSERT_TRUE(detected.ok());
+    ExpectSameCounts(*detected, *sequential);
+  }
+}
+
+TEST(MiEngineCountStatsTest, ZeroScanThreadsWorksThroughTheStack) {
+  TablePtr t = RandomTable(3, 5000, 87);
+  MiEngine sequential(TableView(t), MiEngineOptions{});
+  MiEngineOptions auto_threads;
+  auto_threads.scan_threads = 0;
+  MiEngine detected(TableView(t), auto_threads);
+  for (const std::vector<int>& cols :
+       std::vector<std::vector<int>>{{0}, {0, 1}, {0, 1, 2}}) {
+    auto a = sequential.Entropy(cols);
+    auto b = detected.Entropy(cols);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(*a, *b);  // bit-identical, not just close
+  }
 }
 
 // ---- MiEngine on top of the stack ----

@@ -1,0 +1,465 @@
+// Service-layer tests: registry/epoch lifecycle, discovery cache hits,
+// coalescing and invalidation, and the core concurrency invariant —
+// N threads issuing mixed queries against shared datasets produce
+// reports bit-identical to cold serial execution.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/hypdb.h"
+#include "core/sql_parser.h"
+#include "datagen/berkeley_data.h"
+#include "datagen/cancer_data.h"
+#include "service/dataset_registry.h"
+#include "service/discovery_cache.h"
+#include "service/hypdb_service.h"
+#include "service/report_digest.h"
+#include "service/request.h"
+
+namespace hypdb {
+namespace {
+
+TablePtr Berkeley() {
+  auto table = GenerateBerkeleyData();
+  EXPECT_TRUE(table.ok());
+  return MakeTable(std::move(*table));
+}
+
+TablePtr Cancer(int64_t rows = 4000) {
+  auto table = GenerateCancerData({.num_rows = rows});
+  EXPECT_TRUE(table.ok());
+  return MakeTable(std::move(*table));
+}
+
+TEST(SubpopulationSignatureTest, CanonicalizesTermAndValueOrder) {
+  AggQuery a;
+  a.where = {{"Airport", {"ROC", "COS", "ROC"}}, {"Carrier", {"UA", "AA"}}};
+  AggQuery b;
+  b.where = {{"Carrier", {"AA", "UA"}}, {"Airport", {"COS", "ROC"}}};
+  EXPECT_EQ(SubpopulationSignature(a), SubpopulationSignature(b));
+
+  AggQuery c = b;
+  c.where[0].second.push_back("DL");
+  EXPECT_NE(SubpopulationSignature(b), SubpopulationSignature(c));
+  EXPECT_EQ(SubpopulationSignature(AggQuery{}), "");
+}
+
+TEST(SubpopulationSignatureTest, StructuralCharactersInValuesNeverCollide) {
+  // One value containing the rendering's own delimiters...
+  AggQuery tricky;
+  tricky.where = {{"A", {"1&B=2"}}};
+  // ...must not print the same signature as the two-term clause it mimics.
+  AggQuery two_terms;
+  two_terms.where = {{"A", {"1"}}, {"B", {"2"}}};
+  EXPECT_NE(SubpopulationSignature(tricky),
+            SubpopulationSignature(two_terms));
+  AggQuery comma_value;
+  comma_value.where = {{"A", {"1,2"}}};
+  AggQuery two_values;
+  two_values.where = {{"A", {"1", "2"}}};
+  EXPECT_NE(SubpopulationSignature(comma_value),
+            SubpopulationSignature(two_values));
+}
+
+TEST(DiscoveryKeyTest, SeparatesOptionsDatasetsAndEpochs) {
+  AggQuery q;
+  q.treatment = "Gender";
+  q.outcomes = {"Accepted"};
+  HypDbOptions o;
+  const std::string base = DiscoveryKey("berkeley", 1, q, o);
+  EXPECT_EQ(base, DiscoveryKey("berkeley", 1, q, o));
+  EXPECT_NE(base, DiscoveryKey("berkeley", 2, q, o));
+  EXPECT_NE(base, DiscoveryKey("adult", 1, q, o));
+  HypDbOptions alpha = o;
+  alpha.alpha = 0.05;
+  EXPECT_NE(base, DiscoveryKey("berkeley", 1, q, alpha));
+  HypDbOptions seed = o;
+  seed.seed = 123;
+  EXPECT_NE(base, DiscoveryKey("berkeley", 1, q, seed));
+  // Execution strategy must NOT split the key: caching and threads change
+  // how counts are produced, never what discovery concludes.
+  HypDbOptions exec = o;
+  exec.engine.scan_threads = 7;
+  exec.engine.materialize_focus = false;
+  EXPECT_EQ(base, DiscoveryKey("berkeley", 1, q, exec));
+
+  // Outcome ORDER splits the key: mediators are discovered for
+  // outcomes[0], so {y1,y2} and {y2,y1} are different discoveries.
+  AggQuery multi = q;
+  multi.outcomes = {"y1", "y2"};
+  AggQuery swapped = q;
+  swapped.outcomes = {"y2", "y1"};
+  EXPECT_NE(DiscoveryKey("berkeley", 1, multi, o),
+            DiscoveryKey("berkeley", 1, swapped, o));
+
+  // Sub-6-significant-digit option differences split the key too — a
+  // different test threshold is a different configuration.
+  HypDbOptions beta = o;
+  beta.ci.hybrid_beta = o.ci.hybrid_beta + 1e-7;
+  EXPECT_NE(base, DiscoveryKey("berkeley", 1, q, beta));
+}
+
+TEST(DatasetRegistryTest, RegisterGetEpochAndReplacement) {
+  DatasetRegistry registry;
+  EXPECT_FALSE(registry.Get("nope").ok());
+  EXPECT_FALSE(registry.Epoch("nope").ok());
+
+  EXPECT_EQ(registry.Register("b", Berkeley()), 1);
+  auto table = registry.Get("b");
+  ASSERT_TRUE(table.ok());
+  EXPECT_GT((*table)->NumRows(), 0);
+  EXPECT_EQ(*registry.Epoch("b"), 1);
+
+  // Shards are created on demand and dropped on re-registration.
+  auto engine = registry.ShardEngine("b", 1, "", TableView(*table));
+  ASSERT_TRUE(engine.ok());
+  auto again = registry.ShardEngine("b", 1, "", TableView(*table));
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(engine->get(), again->get());
+  EXPECT_EQ(registry.List()[0].shards, 1);
+
+  EXPECT_EQ(registry.Register("b", Berkeley()), 2);
+  EXPECT_EQ(registry.List()[0].shards, 0);
+
+  // A snapshot taken before the re-registration must not seed the new
+  // pool: its view aggregates the replaced table.
+  auto stale = registry.ShardEngine("b", 1, "", TableView(*table));
+  EXPECT_FALSE(stale.ok());
+  EXPECT_EQ(stale.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(registry.List()[0].shards, 0);
+
+  auto snapshot = registry.GetSnapshot("b");
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(snapshot->epoch, 2);
+  EXPECT_TRUE(registry
+                  .ShardEngine("b", snapshot->epoch, "",
+                               TableView(snapshot->table))
+                  .ok());
+}
+
+TEST(DatasetRegistryTest, ShardEnginesShareCountsPerSignature) {
+  DatasetRegistry registry;
+  registry.Register("b", Berkeley());
+  TablePtr table = *registry.Get("b");
+  auto engine = *registry.ShardEngine("b", 1, "", TableView(table));
+  ASSERT_TRUE((*engine).Counts({0, 1}).ok());
+  // The same shard answers the repeat from cache; a different signature
+  // gets an independent engine.
+  ASSERT_TRUE((*engine).Counts({0, 1}).ok());
+  EXPECT_EQ(engine->stats().cache_hits, 1);
+  auto other = *registry.ShardEngine("b", 1, "x", TableView(table));
+  EXPECT_NE(engine.get(), other.get());
+  EXPECT_EQ(other->stats().queries, 0);
+}
+
+TEST(DiscoveryCacheTest, HitsMissesAndEviction) {
+  DiscoveryCache cache(DiscoveryCacheOptions{.max_entries = 2});
+  std::atomic<int> computes{0};
+  auto compute = [&]() -> StatusOr<DiscoveryReport> {
+    ++computes;
+    DiscoveryReport r;
+    r.tests_used = computes.load();
+    return r;
+  };
+
+  bool reused = true;
+  auto first = cache.LookupOrCompute("k1", compute, &reused);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(reused);
+  EXPECT_EQ(first->tests_used, 1);
+
+  auto second = cache.LookupOrCompute("k1", compute, &reused);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(reused);
+  EXPECT_EQ(second->tests_used, 1);  // served, not recomputed
+  EXPECT_EQ(computes.load(), 1);
+
+  (void)cache.LookupOrCompute("k2", compute);
+  (void)cache.LookupOrCompute("k3", compute);  // evicts k1 (oldest)
+  EXPECT_EQ(cache.size(), 2);
+  (void)cache.LookupOrCompute("k1", compute, &reused);
+  EXPECT_FALSE(reused);
+  EXPECT_EQ(cache.stats().evictions, 2);
+  EXPECT_EQ(cache.stats().hits, 1);
+}
+
+TEST(DiscoveryCacheTest, ErrorsPropagateButAreNotCached) {
+  DiscoveryCache cache;
+  int calls = 0;
+  auto failing = [&]() -> StatusOr<DiscoveryReport> {
+    ++calls;
+    if (calls == 1) return Status::Internal("transient");
+    return DiscoveryReport{};
+  };
+  EXPECT_FALSE(cache.LookupOrCompute("k", failing).ok());
+  EXPECT_TRUE(cache.LookupOrCompute("k", failing).ok());
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(DiscoveryCacheTest, ConcurrentSameKeyCoalescesToOneComputation) {
+  DiscoveryCache cache;
+  std::atomic<int> computes{0};
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> reused_count{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      bool reused = false;
+      auto r = cache.LookupOrCompute(
+          "shared",
+          [&]() -> StatusOr<DiscoveryReport> {
+            ++computes;
+            // Give the other threads time to pile onto the in-flight
+            // entry so coalescing actually exercises the wait path.
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+            return DiscoveryReport{};
+          },
+          &reused);
+      EXPECT_TRUE(r.ok());
+      if (reused) ++reused_count;
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(computes.load(), 1);
+  EXPECT_EQ(reused_count.load(), kThreads - 1);
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.hits + stats.coalesced, kThreads - 1);
+}
+
+TEST(DiscoveryCacheTest, InvalidatePrefixDropsOnlyThatDataset) {
+  DiscoveryCache cache;
+  auto ok = []() -> StatusOr<DiscoveryReport> { return DiscoveryReport{}; };
+  (void)cache.LookupOrCompute(DatasetKeyPrefix("a") + "x", ok);
+  (void)cache.LookupOrCompute(DatasetKeyPrefix("a") + "y", ok);
+  (void)cache.LookupOrCompute(DatasetKeyPrefix("ab") + "z", ok);
+  EXPECT_EQ(cache.InvalidatePrefix(DatasetKeyPrefix("a")), 2);
+  EXPECT_EQ(cache.size(), 1);
+  EXPECT_EQ(cache.stats().invalidations, 2);
+  bool reused = true;
+  (void)cache.LookupOrCompute(DatasetKeyPrefix("ab") + "z", ok, &reused);
+  EXPECT_TRUE(reused);
+}
+
+TEST(HypDbServiceTest, SyncAnalyzeMatchesDirectHypDb) {
+  TablePtr table = Berkeley();
+  const std::string sql =
+      "SELECT Gender, avg(Accepted) FROM b GROUP BY Gender";
+
+  HypDb direct(table, HypDbOptions{});
+  auto expected = direct.AnalyzeSql(sql);
+  ASSERT_TRUE(expected.ok()) << expected.status();
+
+  HypDbServiceOptions options;
+  options.num_workers = 2;
+  HypDbService service(options);
+  service.RegisterTable("b", table);
+  auto got = service.AnalyzeSql("b", sql);
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(CanonicalReportDigest(got->report),
+            CanonicalReportDigest(*expected));
+  EXPECT_FALSE(got->stats.discovery_reused);
+  EXPECT_GE(got->stats.run_seconds, 0.0);
+
+  // The repeat reuses the cached discovery and the warm shard engine.
+  auto repeat = service.AnalyzeSql("b", sql);
+  ASSERT_TRUE(repeat.ok());
+  EXPECT_TRUE(repeat->stats.discovery_reused);
+  EXPECT_EQ(CanonicalReportDigest(repeat->report),
+            CanonicalReportDigest(*expected));
+  EXPECT_EQ(service.discovery_stats().hits, 1);
+  auto engine_stats = service.engine_stats("b");
+  ASSERT_TRUE(engine_stats.ok());
+  EXPECT_GT(engine_stats->queries, 0);
+}
+
+TEST(HypDbServiceTest, ReregistrationInvalidatesDiscovery) {
+  HypDbServiceOptions options;
+  options.num_workers = 1;
+  HypDbService service(options);
+  service.RegisterTable("b", Berkeley());
+  const std::string sql =
+      "SELECT Gender, avg(Accepted) FROM b GROUP BY Gender";
+  ASSERT_TRUE(service.AnalyzeSql("b", sql).ok());
+  EXPECT_EQ(service.discovery_stats().misses, 1);
+
+  service.RegisterTable("b", Berkeley());
+  EXPECT_EQ(service.discovery_stats().invalidations, 1);
+  auto after = service.AnalyzeSql("b", sql);
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after->stats.discovery_reused);
+  EXPECT_EQ(service.discovery_stats().misses, 2);
+}
+
+TEST(HypDbServiceTest, AsyncSubmitPollWait) {
+  HypDbServiceOptions options;
+  options.num_workers = 2;
+  HypDbService service(options);
+  service.RegisterTable("c", Cancer());
+
+  AnalyzeRequest request;
+  request.dataset = "c";
+  request.sql =
+      "SELECT Lung_Cancer, avg(Car_Accident) FROM c GROUP BY Lung_Cancer";
+  const uint64_t ticket = service.Submit(request);
+  auto report = service.Wait(ticket);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->stats.ticket, ticket);
+  EXPECT_TRUE(service.Done(ticket));  // claimed tickets read as done
+  EXPECT_FALSE(service.Wait(ticket).ok());  // one Wait per ticket
+
+  // Errors flow through the same channel.
+  const uint64_t bad_sql = service.Submit({"c", "SELECT nonsense", {}});
+  EXPECT_TRUE(service.Done(bad_sql));
+  EXPECT_FALSE(service.Wait(bad_sql).ok());
+  const uint64_t bad_ds =
+      service.Submit({"missing",
+                      "SELECT Lung_Cancer, avg(Car_Accident) FROM c "
+                      "GROUP BY Lung_Cancer",
+                      {}});
+  auto missing = service.Wait(bad_ds);
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST(HypDbServiceTest, RacedWaitsClaimTheTicketExactlyOnce) {
+  HypDbServiceOptions options;
+  options.num_workers = 1;
+  HypDbService service(options);
+  service.RegisterTable("c", Cancer());
+  const uint64_t ticket = service.Submit(
+      {"c",
+       "SELECT Lung_Cancer, avg(Car_Accident) FROM c GROUP BY Lung_Cancer",
+       {}});
+  std::atomic<int> winners{0};
+  std::vector<std::thread> waiters;
+  for (int t = 0; t < 2; ++t) {
+    waiters.emplace_back([&] {
+      if (service.Wait(ticket).ok()) ++winners;
+    });
+  }
+  for (auto& w : waiters) w.join();
+  EXPECT_EQ(winners.load(), 1);
+}
+
+// The tentpole invariant: N client threads hammering a shared service
+// with mixed queries over shared datasets get reports bit-identical to a
+// cold, serial HypDb per query.
+TEST(HypDbServiceTest, ConcurrentMixedQueriesBitIdenticalToSerial) {
+  TablePtr berkeley = Berkeley();
+  TablePtr cancer = Cancer();
+
+  struct Workload {
+    std::string dataset;
+    std::string sql;
+  };
+  const std::vector<Workload> workloads = {
+      {"b", "SELECT Gender, avg(Accepted) FROM b GROUP BY Gender"},
+      {"b",
+       "SELECT Gender, avg(Accepted) FROM b WHERE Department IN "
+       "('A','B','C') GROUP BY Gender"},
+      {"b",
+       "SELECT Gender, Department, avg(Accepted) FROM b GROUP BY Gender, "
+       "Department"},
+      {"c",
+       "SELECT Lung_Cancer, avg(Car_Accident) FROM c GROUP BY Lung_Cancer"},
+      {"c",
+       "SELECT Lung_Cancer, avg(Car_Accident) FROM c WHERE Smoking IN "
+       "('1') GROUP BY Lung_Cancer"},
+  };
+
+  // Serial ground truth: a fresh HypDb per query (fully cold).
+  std::vector<std::string> expected;
+  for (const Workload& w : workloads) {
+    HypDb db(w.dataset == "b" ? berkeley : cancer, HypDbOptions{});
+    auto report = db.AnalyzeSql(w.sql);
+    ASSERT_TRUE(report.ok()) << report.status();
+    expected.push_back(CanonicalReportDigest(*report));
+  }
+
+  HypDbServiceOptions options;
+  options.num_workers = 4;
+  HypDbService service(options);
+  service.RegisterTable("b", berkeley);
+  service.RegisterTable("c", cancer);
+
+  constexpr int kClientThreads = 4;
+  constexpr int kRounds = 3;
+  std::vector<std::thread> clients;
+  std::vector<std::string> failures[kClientThreads];
+  for (int t = 0; t < kClientThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        // Staggered order per thread: different workloads overlap.
+        for (size_t i = 0; i < workloads.size(); ++i) {
+          const size_t w = (i + t) % workloads.size();
+          auto report =
+              service.AnalyzeSql(workloads[w].dataset, workloads[w].sql);
+          if (!report.ok()) {
+            failures[t].push_back(report.status().ToString());
+            continue;
+          }
+          if (CanonicalReportDigest(report->report) != expected[w]) {
+            failures[t].push_back("digest mismatch for " + workloads[w].sql);
+          }
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  for (int t = 0; t < kClientThreads; ++t) {
+    EXPECT_TRUE(failures[t].empty())
+        << "thread " << t << ": " << failures[t].front();
+  }
+
+  // The shared caches actually carried load: each *distinct discovery
+  // key* computed once. That is fewer than the workload count — discovery
+  // ignores GROUP BY contexts, so the plain and per-Department Gender
+  // queries share one key (and, the digests above prove, correctly so).
+  std::set<std::string> distinct_keys;
+  for (const Workload& w : workloads) {
+    auto q = ParseAggQuery(w.sql);
+    ASSERT_TRUE(q.ok());
+    distinct_keys.insert(DiscoveryKey(w.dataset, 1, *q, HypDbOptions{}));
+  }
+  EXPECT_EQ(distinct_keys.size(), 4u);
+  auto stats = service.discovery_stats();
+  EXPECT_EQ(stats.misses, static_cast<int64_t>(distinct_keys.size()));
+  EXPECT_EQ(stats.hits + stats.coalesced,
+            static_cast<int64_t>(kClientThreads * kRounds *
+                                     workloads.size() -
+                                 distinct_keys.size()));
+}
+
+// Ablation: the invariant holds with sharing disabled too (pure pool).
+TEST(HypDbServiceTest, SharingDisabledStillCorrect) {
+  TablePtr table = Berkeley();
+  const std::string sql =
+      "SELECT Gender, avg(Accepted) FROM b GROUP BY Gender";
+  HypDb direct(table, HypDbOptions{});
+  auto expected = direct.AnalyzeSql(sql);
+  ASSERT_TRUE(expected.ok());
+
+  HypDbServiceOptions options;
+  options.num_workers = 2;
+  options.share_engines = false;
+  options.share_discovery = false;
+  HypDbService service(options);
+  service.RegisterTable("b", table);
+  auto got = service.AnalyzeSql("b", sql);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(CanonicalReportDigest(got->report),
+            CanonicalReportDigest(*expected));
+  EXPECT_FALSE(got->stats.discovery_reused);
+  EXPECT_EQ(service.discovery_stats().misses, 0);
+}
+
+}  // namespace
+}  // namespace hypdb
