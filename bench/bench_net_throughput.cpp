@@ -1,0 +1,209 @@
+// Network throughput: queries/sec of the full wire path — N client
+// threads with keep-alive HTTP connections against an in-process
+// HttpServer over HypDbService — versus the serial in-process baseline.
+//
+// Three phases:
+//  1. Serial ground truth: a cold HypDb::Analyze per distinct query; its
+//     CanonicalReportDigest is the bit-identity reference.
+//  2. Correctness: every digest served over the socket must equal the
+//     serial reference — transport and work sharing are execution
+//     strategy only. Any mismatch or transport error exits non-zero.
+//  3. Throughput: the same request mix at 1 and 4 client threads (plus
+//     hardware_concurrency when larger), reporting queries/sec; results
+//     land in BENCH_net_throughput.json for trend tracking.
+//
+// Usage: bench_net_throughput [scale]
+//   scale multiplies dataset rows and request count (default 1).
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/hypdb.h"
+#include "datagen/flight_data.h"
+#include "net/client.h"
+#include "net/http_server.h"
+#include "net/hypdb_handlers.h"
+#include "service/hypdb_service.h"
+#include "service/report_digest.h"
+#include "util/stopwatch.h"
+
+using namespace hypdb;
+using namespace hypdb::bench;
+
+namespace {
+
+struct Workload {
+  std::string sql;
+  std::string expected_digest;
+};
+
+// The request mix of bench_service_throughput: two queries sharing a
+// subpopulation shard, one over the full table.
+std::vector<Workload> MakeWorkloads() {
+  return {
+      {"SELECT Carrier, avg(Delayed) FROM flights "
+       "WHERE Airport IN ('COS','MFE','MTJ','ROC') GROUP BY Carrier",
+       ""},
+      {"SELECT Carrier, avg(Delayed) FROM flights "
+       "WHERE Airport IN ('COS','MFE','MTJ','ROC') AND "
+       "Carrier IN ('AA','UA') GROUP BY Carrier",
+       ""},
+      {"SELECT Carrier, avg(Delayed) FROM flights GROUP BY Carrier", ""},
+  };
+}
+
+struct RunResult {
+  double seconds = 0.0;
+  double qps = 0.0;
+  int64_t digest_mismatches = 0;
+  int64_t errors = 0;
+};
+
+/// `clients` threads, each with its own keep-alive HttpClient, splitting
+/// `requests` round-robin over the workloads; digests checked per
+/// response.
+RunResult RunClients(int port, const std::vector<Workload>& workloads,
+                     int clients, int requests) {
+  RunResult result;
+  std::atomic<int64_t> mismatches{0};
+  std::atomic<int64_t> errors{0};
+  Stopwatch timer;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      net::HttpClient client("127.0.0.1", port);
+      for (int r = c; r < requests; r += clients) {
+        const Workload& w = workloads[r % workloads.size()];
+        net::JsonValue body = net::JsonValue::MakeObject();
+        body.Set("dataset", net::JsonValue::Str("flights"));
+        body.Set("sql", net::JsonValue::Str(w.sql));
+        auto report = client.Post("/v1/analyze", body);
+        if (!report.ok()) {
+          ++errors;
+          continue;
+        }
+        const net::JsonValue* digest = report->Find("digest");
+        if (digest == nullptr ||
+            digest->string_value() != w.expected_digest) {
+          ++mismatches;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  result.seconds = timer.ElapsedSeconds();
+  result.qps = requests / result.seconds;
+  result.digest_mismatches = mismatches.load();
+  result.errors = errors.load();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = ScaleArg(argc, argv);
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+
+  Header("bench_net_throughput",
+         "wire protocol — queries/sec over real sockets at 1/4/N client "
+         "threads, digests bit-identical to serial");
+
+  FlightDataOptions data;
+  data.num_rows = static_cast<int64_t>(12000 * scale);
+  data.num_noise_columns = 2;
+  auto generated = GenerateFlightData(data);
+  if (!generated.ok()) {
+    std::printf("datagen failed: %s\n",
+                generated.status().ToString().c_str());
+    return 1;
+  }
+  TablePtr table = MakeTable(std::move(*generated));
+
+  // Phase 1: serial ground truth (cold engine per query).
+  std::vector<Workload> workloads = MakeWorkloads();
+  double serial_seconds = 0.0;
+  for (Workload& w : workloads) {
+    HypDb db(table, HypDbOptions{});
+    Stopwatch timer;
+    auto report = db.AnalyzeSql(w.sql);
+    serial_seconds += timer.ElapsedSeconds();
+    if (!report.ok()) {
+      std::printf("serial analyze failed: %s\n",
+                  report.status().ToString().c_str());
+      return 1;
+    }
+    w.expected_digest = CanonicalReportDigest(*report);
+  }
+
+  // One shared server for every phase — a production service does not
+  // restart between client waves, and reusing it measures the warm path
+  // remote analysts actually hit.
+  HypDbService service;  // workers = hardware
+  service.RegisterTable("flights", table);
+  net::HypDbHandlers handlers(&service);
+  net::HttpServer server(
+      [&handlers](const net::HttpRequest& r) {
+        return handlers.HandleHttp(r);
+      },
+      [&handlers](const std::string& line) {
+        return handlers.HandleLine(line);
+      });
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::printf("server start failed: %s\n", started.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("dataset: %lld rows; %zu distinct queries, serial cold total "
+              "%.3fs; server 127.0.0.1:%d, %d workers\n\n",
+              static_cast<long long>(table->NumRows()), workloads.size(),
+              serial_seconds, server.port(), service.num_workers());
+
+  const int requests = static_cast<int>(48 * scale);
+  Row({"clients", "requests", "seconds", "qps", "identical"}, 11);
+
+  std::vector<int> client_counts = {1, 4};
+  if (cores > 4) client_counts.push_back(static_cast<int>(cores));
+  bool all_identical = true;
+  net::JsonValue rows = net::JsonValue::MakeArray();
+  for (int clients : client_counts) {
+    const RunResult run = RunClients(server.port(), workloads, clients,
+                                     requests);
+    const bool identical = run.digest_mismatches == 0 && run.errors == 0;
+    all_identical = all_identical && identical;
+    Row({std::to_string(clients), std::to_string(requests),
+         Fmt("%.3f", run.seconds), Fmt("%.2f", run.qps),
+         identical ? "yes" : "NO"},
+        11);
+    net::JsonValue row = net::JsonValue::MakeObject();
+    row.Set("clients", net::JsonValue::Int(clients));
+    row.Set("requests", net::JsonValue::Int(requests));
+    row.Set("seconds", net::JsonValue::Double(run.seconds));
+    row.Set("qps", net::JsonValue::Double(run.qps));
+    row.Set("errors", net::JsonValue::Int(run.errors));
+    row.Set("digest_mismatches", net::JsonValue::Int(run.digest_mismatches));
+    rows.Append(std::move(row));
+  }
+  server.Stop();
+
+  net::JsonValue results = net::JsonValue::MakeObject();
+  results.Set("scale", net::JsonValue::Double(scale));
+  results.Set("rows", net::JsonValue::Int(table->NumRows()));
+  results.Set("cores", net::JsonValue::Int(static_cast<int64_t>(cores)));
+  results.Set("workers", net::JsonValue::Int(service.num_workers()));
+  results.Set("serial_seconds", net::JsonValue::Double(serial_seconds));
+  results.Set("runs", std::move(rows));
+  results.Set("identical", net::JsonValue::Bool(all_identical));
+  WriteBenchJson("net_throughput", std::move(results));
+
+  if (!all_identical) {
+    std::printf("\nFAIL: wire responses diverged from serial execution\n");
+    return 1;
+  }
+  std::printf("\nPASS: all wire responses bit-identical to serial\n");
+  return 0;
+}

@@ -165,6 +165,7 @@ int main(int argc, char** argv) {
   bool all_identical = true;
   std::vector<int> worker_counts = {1, 4};
   if (cores > 4) worker_counts.push_back(static_cast<int>(cores));
+  net::JsonValue runs = net::JsonValue::MakeArray();
   for (int workers : worker_counts) {
     RunResult best;
     for (int attempt = 0; attempt < attempts; ++attempt) {
@@ -184,10 +185,32 @@ int main(int argc, char** argv) {
          std::to_string(best.discovery_reused),
          identical ? "yes" : "NO"},
         11);
+    net::JsonValue row = net::JsonValue::MakeObject();
+    row.Set("workers", net::JsonValue::Int(workers));
+    row.Set("requests", net::JsonValue::Int(requests));
+    row.Set("seconds", net::JsonValue::Double(best.seconds));
+    row.Set("qps", net::JsonValue::Double(best.qps));
+    row.Set("discovery_reused", net::JsonValue::Int(best.discovery_reused));
+    row.Set("errors", net::JsonValue::Int(best.errors));
+    row.Set("digest_mismatches",
+            net::JsonValue::Int(best.digest_mismatches));
+    runs.Append(std::move(row));
   }
 
-  std::printf("\nspeedup (4 vs 1 workers): %.2fx on %u cores\n",
-              best_qps_1 > 0 ? best_qps_4 / best_qps_1 : 0.0, cores);
+  const double speedup = best_qps_1 > 0 ? best_qps_4 / best_qps_1 : 0.0;
+  std::printf("\nspeedup (4 vs 1 workers): %.2fx on %u cores\n", speedup,
+              cores);
+
+  net::JsonValue results = net::JsonValue::MakeObject();
+  results.Set("scale", net::JsonValue::Double(scale));
+  results.Set("rows", net::JsonValue::Int(table->NumRows()));
+  results.Set("cores", net::JsonValue::Int(static_cast<int64_t>(cores)));
+  results.Set("serial_seconds", net::JsonValue::Double(serial_seconds));
+  results.Set("runs", std::move(runs));
+  results.Set("speedup_4_vs_1", net::JsonValue::Double(speedup));
+  results.Set("identical", net::JsonValue::Bool(all_identical));
+  results.Set("speedup_enforced", net::JsonValue::Bool(enforce));
+  WriteBenchJson("service_throughput", std::move(results));
 
   if (!all_identical) {
     std::printf("FAIL: service reports diverged from serial execution\n");

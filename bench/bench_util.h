@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "net/json.h"
+
 namespace hypdb::bench {
 
 /// Parses the optional scale factor (argv[1], default 1).
@@ -40,6 +42,22 @@ inline std::string Fmt(const char* fmt, double v) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), fmt, v);
   return buf;
+}
+
+/// Writes `results` (plus a "bench" name member) to BENCH_<name>.json in
+/// the working directory — the machine-readable trail CI collects so the
+/// perf trajectory of every bench is comparable across commits.
+inline void WriteBenchJson(const std::string& name, net::JsonValue results) {
+  results.Set("bench", net::JsonValue::Str(name));
+  const std::string path = "BENCH_" + name + ".json";
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::printf("warning: could not write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "%s\n", net::SerializeJson(results).c_str());
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
 }
 
 }  // namespace hypdb::bench

@@ -25,18 +25,28 @@
 //   ticket 3
 //   hypdb> poll 3                              # done yet?
 //   hypdb> wait 3                              # block + print the report
+//   hypdb> cancel 3                            # drop it if still queued
 //   hypdb> stats                               # cache/engine/worker stats
 //   hypdb> datasets                            # what is registered
 //   hypdb> quit
 //
-// Each report footer shows the per-request service stats: queue wait,
-// whether discovery came from the shared cache, and the shared-engine
-// scan/hit deltas. Re-`load`ing a name invalidates its caches.
+// Network mode — the same HypDbService behind the src/net wire protocol
+// (HTTP/1.1 + line-JSON on one port; see net/hypdb_handlers.h for the
+// endpoint reference):
+//
+//   $ ./examples/hypdb_cli --listen=8080 [--host=0.0.0.0] [--workers=N]
+//   $ curl -s localhost:8080/healthz
+//
+// Each report footer shows the per-request service stats as the same
+// JSON the wire protocol serves (one rendering path — the REPL can never
+// drift from the network API). Re-`load`ing a name invalidates caches.
 //
 // With no arguments, runs a built-in demo on the Berkeley dataset.
 
+#include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <ctime>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -45,11 +55,10 @@
 #include "core/hypdb.h"
 #include "core/sql_parser.h"
 #include "dataframe/csv.h"
-#include "datagen/adult_data.h"
 #include "datagen/berkeley_data.h"
-#include "datagen/cancer_data.h"
-#include "datagen/flight_data.h"
-#include "datagen/staples_data.h"
+#include "net/http_server.h"
+#include "net/hypdb_handlers.h"
+#include "net/json.h"
 #include "service/hypdb_service.h"
 #include "util/string_util.h"
 
@@ -62,33 +71,14 @@ int Fail(const Status& status) {
   return 1;
 }
 
-void PrintServiceStats(const RequestStats& stats) {
-  std::printf(
-      "service: ticket %llu, worker %d, queued %.3fs, ran %.3fs, "
-      "discovery %s\n",
-      static_cast<unsigned long long>(stats.ticket), stats.worker_id,
-      stats.queue_seconds, stats.run_seconds,
-      stats.discovery_coalesced ? "coalesced"
-      : stats.discovery_reused  ? "cached"
-                                : "computed");
-  const CountEngineStats& d = stats.engine_delta;
-  std::printf("shared engine delta: %lld queries, %lld scans, %lld hits, "
-              "%lld marginalized\n",
-              static_cast<long long>(d.queries),
-              static_cast<long long>(d.scans),
-              static_cast<long long>(d.cache_hits),
-              static_cast<long long>(d.marginalizations));
-}
-
-StatusOr<Table> GenerateNamed(const std::string& kind) {
-  if (kind == "berkeley") return GenerateBerkeleyData();
-  if (kind == "flight") return GenerateFlightData();
-  if (kind == "adult") return GenerateAdultData();
-  if (kind == "staples") return GenerateStaplesData();
-  if (kind == "cancer") return GenerateCancerData();
-  return Status::InvalidArgument(
-      "unknown generator '" + kind +
-      "' (expected berkeley|flight|adult|staples|cancer)");
+// REPL report output goes through the same codec the wire protocol
+// serves: the codec's "rendered" member is the human-readable report and
+// "stats" the service footer, so the two surfaces cannot drift.
+void PrintServiceReport(const ServiceReport& report) {
+  const net::JsonValue json = net::ToJson(report);
+  std::printf("%s", json.Find("rendered")->string_value().c_str());
+  std::printf("service: %s\n",
+              net::SerializeJson(*json.Find("stats")).c_str());
 }
 
 // The REPL: one command per line; `analyze`/`submit` take the rest of the
@@ -96,7 +86,7 @@ StatusOr<Table> GenerateNamed(const std::string& kind) {
 int RunServe(const HypDbServiceOptions& options) {
   HypDbService service(options);
   std::printf("HypDB service REPL — %d workers. Commands: load, gen, "
-              "analyze, submit, poll, wait, datasets, stats, quit\n",
+              "analyze, submit, poll, wait, cancel, datasets, stats, quit\n",
               service.num_workers());
 
   std::string line;
@@ -120,7 +110,7 @@ int RunServe(const HypDbServiceOptions& options) {
       }
       StatusOr<int64_t> epoch =
           cmd == "load" ? service.RegisterCsv(name, src) : [&] {
-            StatusOr<Table> table = GenerateNamed(src);
+            StatusOr<Table> table = net::GenerateNamedDataset(src);
             if (!table.ok()) return StatusOr<int64_t>(table.status());
             return StatusOr<int64_t>(
                 service.RegisterTable(name, MakeTable(std::move(*table))));
@@ -156,16 +146,23 @@ int RunServe(const HypDbServiceOptions& options) {
         std::printf("error: %s\n", report.status().ToString().c_str());
         continue;
       }
-      std::printf("%s", RenderReport(report->report).c_str());
-      PrintServiceStats(report->stats);
+      PrintServiceReport(*report);
       continue;
     }
 
-    if (cmd == "poll" || cmd == "wait") {
+    if (cmd == "poll" || cmd == "wait" || cmd == "cancel") {
       uint64_t ticket = 0;
       in >> ticket;
       if (ticket == 0) {
         std::printf("usage: %s <ticket>\n", cmd.c_str());
+        continue;
+      }
+      if (cmd == "cancel") {
+        std::printf(service.Cancel(ticket)
+                        ? "ticket %llu: cancelled\n"
+                        : "ticket %llu: not cancellable (running, done, or "
+                          "unknown)\n",
+                    static_cast<unsigned long long>(ticket));
         continue;
       }
       if (cmd == "poll" && !service.Done(ticket)) {
@@ -178,8 +175,7 @@ int RunServe(const HypDbServiceOptions& options) {
         std::printf("error: %s\n", report.status().ToString().c_str());
         continue;
       }
-      std::printf("%s", RenderReport(report->report).c_str());
-      PrintServiceStats(report->stats);
+      PrintServiceReport(*report);
       continue;
     }
 
@@ -193,30 +189,55 @@ int RunServe(const HypDbServiceOptions& options) {
     }
 
     if (cmd == "stats") {
-      DiscoveryCacheStats ds = service.discovery_stats();
-      std::printf("discovery cache: %lld hits, %lld misses, %lld coalesced, "
-                  "%lld invalidated, %lld evicted\n",
-                  static_cast<long long>(ds.hits),
-                  static_cast<long long>(ds.misses),
-                  static_cast<long long>(ds.coalesced),
-                  static_cast<long long>(ds.invalidations),
-                  static_cast<long long>(ds.evictions));
-      for (const DatasetInfo& d : service.Datasets()) {
-        auto es = service.engine_stats(d.name);
-        if (!es.ok()) continue;
-        std::printf("engine[%s]: %lld queries, %lld scans, %lld hits, "
-                    "%lld marginalized, %lld evictions\n",
-                    d.name.c_str(), static_cast<long long>(es->queries),
-                    static_cast<long long>(es->scans),
-                    static_cast<long long>(es->cache_hits),
-                    static_cast<long long>(es->marginalizations),
-                    static_cast<long long>(es->evictions));
-      }
+      // Same body GET /v1/stats serves.
+      std::printf("%s\n",
+                  net::SerializeJson(net::ServiceStatsToJson(service))
+                      .c_str());
       continue;
     }
 
     std::printf("unknown command '%s'\n", cmd.c_str());
   }
+  return 0;
+}
+
+// Network mode: the same service behind the src/net wire protocol, until
+// SIGINT/SIGTERM. Clean shutdown (server stopped, workers joined) so CI
+// can assert a zero exit from `kill -TERM`.
+volatile std::sig_atomic_t g_stop_listening = 0;
+
+void HandleStopSignal(int) { g_stop_listening = 1; }
+
+int RunListen(const HypDbServiceOptions& options, const std::string& host,
+              int port) {
+  HypDbService service(options);
+  net::HypDbHandlers handlers(&service);
+  net::HttpServerOptions server_options;
+  server_options.host = host;
+  server_options.port = port;
+  net::HttpServer server(
+      [&handlers](const net::HttpRequest& r) {
+        return handlers.HandleHttp(r);
+      },
+      [&handlers](const std::string& line) {
+        return handlers.HandleLine(line);
+      },
+      server_options);
+  Status started = server.Start();
+  if (!started.ok()) return Fail(started);
+  std::printf("hypdb listening on %s:%d — HTTP/1.1 + line-JSON, %d "
+              "workers (Ctrl-C to stop)\n",
+              host.c_str(), server.port(), service.num_workers());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  while (!g_stop_listening) {
+    timespec tick{0, 100 * 1000 * 1000};  // 100ms
+    nanosleep(&tick, nullptr);
+  }
+  std::printf("shutting down\n");
+  server.Stop();
   return 0;
 }
 
@@ -226,6 +247,8 @@ int main(int argc, char** argv) {
   HypDbOptions options;
   bool bounds = false;
   bool serve = false;
+  int listen_port = -1;  // >= 0 once --listen given (0 = ephemeral)
+  std::string host = "127.0.0.1";
   int workers = 0;
 
   // Flags may appear anywhere; positionals are collected in order.
@@ -244,6 +267,10 @@ int main(int argc, char** argv) {
       workers = std::atoi(flag.c_str() + 10);
     } else if (flag == "--serve") {
       serve = true;
+    } else if (flag.rfind("--listen=", 0) == 0) {
+      listen_port = std::atoi(flag.c_str() + 9);
+    } else if (flag.rfind("--host=", 0) == 0) {
+      host = flag.c_str() + 7;
     } else if (flag.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
       return 1;
@@ -251,19 +278,29 @@ int main(int argc, char** argv) {
       positional.push_back(flag);
     }
   }
+  const bool listen = listen_port >= 0;
 
   // Mode/flag consistency: silently ignored arguments mislead.
-  if (serve && !positional.empty()) {
-    std::fprintf(stderr, "--serve takes no positional arguments (register "
-                 "data with the REPL's 'load'/'gen' commands)\n");
+  if (serve && listen) {
+    std::fprintf(stderr, "--serve (stdin REPL) and --listen (TCP) are "
+                 "mutually exclusive\n");
     return 1;
   }
-  if (serve && bounds) {
+  if ((serve || listen) && !positional.empty()) {
+    std::fprintf(stderr, "service modes take no positional arguments "
+                 "(register data with 'load'/'gen' or POST /v1/datasets)\n");
+    return 1;
+  }
+  if ((serve || listen) && bounds) {
     std::fprintf(stderr, "--bounds is one-shot only\n");
     return 1;
   }
-  if (!serve && workers != 0) {
-    std::fprintf(stderr, "--workers requires --serve\n");
+  if (!serve && !listen && workers != 0) {
+    std::fprintf(stderr, "--workers requires --serve or --listen\n");
+    return 1;
+  }
+  if (!listen && host != "127.0.0.1") {
+    std::fprintf(stderr, "--host requires --listen\n");
     return 1;
   }
   if (!serve && positional.size() > 2) {
@@ -271,11 +308,12 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  if (serve) {
+  if (serve || listen) {
     HypDbServiceOptions service_options;
     service_options.num_workers = workers;
     service_options.analysis = options;
-    return RunServe(service_options);
+    return serve ? RunServe(service_options)
+                 : RunListen(service_options, host, listen_port);
   }
 
   TablePtr table;
@@ -284,8 +322,10 @@ int main(int argc, char** argv) {
     std::printf("usage: %s <data.csv> \"<SELECT ...>\" [--alpha=A] "
                 "[--no-mediators] [--bounds] [--threads=N]\n"
                 "       %s --serve [--workers=N] [--threads=N] [--alpha=A]\n"
+                "       %s --listen=PORT [--host=ADDR] [--workers=N] "
+                "[--threads=N] [--alpha=A]\n"
                 "\n",
-                argv[0], argv[0]);
+                argv[0], argv[0], argv[0]);
     std::printf("no arguments given — running the built-in Berkeley demo\n\n");
     auto demo = GenerateBerkeleyData();
     if (!demo.ok()) return Fail(demo.status());

@@ -1,0 +1,247 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "net/socket_io.h"
+#include "util/string_util.h"
+
+namespace hypdb {
+namespace net {
+namespace {
+
+constexpr int kRecvTimeoutSeconds = 120;  // outlasts any analysis we run
+
+StatusOr<int> OpenConnection(const std::string& host, int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(StrFormat("socket(): %s", std::strerror(errno)));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("invalid server address " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError(StrFormat("connect %s:%d: %s", host.c_str(),
+                                     port, error.c_str()));
+  }
+  timeval timeout{};
+  timeout.tv_sec = kRecvTimeoutSeconds;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+/// 2xx bodies parse into the value; anything else decodes the error body.
+StatusOr<JsonValue> DecodeJsonResult(const HttpResult& result) {
+  HYPDB_ASSIGN_OR_RETURN(JsonValue body, ParseJson(result.body));
+  if (result.status >= 200 && result.status < 300) return body;
+  return StatusFromJson(body);
+}
+
+}  // namespace
+
+// ---- HttpClient ---------------------------------------------------------
+
+Status HttpClient::Connect() {
+  Close();
+  HYPDB_ASSIGN_OR_RETURN(fd_, OpenConnection(host_, port_));
+  buffer_.clear();
+  return Status::Ok();
+}
+
+void HttpClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+StatusOr<HttpResult> HttpClient::RequestOnce(const std::string& wire,
+                                             bool* received_bytes) {
+  *received_bytes = false;
+  if (!SendAll(fd_, wire)) {
+    return Status::IoError("send failed (connection lost)");
+  }
+  // Response head.
+  size_t head_end;
+  while ((head_end = buffer_.find("\r\n\r\n")) == std::string::npos) {
+    if (!ReadMore(fd_, &buffer_)) {
+      return Status::IoError("connection closed mid-response");
+    }
+    *received_bytes = true;
+  }
+  const std::string head = buffer_.substr(0, head_end);
+  std::vector<std::string> lines = Split(head, '\n');
+  for (std::string& l : lines) {
+    if (!l.empty() && l.back() == '\r') l.pop_back();
+  }
+  const std::vector<std::string> status_line =
+      Split(lines.empty() ? "" : lines[0], ' ');
+  if (status_line.size() < 2 || status_line[0].rfind("HTTP/1.", 0) != 0) {
+    return Status::IoError("malformed HTTP status line: " +
+                           (lines.empty() ? "" : lines[0]));
+  }
+  HttpResult result;
+  result.status = std::atoi(status_line[1].c_str());
+
+  int64_t content_length = 0;
+  bool server_closes = false;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    const size_t colon = lines[i].find(':');
+    if (colon == std::string::npos) continue;
+    const std::string name = ToLower(Trim(lines[i].substr(0, colon)));
+    const std::string value = Trim(lines[i].substr(colon + 1));
+    if (name == "content-length") {
+      content_length = std::strtoll(value.c_str(), nullptr, 10);
+    } else if (name == "connection" && ToLower(value) == "close") {
+      server_closes = true;
+    }
+  }
+
+  buffer_.erase(0, head_end + 4);
+  while (static_cast<int64_t>(buffer_.size()) < content_length) {
+    if (!ReadMore(fd_, &buffer_)) {
+      return Status::IoError("connection closed mid-body");
+    }
+  }
+  result.body = buffer_.substr(0, static_cast<size_t>(content_length));
+  buffer_.erase(0, static_cast<size_t>(content_length));
+  if (server_closes) Close();
+  return result;
+}
+
+StatusOr<HttpResult> HttpClient::Request(const std::string& method,
+                                         const std::string& target,
+                                         const std::string& body) {
+  std::string wire = StrFormat(
+      "%s %s HTTP/1.1\r\n"
+      "Host: %s:%d\r\n"
+      "Content-Type: application/json\r\n"
+      "Content-Length: %zu\r\n\r\n",
+      method.c_str(), target.c_str(), host_.c_str(), port_, body.size());
+  wire += body;
+
+  const bool reused = fd_ >= 0;
+  if (!reused) HYPDB_RETURN_IF_ERROR(Connect());
+  bool received_bytes = false;
+  StatusOr<HttpResult> result = RequestOnce(wire, &received_bytes);
+  if (!result.ok() && reused && !received_bytes) {
+    // The server may have idle-closed the kept-alive connection between
+    // calls; one fresh-connection retry distinguishes that from a down
+    // server. Only when NO response bytes arrived: a failure
+    // mid-response means the server already executed the (possibly
+    // non-idempotent) request, and re-sending would run it twice.
+    HYPDB_RETURN_IF_ERROR(Connect());
+    result = RequestOnce(wire, &received_bytes);
+  }
+  if (!result.ok()) Close();
+  return result;
+}
+
+StatusOr<JsonValue> HttpClient::Get(const std::string& target) {
+  HYPDB_ASSIGN_OR_RETURN(HttpResult result, Request("GET", target));
+  return DecodeJsonResult(result);
+}
+
+StatusOr<JsonValue> HttpClient::Post(const std::string& target,
+                                     const JsonValue& body) {
+  HYPDB_ASSIGN_OR_RETURN(HttpResult result,
+                         Request("POST", target, SerializeJson(body)));
+  return DecodeJsonResult(result);
+}
+
+StatusOr<JsonValue> HttpClient::Delete(const std::string& target) {
+  HYPDB_ASSIGN_OR_RETURN(HttpResult result, Request("DELETE", target));
+  return DecodeJsonResult(result);
+}
+
+// ---- LineClient ---------------------------------------------------------
+
+Status LineClient::Connect() {
+  Close();
+  HYPDB_ASSIGN_OR_RETURN(fd_, OpenConnection(host_, port_));
+  buffer_.clear();
+  return Status::Ok();
+}
+
+void LineClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+StatusOr<std::string> LineClient::CallRaw(const std::string& line) {
+  const std::string wire = line + "\n";
+  const bool reused = fd_ >= 0;
+  if (!reused) HYPDB_RETURN_IF_ERROR(Connect());
+  bool received_bytes = false;
+  const auto exchange = [&]() -> StatusOr<std::string> {
+    received_bytes = false;
+    if (!SendAll(fd_, wire)) {
+      return Status::IoError("send failed (connection lost)");
+    }
+    size_t newline;
+    while ((newline = buffer_.find('\n')) == std::string::npos) {
+      if (!ReadMore(fd_, &buffer_)) {
+        return Status::IoError("connection closed before a response line");
+      }
+      received_bytes = true;
+    }
+    std::string response = buffer_.substr(0, newline);
+    buffer_.erase(0, newline + 1);
+    if (!response.empty() && response.back() == '\r') response.pop_back();
+    return response;
+  };
+  StatusOr<std::string> result = exchange();
+  if (!result.ok() && reused && !received_bytes) {
+    // Same retry rule as HttpClient::Request: a reused connection that
+    // died yielding no response byte was idle-closed before this request
+    // was processed; anything later is not safely re-sendable.
+    HYPDB_RETURN_IF_ERROR(Connect());
+    result = exchange();
+  }
+  if (!result.ok()) Close();
+  return result;
+}
+
+StatusOr<JsonValue> LineClient::Call(const JsonValue& request) {
+  HYPDB_ASSIGN_OR_RETURN(std::string line, CallRaw(SerializeJson(request)));
+  HYPDB_ASSIGN_OR_RETURN(JsonValue envelope, ParseJson(line));
+  const JsonValue* ok = envelope.Find("ok");
+  if (ok == nullptr || !ok->is_bool()) {
+    return Status::Internal("malformed envelope: " + line);
+  }
+  if (!ok->bool_value()) {
+    const JsonValue* error = envelope.Find("error");
+    if (error == nullptr) {
+      return Status::Internal("error envelope without error: " + line);
+    }
+    return StatusFromJson(*error);
+  }
+  const JsonValue* result = envelope.Find("result");
+  if (result == nullptr) {
+    return Status::Internal("ok envelope without result: " + line);
+  }
+  return *result;
+}
+
+}  // namespace net
+}  // namespace hypdb

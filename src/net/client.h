@@ -1,0 +1,96 @@
+// Blocking C++ clients for the two wire protocols — used by the tests,
+// the bench_net_throughput load generator, and the CI smoke job. One
+// TCP connection per client, reused across calls (HTTP keep-alive /
+// line-JSON persistent connection) and transparently re-established once
+// when the server closed it idle. Not thread-safe: give each client
+// thread its own instance.
+
+#ifndef HYPDB_NET_CLIENT_H_
+#define HYPDB_NET_CLIENT_H_
+
+#include <string>
+
+#include "net/json.h"
+#include "util/statusor.h"
+
+namespace hypdb {
+namespace net {
+
+/// A raw HTTP exchange as the client saw it.
+struct HttpResult {
+  int status = 0;
+  std::string body;
+};
+
+class HttpClient {
+ public:
+  HttpClient(std::string host, int port)
+      : host_(std::move(host)), port_(port) {}
+  ~HttpClient() { Close(); }
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  /// One request/response exchange; connects lazily. A reused
+  /// connection that dies before yielding any response byte (the server
+  /// idle-closed it) is re-established and the request re-sent once;
+  /// failures after response bytes arrived are NOT retried — the server
+  /// may have executed the request. Any HTTP status is a successful
+  /// Request() — only transport failures are errors.
+  StatusOr<HttpResult> Request(const std::string& method,
+                               const std::string& target,
+                               const std::string& body = "");
+
+  /// JSON conveniences: 2xx bodies parse into the returned value; error
+  /// bodies parse back into the Status the server sent (StatusFromJson).
+  StatusOr<JsonValue> Get(const std::string& target);
+  StatusOr<JsonValue> Post(const std::string& target, const JsonValue& body);
+  StatusOr<JsonValue> Delete(const std::string& target);
+
+  void Close();
+
+ private:
+  Status Connect();
+  /// `received_bytes` reports whether any response byte arrived — the
+  /// retry-safety signal for Request().
+  StatusOr<HttpResult> RequestOnce(const std::string& wire,
+                                   bool* received_bytes);
+
+  std::string host_;
+  int port_;
+  int fd_ = -1;
+  std::string buffer_;  // bytes read past the previous response
+};
+
+/// Client for the raw line-JSON mode on the same port: one serialized
+/// request object per line, one envelope line back.
+class LineClient {
+ public:
+  LineClient(std::string host, int port)
+      : host_(std::move(host)), port_(port) {}
+  ~LineClient() { Close(); }
+
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
+
+  /// Sends `request` and decodes the envelope: the "result" value on
+  /// {"ok":true}, the decoded "error" Status otherwise.
+  StatusOr<JsonValue> Call(const JsonValue& request);
+  /// Raw exchange: one line out (newline appended), one line back.
+  StatusOr<std::string> CallRaw(const std::string& line);
+
+  void Close();
+
+ private:
+  Status Connect();
+
+  std::string host_;
+  int port_;
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace net
+}  // namespace hypdb
+
+#endif  // HYPDB_NET_CLIENT_H_

@@ -1,0 +1,358 @@
+#include "net/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+#include "net/socket_io.h"
+#include "util/string_util.h"
+
+namespace hypdb {
+namespace net {
+
+const std::string* HttpRequest::Header(const std::string& name) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+namespace {
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 202: return "Accepted";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 409: return "Conflict";
+    case 411: return "Length Required";
+    case 413: return "Payload Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    default: return "Status";
+  }
+}
+
+bool SendResponse(int fd, const HttpResponse& response, bool keep_alive) {
+  std::string head = StrFormat(
+      "HTTP/1.1 %d %s\r\n"
+      "Content-Type: %s\r\n"
+      "Content-Length: %zu\r\n"
+      "Connection: %s\r\n\r\n",
+      response.status, ReasonPhrase(response.status),
+      response.content_type.c_str(), response.body.size(),
+      keep_alive ? "keep-alive" : "close");
+  head += response.body;
+  return SendAll(fd, head);
+}
+
+bool IsHttpMethodToken(const std::string& method) {
+  if (method.empty() || method.size() > 16) return false;
+  for (const char c : method) {
+    if (c < 'A' || c > 'Z') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+HttpServer::HttpServer(HttpHandler http, LineHandler line,
+                       HttpServerOptions options)
+    : http_(std::move(http)), line_(std::move(line)),
+      options_(std::move(options)) {}
+
+HttpServer::~HttpServer() { Stop(); }
+
+Status HttpServer::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError(StrFormat("socket(): %s", std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("invalid bind address " + options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 128) != 0) {
+    const std::string error = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError(StrFormat("bind/listen %s:%d: %s",
+                                     options_.host.c_str(), options_.port,
+                                     error.c_str()));
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+  port_ = ntohs(bound.sin_port);
+
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void HttpServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+    // Waking the acceptor and every blocked reader makes join() prompt.
+    if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+    for (const int fd : connections_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  // No new threads spawn once the acceptor is gone; drain the rest.
+  std::list<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    threads.swap(threads_);
+    finished_.clear();
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void HttpServer::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    // Captured immediately: the joins below make syscalls that clobber
+    // errno before the error branch reads it.
+    const int accept_errno = fd < 0 ? errno : 0;
+    std::unique_lock<std::mutex> lock(mu_);
+    // Reap connection threads that finished since the last accept.
+    for (auto it : finished_) {
+      if (it->joinable()) it->join();
+      threads_.erase(it);
+    }
+    finished_.clear();
+    if (stopping_) {
+      if (fd >= 0) ::close(fd);
+      return;
+    }
+    if (fd < 0) {
+      if (accept_errno == EINTR || accept_errno == ECONNABORTED) continue;
+      if (accept_errno == EMFILE || accept_errno == ENFILE ||
+          accept_errno == ENOMEM || accept_errno == ENOBUFS) {
+        // Resource exhaustion is transient (connections close, fds
+        // free); a permanently dead acceptor would strand the server.
+        // Back off briefly instead of spinning on the error.
+        lock.unlock();
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        continue;
+      }
+      return;  // listener broken (e.g. closed); Stop() tears down
+    }
+    if (static_cast<int>(connections_.size()) >= options_.max_connections) {
+      lock.unlock();
+      SendResponse(fd, {503, "application/json",
+                        "{\"code\":\"unavailable\",\"message\":"
+                        "\"connection limit reached\"}"},
+                   /*keep_alive=*/false);
+      ::close(fd);
+      continue;
+    }
+    timeval timeout{};
+    timeout.tv_sec = options_.idle_timeout_seconds;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    connections_.insert(fd);
+    threads_.emplace_back();
+    const auto slot = std::prev(threads_.end());
+    *slot = std::thread([this, fd, slot] {
+      ServeConnection(fd);
+      {
+        // Untrack strictly BEFORE closing: if the kernel reuses this fd
+        // number for a new connection the moment it is closed, a
+        // close-then-erase order would erase the new connection's entry
+        // and leave it unreachable for Stop().
+        std::lock_guard<std::mutex> done(mu_);
+        connections_.erase(fd);
+      }
+      ::close(fd);
+      std::lock_guard<std::mutex> done(mu_);
+      finished_.push_back(slot);
+    });
+  }
+}
+
+// The caller (the connection thread in AcceptLoop) closes fd after
+// untracking it.
+void HttpServer::ServeConnection(int fd) {
+  // Protocol sniff: serialized JSON starts with '{'; no HTTP method does,
+  // so one peeked byte picks the framing for the connection's lifetime.
+  char first = 0;
+  const ssize_t peeked = ::recv(fd, &first, 1, MSG_PEEK);
+  if (peeked != 1) return;
+  std::string buffer;
+  if (first == '{') {
+    ServeLines(fd, &buffer);
+  } else {
+    ServeHttp(fd, &buffer);
+  }
+}
+
+void HttpServer::ServeLines(int fd, std::string* buffer) {
+  size_t scanned = 0;  // bytes already searched for '\n'
+  for (;;) {
+    const size_t newline = buffer->find('\n', scanned);
+    if (newline == std::string::npos) {
+      scanned = buffer->size();  // only new bytes need searching
+      if (static_cast<int64_t>(buffer->size()) > options_.max_body_bytes) {
+        SendAll(fd,
+                "{\"ok\":false,\"error\":{\"code\":\"invalid_argument\","
+                "\"message\":\"line exceeds the size limit\"}}\n");
+        return;
+      }
+      if (!ReadMore(fd, buffer)) return;  // EOF, error, or idle timeout
+      continue;
+    }
+    std::string request = buffer->substr(0, newline);
+    buffer->erase(0, newline + 1);
+    scanned = 0;
+    if (!request.empty() && request.back() == '\r') request.pop_back();
+    if (Trim(request).empty()) continue;  // blank lines are keep-alives
+    if (!SendAll(fd, line_(request) + "\n")) return;
+  }
+}
+
+void HttpServer::ServeHttp(int fd, std::string* buffer) {
+  for (;;) {
+    // Read the request head (request line + headers). The search resumes
+    // where the previous read left off (minus the 3 bytes a split
+    // delimiter can straddle) instead of rescanning the whole buffer.
+    size_t head_end;
+    size_t scanned = 0;
+    while ((head_end = buffer->find("\r\n\r\n", scanned)) ==
+           std::string::npos) {
+      scanned = buffer->size() < 3 ? 0 : buffer->size() - 3;
+      if (static_cast<int64_t>(buffer->size()) > options_.max_header_bytes) {
+        SendResponse(fd, {400, "application/json",
+                          "{\"code\":\"invalid_argument\",\"message\":"
+                          "\"request head exceeds the size limit\"}"},
+                     false);
+        return;
+      }
+      if (!ReadMore(fd, buffer)) return;  // EOF, error, or idle timeout
+    }
+
+    HttpRequest request;
+    bool keep_alive = true;
+    {
+      const std::string head = buffer->substr(0, head_end);
+      std::vector<std::string> lines = Split(head, '\n');
+      for (std::string& l : lines) {
+        if (!l.empty() && l.back() == '\r') l.pop_back();
+      }
+      // Request line: METHOD SP TARGET SP HTTP/1.x
+      std::vector<std::string> parts = Split(lines.empty() ? "" : lines[0],
+                                             ' ');
+      if (parts.size() != 3 || !IsHttpMethodToken(parts[0]) ||
+          parts[1].empty() || parts[1][0] != '/' ||
+          (parts[2] != "HTTP/1.1" && parts[2] != "HTTP/1.0")) {
+        SendResponse(fd, {400, "application/json",
+                          "{\"code\":\"invalid_argument\",\"message\":"
+                          "\"malformed request line\"}"},
+                     false);
+        return;
+      }
+      request.method = parts[0];
+      request.target = parts[1];
+      keep_alive = parts[2] == "HTTP/1.1";  // 1.0 defaults to close
+
+      for (size_t i = 1; i < lines.size(); ++i) {
+        const size_t colon = lines[i].find(':');
+        if (colon == std::string::npos || colon == 0) {
+          SendResponse(fd, {400, "application/json",
+                            "{\"code\":\"invalid_argument\",\"message\":"
+                            "\"malformed header line\"}"},
+                       false);
+          return;
+        }
+        request.headers.emplace_back(
+            ToLower(Trim(lines[i].substr(0, colon))),
+            Trim(lines[i].substr(colon + 1)));
+      }
+    }
+
+    if (const std::string* connection = request.Header("connection")) {
+      const std::string value = ToLower(*connection);
+      if (value == "close") keep_alive = false;
+      if (value == "keep-alive") keep_alive = true;
+    }
+    if (request.Header("transfer-encoding") != nullptr) {
+      SendResponse(fd, {501, "application/json",
+                        "{\"code\":\"unimplemented\",\"message\":"
+                        "\"chunked transfer encoding not supported\"}"},
+                   false);
+      return;
+    }
+
+    // Body framing: Content-Length only.
+    int64_t content_length = 0;
+    if (const std::string* header = request.Header("content-length")) {
+      if (header->empty() ||
+          header->find_first_not_of("0123456789") != std::string::npos) {
+        SendResponse(fd, {400, "application/json",
+                          "{\"code\":\"invalid_argument\",\"message\":"
+                          "\"malformed content-length\"}"},
+                     false);
+        return;
+      }
+      errno = 0;
+      content_length = std::strtoll(header->c_str(), nullptr, 10);
+      if (errno != 0 || content_length > options_.max_body_bytes) {
+        SendResponse(fd, {413, "application/json",
+                          "{\"code\":\"invalid_argument\",\"message\":"
+                          "\"body exceeds the size limit\"}"},
+                     false);
+        return;
+      }
+    } else if (request.method == "POST" || request.method == "PUT") {
+      SendResponse(fd, {411, "application/json",
+                        "{\"code\":\"invalid_argument\",\"message\":"
+                        "\"content-length required\"}"},
+                   false);
+      return;
+    }
+
+    buffer->erase(0, head_end + 4);
+    while (static_cast<int64_t>(buffer->size()) < content_length) {
+      if (!ReadMore(fd, buffer)) return;
+    }
+    request.body = buffer->substr(0, static_cast<size_t>(content_length));
+    buffer->erase(0, static_cast<size_t>(content_length));
+
+    if (!SendResponse(fd, http_(request), keep_alive)) return;
+    if (!keep_alive) return;
+  }
+}
+
+}  // namespace net
+}  // namespace hypdb

@@ -1,0 +1,127 @@
+// A small dependency-free TCP front-end speaking two protocols on one
+// port:
+//  * HTTP/1.1 — request-line + headers + Content-Length framed bodies,
+//    keep-alive by default, one worker thread per connection. Enough for
+//    curl, load balancers and the blocking client in net/client.h; no
+//    chunked encoding (501) and no TLS (see ROADMAP follow-ups).
+//  * line-JSON — if the first byte of a connection is '{', every
+//    newline-terminated line is handed to the line handler and answered
+//    with exactly one newline-terminated line. This skips all HTTP
+//    parsing for low-overhead machine clients; framing is trivial because
+//    serialized JSON never contains a raw newline.
+//
+// The server is transport only: it owns sockets, framing, limits and
+// connection lifecycle, and delegates every request to the two handler
+// callbacks (see net/hypdb_handlers.h for the HypDB routing). Malformed
+// input earns the client a 4xx (or an {"ok":false,...} line) — never a
+// crash and never a torn-down server.
+
+#ifndef HYPDB_NET_HTTP_SERVER_H_
+#define HYPDB_NET_HTTP_SERVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hypdb {
+namespace net {
+
+struct HttpRequest {
+  std::string method;  // uppercase token, e.g. "POST"
+  std::string target;  // path + optional query, e.g. "/v1/analyze"
+  /// Header (name, value) pairs in arrival order; names lowercased.
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// First value of `name` (lowercase), or nullptr.
+  const std::string* Header(const std::string& name) const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+struct HttpServerOptions {
+  /// Interface to bind. The default stays off external interfaces; bind
+  /// 0.0.0.0 explicitly to serve remote traffic.
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 picks an ephemeral port (read it back via port()).
+  int port = 0;
+  /// Concurrent connections served; beyond this, new connections get an
+  /// immediate 503 and are closed.
+  int max_connections = 128;
+  /// Request-head (request line + headers) and body size caps.
+  int64_t max_header_bytes = 64 * 1024;
+  int64_t max_body_bytes = 8 * 1024 * 1024;
+  /// Seconds a keep-alive connection may sit idle before the server
+  /// closes it. Also bounds how long a half-sent request can stall a
+  /// worker thread.
+  int idle_timeout_seconds = 60;
+};
+
+/// Thread-safe once Start()ed; Stop() (or destruction) closes the
+/// listener and every live connection and joins all threads.
+class HttpServer {
+ public:
+  /// `http` answers parsed HTTP requests; `line` answers one line-JSON
+  /// request per call and returns the response line (no newline). Both
+  /// must be thread-safe — they run concurrently on connection threads.
+  using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+  using LineHandler = std::function<std::string(const std::string&)>;
+
+  HttpServer(HttpHandler http, LineHandler line,
+             HttpServerOptions options = {});
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds and starts accepting. IoError when the port is taken.
+  Status Start();
+  /// Idempotent; safe to call from any thread (not from a handler).
+  void Stop();
+
+  /// The bound port (after a successful Start()).
+  int port() const { return port_; }
+  const HttpServerOptions& options() const { return options_; }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+  void ServeHttp(int fd, std::string* buffer);
+  void ServeLines(int fd, std::string* buffer);
+
+  HttpHandler http_;
+  LineHandler line_;
+  HttpServerOptions options_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread acceptor_;
+
+  std::mutex mu_;
+  bool stopping_ = false;
+  /// Live connection fds, for Stop() to shut down mid-read.
+  std::set<int> connections_;
+  /// One thread per live connection. Finished threads park their
+  /// iterator in finished_ and the acceptor joins and erases them before
+  /// the next accept, so a long-lived server does not accumulate dead
+  /// thread handles.
+  std::list<std::thread> threads_;
+  std::vector<std::list<std::thread>::iterator> finished_;
+};
+
+}  // namespace net
+}  // namespace hypdb
+
+#endif  // HYPDB_NET_HTTP_SERVER_H_

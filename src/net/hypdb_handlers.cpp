@@ -1,0 +1,317 @@
+#include "net/hypdb_handlers.h"
+
+#include <cstdlib>
+
+#include "datagen/adult_data.h"
+#include "datagen/berkeley_data.h"
+#include "datagen/cancer_data.h"
+#include "datagen/flight_data.h"
+#include "datagen/staples_data.h"
+#include "util/string_util.h"
+
+namespace hypdb {
+namespace net {
+
+int HttpStatusForCode(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return 200;
+    case StatusCode::kInvalidArgument: return 400;
+    case StatusCode::kNotFound: return 404;
+    case StatusCode::kOutOfRange: return 400;
+    case StatusCode::kFailedPrecondition: return 409;
+    case StatusCode::kUnimplemented: return 501;
+    case StatusCode::kInternal: return 500;
+    case StatusCode::kIoError: return 500;
+    case StatusCode::kCancelled: return 409;
+    case StatusCode::kDeadlineExceeded: return 408;
+  }
+  return 500;
+}
+
+StatusOr<Table> GenerateNamedDataset(const std::string& kind) {
+  if (kind == "berkeley") return GenerateBerkeleyData();
+  if (kind == "flight") return GenerateFlightData();
+  if (kind == "adult") return GenerateAdultData();
+  if (kind == "staples") return GenerateStaplesData();
+  if (kind == "cancer") return GenerateCancerData();
+  return Status::InvalidArgument(
+      "unknown generator '" + kind +
+      "' (expected berkeley|flight|adult|staples|cancer)");
+}
+
+namespace {
+
+HttpResponse JsonResponse(int status, const JsonValue& body) {
+  HttpResponse response;
+  response.status = status;
+  response.body = SerializeJson(body);
+  return response;
+}
+
+HttpResponse ErrorResponse(const Status& status) {
+  return JsonResponse(HttpStatusForCode(status.code()),
+                      ErrorToJson(status));
+}
+
+HttpResponse ResultResponse(const StatusOr<JsonValue>& result) {
+  if (!result.ok()) return ErrorResponse(result.status());
+  return JsonResponse(200, *result);
+}
+
+/// Splits "/v1/requests/7?wait=1" into path and a query-parameter check.
+struct Target {
+  std::string path;
+  std::string query;
+
+  bool HasParam(const std::string& name) const {
+    for (const std::string& param : Split(query, '&')) {
+      const size_t eq = param.find('=');
+      const std::string key =
+          eq == std::string::npos ? param : param.substr(0, eq);
+      const std::string value =
+          eq == std::string::npos ? "" : param.substr(eq + 1);
+      if (key == name && value != "0" && value != "false") return true;
+    }
+    return false;
+  }
+};
+
+Target SplitTarget(const std::string& target) {
+  const size_t question = target.find('?');
+  if (question == std::string::npos) return {target, ""};
+  return {target.substr(0, question), target.substr(question + 1)};
+}
+
+StatusOr<uint64_t> ParseTicketPath(const std::string& path,
+                                   const std::string& prefix) {
+  const std::string id = path.substr(prefix.size());
+  if (id.empty() || id.find_first_not_of("0123456789") != std::string::npos) {
+    return Status::InvalidArgument("malformed request id '" + id + "'");
+  }
+  errno = 0;
+  const uint64_t ticket = std::strtoull(id.c_str(), nullptr, 10);
+  if (errno != 0 || ticket == 0) {
+    return Status::InvalidArgument("request id out of range: " + id);
+  }
+  return ticket;
+}
+
+/// ASSIGN_OR_RETURN for HttpResponse-returning routing code: failures
+/// become the mapped 4xx/5xx error response instead of a Status.
+#define HYPDB_ASSIGN_OR_RETURN_HTTP(lhs, rexpr)                    \
+  HYPDB_ASSIGN_OR_RETURN_HTTP_IMPL_(                               \
+      HYPDB_STATUS_CONCAT_(_http_statusor_, __LINE__), lhs, rexpr)
+#define HYPDB_ASSIGN_OR_RETURN_HTTP_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                      \
+  if (!tmp.ok()) return ErrorResponse(tmp.status());       \
+  lhs = std::move(tmp).value()
+
+StatusOr<uint64_t> TicketFromJson(const JsonValue& body) {
+  const JsonValue* ticket = body.Find("ticket");
+  if (ticket == nullptr || !ticket->is_int() || ticket->int_value() <= 0) {
+    return Status::InvalidArgument(
+        "expected a positive integer \"ticket\" member");
+  }
+  return static_cast<uint64_t>(ticket->int_value());
+}
+
+}  // namespace
+
+StatusOr<JsonValue> HypDbHandlers::Register(const JsonValue& body) {
+  HYPDB_ASSIGN_OR_RETURN(RegisterCommand command,
+                         RegisterCommandFromJson(body));
+  int64_t epoch = 0;
+  if (!command.csv_path.empty()) {
+    HYPDB_ASSIGN_OR_RETURN(
+        epoch, service_->RegisterCsv(command.name, command.csv_path));
+  } else {
+    HYPDB_ASSIGN_OR_RETURN(Table table,
+                           GenerateNamedDataset(command.generator));
+    epoch = service_->RegisterTable(command.name,
+                                    MakeTable(std::move(table)));
+  }
+  HYPDB_ASSIGN_OR_RETURN(TablePtr table, service_->Dataset(command.name));
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("name", JsonValue::Str(command.name));
+  out.Set("epoch", JsonValue::Int(epoch));
+  out.Set("rows", JsonValue::Int(table->NumRows()));
+  out.Set("columns", JsonValue::Int(table->NumColumns()));
+  return out;
+}
+
+StatusOr<JsonValue> HypDbHandlers::Analyze(const JsonValue& body) {
+  HYPDB_ASSIGN_OR_RETURN(
+      WireAnalyzeRequest wire,
+      AnalyzeRequestFromJson(body, service_->options().analysis));
+  // Submit + Wait rather than the sync facade so deadlines apply to
+  // synchronous requests too.
+  const uint64_t ticket =
+      service_->Submit(std::move(wire.request), wire.submit);
+  HYPDB_ASSIGN_OR_RETURN(ServiceReport report, service_->Wait(ticket));
+  return ToJson(report);
+}
+
+StatusOr<JsonValue> HypDbHandlers::Submit(const JsonValue& body) {
+  HYPDB_ASSIGN_OR_RETURN(
+      WireAnalyzeRequest wire,
+      AnalyzeRequestFromJson(body, service_->options().analysis));
+  const uint64_t ticket =
+      service_->Submit(std::move(wire.request), wire.submit);
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("ticket", JsonValue::Int(static_cast<int64_t>(ticket)));
+  return out;
+}
+
+StatusOr<JsonValue> HypDbHandlers::Poll(uint64_t ticket) {
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("ticket", JsonValue::Int(static_cast<int64_t>(ticket)));
+  out.Set("done", JsonValue::Bool(service_->Done(ticket)));
+  return out;
+}
+
+StatusOr<JsonValue> HypDbHandlers::WaitFor(uint64_t ticket) {
+  HYPDB_ASSIGN_OR_RETURN(ServiceReport report, service_->Wait(ticket));
+  return ToJson(report);
+}
+
+StatusOr<JsonValue> HypDbHandlers::Cancel(uint64_t ticket) {
+  if (!service_->Cancel(ticket)) {
+    if (service_->Done(ticket)) {
+      return Status::FailedPrecondition(
+          "request " + std::to_string(ticket) +
+          " already finished (or is unknown); nothing to cancel");
+    }
+    return Status::FailedPrecondition(
+        "request " + std::to_string(ticket) +
+        " is already running; in-flight work is not aborted");
+  }
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("ticket", JsonValue::Int(static_cast<int64_t>(ticket)));
+  out.Set("cancelled", JsonValue::Bool(true));
+  return out;
+}
+
+HttpResponse HypDbHandlers::HandleHttp(const HttpRequest& request) {
+  const Target target = SplitTarget(request.target);
+
+  if (target.path == "/healthz") {
+    if (request.method != "GET") {
+      return ErrorResponse(Status::InvalidArgument("use GET /healthz"));
+    }
+    JsonValue out = JsonValue::MakeObject();
+    out.Set("ok", JsonValue::Bool(true));
+    out.Set("workers", JsonValue::Int(service_->num_workers()));
+    return JsonResponse(200, out);
+  }
+
+  if (target.path == "/v1/stats") {
+    if (request.method != "GET") {
+      return ErrorResponse(Status::InvalidArgument("use GET /v1/stats"));
+    }
+    return JsonResponse(200, ServiceStatsToJson(*service_));
+  }
+
+  if (target.path == "/v1/datasets") {
+    if (request.method == "GET") {
+      JsonValue out = JsonValue::MakeArray();
+      for (const DatasetInfo& info : service_->Datasets()) {
+        out.Append(ToJson(info));
+      }
+      return JsonResponse(200, out);
+    }
+    if (request.method == "POST") {
+      HYPDB_ASSIGN_OR_RETURN_HTTP(JsonValue body, ParseJson(request.body));
+      return ResultResponse(Register(body));
+    }
+    return ErrorResponse(
+        Status::InvalidArgument("use GET or POST /v1/datasets"));
+  }
+
+  if (target.path == "/v1/analyze" || target.path == "/v1/submit") {
+    if (request.method != "POST") {
+      return ErrorResponse(
+          Status::InvalidArgument("use POST " + target.path));
+    }
+    HYPDB_ASSIGN_OR_RETURN_HTTP(JsonValue body, ParseJson(request.body));
+    return ResultResponse(target.path == "/v1/analyze" ? Analyze(body)
+                                                       : Submit(body));
+  }
+
+  const std::string kRequests = "/v1/requests/";
+  if (target.path.rfind(kRequests, 0) == 0) {
+    HYPDB_ASSIGN_OR_RETURN_HTTP(uint64_t ticket,
+                                ParseTicketPath(target.path, kRequests));
+    if (request.method == "DELETE") return ResultResponse(Cancel(ticket));
+    if (request.method == "GET") {
+      // Poll unless told to block. The GET that sees done=true (or
+      // ?wait=1) claims the result — claim-once, like Wait().
+      if (!target.HasParam("wait") && !service_->Done(ticket)) {
+        JsonValue pending = JsonValue::MakeObject();
+        pending.Set("ticket", JsonValue::Int(static_cast<int64_t>(ticket)));
+        pending.Set("done", JsonValue::Bool(false));
+        return JsonResponse(202, pending);
+      }
+      return ResultResponse(WaitFor(ticket));
+    }
+    return ErrorResponse(
+        Status::InvalidArgument("use GET or DELETE " + target.path));
+  }
+
+  return ErrorResponse(
+      Status::NotFound("no route for " + request.method + " " +
+                       target.path));
+}
+
+std::string HypDbHandlers::HandleLine(const std::string& line) {
+  const auto envelope = [](StatusOr<JsonValue> result) {
+    JsonValue out = JsonValue::MakeObject();
+    if (result.ok()) {
+      out.Set("ok", JsonValue::Bool(true));
+      out.Set("result", std::move(*result));
+    } else {
+      out.Set("ok", JsonValue::Bool(false));
+      out.Set("error", ErrorToJson(result.status()));
+    }
+    return SerializeJson(out);
+  };
+
+  auto parsed = ParseJson(line);
+  if (!parsed.ok()) return envelope(parsed.status());
+  const JsonValue& body = *parsed;
+  const JsonValue* cmd = body.Find("cmd");
+  if (cmd == nullptr || !cmd->is_string()) {
+    return envelope(Status::InvalidArgument(
+        "expected a string \"cmd\" member (register|datasets|analyze|"
+        "submit|poll|wait|cancel|stats|health)"));
+  }
+  const std::string& verb = cmd->string_value();
+
+  if (verb == "health") {
+    JsonValue out = JsonValue::MakeObject();
+    out.Set("ok", JsonValue::Bool(true));
+    out.Set("workers", JsonValue::Int(service_->num_workers()));
+    return envelope(std::move(out));
+  }
+  if (verb == "stats") return envelope(ServiceStatsToJson(*service_));
+  if (verb == "datasets") {
+    JsonValue out = JsonValue::MakeArray();
+    for (const DatasetInfo& info : service_->Datasets()) {
+      out.Append(ToJson(info));
+    }
+    return envelope(std::move(out));
+  }
+  if (verb == "register") return envelope(Register(body));
+  if (verb == "analyze") return envelope(Analyze(body));
+  if (verb == "submit") return envelope(Submit(body));
+  if (verb == "poll" || verb == "wait" || verb == "cancel") {
+    auto ticket = TicketFromJson(body);
+    if (!ticket.ok()) return envelope(ticket.status());
+    if (verb == "poll") return envelope(Poll(*ticket));
+    if (verb == "wait") return envelope(WaitFor(*ticket));
+    return envelope(Cancel(*ticket));
+  }
+  return envelope(Status::InvalidArgument("unknown cmd \"" + verb + "\""));
+}
+
+}  // namespace net
+}  // namespace hypdb

@@ -1,0 +1,71 @@
+// Endpoint routing: the HypDbService API as HTTP resources and line-JSON
+// commands. Every route maps one-to-one onto a DatasetRegistry or
+// QueryScheduler call, so the sharding, discovery coalescing, and
+// same-key batching built for in-process callers apply unchanged to
+// remote traffic.
+//
+//   POST   /v1/datasets        {"name","csv"|"generator"}  register
+//   GET    /v1/datasets                                    list
+//   POST   /v1/analyze         {"dataset","sql",...}       sync analyze
+//   POST   /v1/submit          (same body)                 async -> ticket
+//   GET    /v1/requests/{id}   poll; ?wait=1 blocks; a finished result is
+//                              claimed by the GET that fetches it
+//   DELETE /v1/requests/{id}   cancel a still-queued request
+//   GET    /v1/stats           cache/engine/worker introspection
+//   GET    /healthz            liveness
+//
+// Errors are ErrorToJson bodies ({"code","message"}) with the HTTP status
+// from HttpStatusForCode. The line-JSON protocol carries the same
+// payloads in an {"ok":bool, "result"|"error": ...} envelope, selected by
+// a "cmd" member (register/datasets/analyze/submit/poll/wait/cancel/
+// stats/health).
+
+#ifndef HYPDB_NET_HYPDB_HANDLERS_H_
+#define HYPDB_NET_HYPDB_HANDLERS_H_
+
+#include <string>
+
+#include "net/http_server.h"
+#include "net/json.h"
+#include "service/hypdb_service.h"
+
+namespace hypdb {
+namespace net {
+
+/// HTTP status for a Status code (kOk -> 200, kNotFound -> 404, ...).
+int HttpStatusForCode(StatusCode code);
+
+/// Builds the table of a named built-in generator
+/// (berkeley|flight|adult|staples|cancer) — shared by the wire protocol
+/// and the CLI so both accept the same names.
+StatusOr<Table> GenerateNamedDataset(const std::string& kind);
+
+/// Stateless fan-in from both wire protocols onto one HypDbService. All
+/// methods are thread-safe (the service is; the handlers hold no mutable
+/// state).
+class HypDbHandlers {
+ public:
+  explicit HypDbHandlers(HypDbService* service) : service_(service) {}
+
+  /// The HttpServer HTTP callback.
+  HttpResponse HandleHttp(const HttpRequest& request);
+  /// The HttpServer line-JSON callback: one request line in, one
+  /// response line out (envelope documented above).
+  std::string HandleLine(const std::string& line);
+
+ private:
+  /// Shared verb implementations; both protocols decode into these.
+  StatusOr<JsonValue> Register(const JsonValue& body);
+  StatusOr<JsonValue> Analyze(const JsonValue& body);
+  StatusOr<JsonValue> Submit(const JsonValue& body);
+  StatusOr<JsonValue> Poll(uint64_t ticket);
+  StatusOr<JsonValue> WaitFor(uint64_t ticket);
+  StatusOr<JsonValue> Cancel(uint64_t ticket);
+
+  HypDbService* service_;
+};
+
+}  // namespace net
+}  // namespace hypdb
+
+#endif  // HYPDB_NET_HYPDB_HANDLERS_H_

@@ -1,0 +1,157 @@
+// Strict, dependency-free JSON for the wire protocol (RFC 8259 subset).
+//
+// JsonValue is a small tagged union (null / bool / int / double / string /
+// array / object) with an insertion-ordered object representation so that
+// serialization is deterministic: building the same value produces the
+// same bytes, which is what lets the golden-digest tests pin the wire
+// format. ParseJson is strict — it rejects trailing garbage, raw control
+// characters in strings, lone surrogates, leading zeros, and nesting
+// beyond a configurable depth — because every byte it accepts comes from
+// an untrusted socket.
+//
+// The codecs below are the single rendering path between the service
+// layer and any front-end: the HTTP server, the line-JSON protocol, and
+// the hypdb_cli REPL all format reports and stats through them, so the
+// surfaces cannot drift from each other.
+
+#ifndef HYPDB_NET_JSON_H_
+#define HYPDB_NET_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "service/hypdb_service.h"
+#include "util/statusor.h"
+
+namespace hypdb {
+namespace net {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+  using Array = std::vector<JsonValue>;
+  /// Insertion-ordered members; Set() replaces an existing key in place.
+  using Members = std::vector<std::pair<std::string, JsonValue>>;
+
+  JsonValue() = default;  // null
+  static JsonValue Bool(bool v);
+  static JsonValue Int(int64_t v);
+  static JsonValue Double(double v);
+  static JsonValue Str(std::string v);
+  static JsonValue MakeArray();
+  static JsonValue MakeObject();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_int() const { return type_ == Type::kInt; }
+  bool is_number() const {
+    return type_ == Type::kInt || type_ == Type::kDouble;
+  }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool bool_value() const { return bool_; }
+  /// Exact integer value; meaningful only when is_int().
+  int64_t int_value() const { return int_; }
+  /// Numeric value of either number flavor (ints widen to double).
+  double number_value() const {
+    return type_ == Type::kInt ? static_cast<double>(int_) : double_;
+  }
+  const std::string& string_value() const { return string_; }
+  const Array& array() const { return array_; }
+  Array& array() { return array_; }
+  const Members& members() const { return members_; }
+  Members& members() { return members_; }
+
+  /// Array append / object set (replace-or-add). Chainable.
+  JsonValue& Append(JsonValue v);
+  JsonValue& Set(const std::string& key, JsonValue v);
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  /// Structural equality; the two number flavors compare numerically, so
+  /// a round trip that turns 5.0 into 5 still compares equal.
+  bool operator==(const JsonValue& other) const;
+  bool operator!=(const JsonValue& other) const { return !(*this == other); }
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  Array array_;
+  Members members_;
+};
+
+struct JsonParseOptions {
+  /// Maximum container nesting; parsing deeper input fails rather than
+  /// recursing toward stack exhaustion on adversarial payloads.
+  int max_depth = 64;
+};
+
+/// Parses exactly one JSON value spanning all of `text` (surrounding
+/// whitespace allowed). InvalidArgument with a byte offset on anything
+/// malformed.
+StatusOr<JsonValue> ParseJson(const std::string& text,
+                              JsonParseOptions options = {});
+
+/// Compact serialization (no insignificant whitespace). Doubles render
+/// with %.17g so they round-trip bit-exactly; non-finite doubles (which
+/// JSON cannot represent) render as null.
+std::string SerializeJson(const JsonValue& value);
+
+// ---- wire codecs: service types -> JSON --------------------------------
+
+JsonValue ToJson(const CountEngineStats& stats);
+JsonValue ToJson(const RequestStats& stats);
+JsonValue ToJson(const DiscoveryReport& discovery);
+JsonValue ToJson(const DiscoveryCacheStats& stats);
+JsonValue ToJson(const DatasetInfo& info);
+/// The full response body of an analysis: canonical digest, structured
+/// answers/bias/discovery, the human-readable rendering, request stats.
+JsonValue ToJson(const ServiceReport& report);
+/// {"code": "<stable name>", "message": ...} — the wire error convention.
+JsonValue ErrorToJson(const Status& status);
+/// Inverse of ErrorToJson: rebuilds the Status a peer sent (unrecognized
+/// code names map to kInternal so no error is ever silently dropped).
+Status StatusFromJson(const JsonValue& v);
+/// Whole-service introspection (workers, discovery cache, per-dataset
+/// engine stats) — the GET /v1/stats and REPL `stats` body.
+JsonValue ServiceStatsToJson(const HypDbService& service);
+
+// ---- wire codecs: JSON -> commands -------------------------------------
+
+/// An AnalyzeRequest plus its scheduler submit options as read off the
+/// wire: {"dataset": ..., "sql": ..., "options"?: {...},
+/// "deadline_seconds"?: N}. Unknown keys are rejected — a typoed option
+/// silently ignored would analyze with the wrong configuration.
+struct WireAnalyzeRequest {
+  AnalyzeRequest request;
+  SubmitOptions submit;
+};
+/// `base_options` (the service-wide analysis defaults) seed the
+/// per-request override, so a request that sets only {"alpha": 0.05}
+/// keeps every other default. Without an "options" member the request
+/// carries no override at all.
+StatusOr<WireAnalyzeRequest> AnalyzeRequestFromJson(
+    const JsonValue& v, const HypDbOptions& base_options);
+
+/// A dataset registration: {"name": ..., "csv": path} to load a file or
+/// {"name": ..., "generator": kind} for a built-in generator (exactly one
+/// of the two).
+struct RegisterCommand {
+  std::string name;
+  std::string csv_path;
+  std::string generator;
+};
+StatusOr<RegisterCommand> RegisterCommandFromJson(const JsonValue& v);
+
+}  // namespace net
+}  // namespace hypdb
+
+#endif  // HYPDB_NET_JSON_H_

@@ -1,0 +1,45 @@
+// Socket send/recv helpers shared by the server and the clients — one
+// place for chunk sizing, SIGPIPE suppression, and EINTR retries.
+
+#ifndef HYPDB_NET_SOCKET_IO_H_
+#define HYPDB_NET_SOCKET_IO_H_
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <string>
+
+namespace hypdb {
+namespace net {
+
+/// send()s the whole buffer; false on any socket error. MSG_NOSIGNAL
+/// keeps a peer that hung up from killing the process with SIGPIPE.
+inline bool SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Appends up to 16 KiB more bytes from the socket. False on EOF, error,
+/// or receive timeout (SO_RCVTIMEO).
+inline bool ReadMore(int fd, std::string* buffer) {
+  char chunk[16384];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    buffer->append(chunk, static_cast<size_t>(n));
+    return true;
+  }
+}
+
+}  // namespace net
+}  // namespace hypdb
+
+#endif  // HYPDB_NET_SOCKET_IO_H_

@@ -65,8 +65,12 @@ StatusOr<ServiceReport> HypDbService::AnalyzeSql(const std::string& dataset,
   return Analyze(std::move(request));
 }
 
-uint64_t HypDbService::Submit(AnalyzeRequest request) {
-  return scheduler_->Submit(std::move(request));
+uint64_t HypDbService::Submit(AnalyzeRequest request, SubmitOptions submit) {
+  return scheduler_->Submit(std::move(request), submit);
+}
+
+bool HypDbService::Cancel(uint64_t ticket) {
+  return scheduler_->Cancel(ticket);
 }
 
 bool HypDbService::Done(uint64_t ticket) const {

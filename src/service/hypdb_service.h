@@ -76,10 +76,12 @@ class HypDbService {
                                      const std::string& sql);
 
   /// Async API: Submit returns a ticket; Done polls; Wait blocks and
-  /// claims the result (one Wait per ticket).
-  uint64_t Submit(AnalyzeRequest request);
+  /// claims the result (one Wait per ticket); Cancel drops still-queued
+  /// requests (returns false for running/finished/unknown tickets).
+  uint64_t Submit(AnalyzeRequest request, SubmitOptions submit = {});
   bool Done(uint64_t ticket) const;
   StatusOr<ServiceReport> Wait(uint64_t ticket);
+  bool Cancel(uint64_t ticket);
 
   /// Introspection.
   DiscoveryCacheStats discovery_stats() const { return discovery_.stats(); }

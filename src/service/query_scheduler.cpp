@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/sql_parser.h"
+#include "util/string_util.h"
 
 namespace hypdb {
 
@@ -44,9 +45,11 @@ QueryScheduler::~QueryScheduler() {
   for (std::thread& w : workers_) w.join();
 }
 
-uint64_t QueryScheduler::Submit(AnalyzeRequest request) {
+uint64_t QueryScheduler::Submit(AnalyzeRequest request,
+                                SubmitOptions submit) {
   Job job;
   job.request = std::move(request);
+  job.submit = submit;
 
   StatusOr<AggQuery> parsed = ParseAggQuery(job.request.sql);
   std::unique_lock<std::mutex> lock(mu_);
@@ -101,6 +104,21 @@ bool QueryScheduler::Done(uint64_t ticket) const {
   return it == slots_.end() || it->second->done;
 }
 
+bool QueryScheduler::Cancel(uint64_t ticket) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto job = std::find_if(queue_.begin(), queue_.end(),
+                            [&](const Job& j) { return j.ticket == ticket; });
+    if (job == queue_.end()) return false;  // unknown, running, or done
+    queue_.erase(job);
+    CompleteLocked(ticket, StatusOr<ServiceReport>(Status::Cancelled(
+                               "request " + std::to_string(ticket) +
+                               " cancelled before it ran")));
+  }
+  done_cv_.notify_all();
+  return true;
+}
+
 void QueryScheduler::WorkerLoop(int worker_id) {
   for (;;) {
     std::vector<Job> batch;
@@ -135,6 +153,16 @@ void QueryScheduler::RunJob(Job job, int worker_id) {
   stats.ticket = job.ticket;
   stats.worker_id = worker_id;
   stats.queue_seconds = job.queued.ElapsedSeconds();
+  // Deadline check at pickup — it also covers batched twins, whose wait
+  // keeps growing while earlier batch members run.
+  if (job.submit.deadline_seconds > 0.0 &&
+      stats.queue_seconds > job.submit.deadline_seconds) {
+    Complete(job.ticket,
+             StatusOr<ServiceReport>(Status::DeadlineExceeded(StrFormat(
+                 "request waited %.3fs, past its %.3fs deadline",
+                 stats.queue_seconds, job.submit.deadline_seconds))));
+    return;
+  }
   Stopwatch run;
   StatusOr<ServiceReport> result = Execute(job, worker_id, &stats);
   stats.run_seconds = run.ElapsedSeconds();

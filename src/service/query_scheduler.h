@@ -55,6 +55,16 @@ struct QuerySchedulerOptions {
   HypDbOptions defaults;
 };
 
+/// Per-submission controls (deadline today; priorities would live here).
+struct SubmitOptions {
+  /// Maximum seconds the request may sit in the queue. A job whose wait
+  /// already exceeds the deadline when a worker picks it up is rejected
+  /// with kDeadlineExceeded instead of running — the waiter has likely
+  /// timed out, so the cycles are better spent on live requests. 0 (the
+  /// default) means no deadline.
+  double deadline_seconds = 0.0;
+};
+
 /// Thread-safe. Destruction waits for in-flight work, discarding queued
 /// requests that no worker has picked up.
 class QueryScheduler {
@@ -64,7 +74,7 @@ class QueryScheduler {
   ~QueryScheduler();
 
   /// Enqueues `request`; returns the ticket to Wait()/Done() on.
-  uint64_t Submit(AnalyzeRequest request);
+  uint64_t Submit(AnalyzeRequest request, SubmitOptions submit = {});
 
   /// Blocks until the ticket completes; a ticket can be waited on once.
   StatusOr<ServiceReport> Wait(uint64_t ticket);
@@ -72,12 +82,20 @@ class QueryScheduler {
   /// True when the ticket has completed (Wait() will not block).
   bool Done(uint64_t ticket) const;
 
+  /// Drops the ticket if it is still queued: the job never runs and its
+  /// slot completes with kCancelled (a pending Wait() returns that).
+  /// Returns false when the ticket is unknown, already running, or done —
+  /// in-flight work is never aborted, so a false return with Done() false
+  /// means the result is still coming.
+  bool Cancel(uint64_t ticket);
+
   int num_workers() const { return static_cast<int>(workers_.size()); }
 
  private:
   struct Job {
     uint64_t ticket = 0;
     AnalyzeRequest request;
+    SubmitOptions submit;
     AggQuery query;         // parsed at Submit
     std::string batch_key;  // dataset + treatment + subpopulation
     Stopwatch queued;       // started at Submit; read at pickup

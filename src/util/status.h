@@ -24,6 +24,8 @@ enum class StatusCode {
   kUnimplemented,     // feature intentionally not supported
   kInternal,          // invariant violation inside the library
   kIoError,           // file system problem
+  kCancelled,         // caller withdrew the request before it ran
+  kDeadlineExceeded,  // request expired before (or while) running
 };
 
 /// Returns a stable lowercase name for `code` (e.g. "invalid_argument").
@@ -58,6 +60,12 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

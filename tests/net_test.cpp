@@ -1,0 +1,456 @@
+// Network front-end tests. The load-bearing invariant: responses served
+// over a real TCP socket are bit-identical (per report_digest.h) to
+// cold serial HypDb::Analyze(), under >= 4 concurrent clients including
+// coalesced/batched twin requests. Plus: malformed HTTP and JSON earn
+// 4xx responses without crashing the server, the async wire flow
+// (submit/poll/wait/cancel/deadline) works end to end, and the raw
+// line-JSON mode serves the same payloads on the same port.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/hypdb.h"
+#include "datagen/berkeley_data.h"
+#include "datagen/cancer_data.h"
+#include "net/client.h"
+#include "net/http_server.h"
+#include "net/hypdb_handlers.h"
+#include "net/json.h"
+#include "service/report_digest.h"
+
+namespace hypdb {
+namespace net {
+namespace {
+
+TablePtr Berkeley() {
+  auto table = GenerateBerkeleyData();
+  EXPECT_TRUE(table.ok());
+  return MakeTable(std::move(*table));
+}
+
+TablePtr Cancer(int64_t rows = 4000) {
+  auto table = GenerateCancerData({.num_rows = rows});
+  EXPECT_TRUE(table.ok());
+  return MakeTable(std::move(*table));
+}
+
+/// An in-process service behind a real socket on an ephemeral port.
+struct Harness {
+  explicit Harness(HypDbServiceOptions service_options = {},
+                   HttpServerOptions server_options = {})
+      : service(service_options),
+        handlers(&service),
+        server([this](const HttpRequest& r) { return handlers.HandleHttp(r); },
+               [this](const std::string& l) { return handlers.HandleLine(l); },
+               server_options) {
+    const Status started = server.Start();
+    EXPECT_TRUE(started.ok()) << started;
+  }
+
+  HttpClient Client() { return HttpClient("127.0.0.1", server.port()); }
+
+  HypDbService service;
+  HypDbHandlers handlers;
+  HttpServer server;
+};
+
+/// Opens a fresh connection, sends `bytes` verbatim, half-closes, and
+/// returns everything the server answers until it closes — for wire-level
+/// malformed-input tests below the HttpClient's abstraction.
+std::string RawExchange(int port, const std::string& bytes) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  EXPECT_TRUE(bytes.empty() ||
+              ::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL) ==
+                  static_cast<ssize_t>(bytes.size()));
+  ::shutdown(fd, SHUT_WR);
+  std::string response;
+  char chunk[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, chunk, sizeof(chunk), 0)) > 0) {
+    response.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string SerialDigest(const TablePtr& table, const std::string& sql) {
+  HypDb db(table, HypDbOptions{});
+  auto report = db.AnalyzeSql(sql);
+  EXPECT_TRUE(report.ok()) << report.status();
+  return CanonicalReportDigest(*report);
+}
+
+JsonValue AnalyzeBody(const std::string& dataset, const std::string& sql) {
+  JsonValue body = JsonValue::MakeObject();
+  body.Set("dataset", JsonValue::Str(dataset));
+  body.Set("sql", JsonValue::Str(sql));
+  return body;
+}
+
+TEST(NetTest, HealthDatasetsAndStats) {
+  Harness harness({.num_workers = 2});
+  HttpClient client = harness.Client();
+
+  auto health = client.Get("/healthz");
+  ASSERT_TRUE(health.ok()) << health.status();
+  EXPECT_TRUE(health->Find("ok")->bool_value());
+  EXPECT_EQ(health->Find("workers")->int_value(), 2);
+
+  JsonValue reg = JsonValue::MakeObject();
+  reg.Set("name", JsonValue::Str("b"));
+  reg.Set("generator", JsonValue::Str("berkeley"));
+  auto registered = client.Post("/v1/datasets", reg);
+  ASSERT_TRUE(registered.ok()) << registered.status();
+  EXPECT_EQ(registered->Find("epoch")->int_value(), 1);
+  EXPECT_GT(registered->Find("rows")->int_value(), 0);
+
+  auto datasets = client.Get("/v1/datasets");
+  ASSERT_TRUE(datasets.ok());
+  ASSERT_EQ(datasets->array().size(), 1u);
+  EXPECT_EQ(datasets->array()[0].Find("name")->string_value(), "b");
+
+  auto stats = client.Get("/v1/stats");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->Find("workers")->int_value(), 2);
+  ASSERT_NE(stats->Find("discovery_cache"), nullptr);
+
+  // Unknown generator and unknown dataset map to clean wire errors.
+  reg.Set("generator", JsonValue::Str("nope"));
+  EXPECT_EQ(client.Post("/v1/datasets", reg).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(client
+                .Post("/v1/analyze",
+                      AnalyzeBody("missing",
+                                  "SELECT Gender, avg(Accepted) FROM "
+                                  "missing GROUP BY Gender"))
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+  // Malformed SQL is caught at parse, before any dataset lookup.
+  EXPECT_EQ(client.Post("/v1/analyze", AnalyzeBody("b", "SELECT x"))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+// The acceptance criterion: >= 4 concurrent clients over a real socket,
+// mixed workloads with twin requests, every response digest-identical to
+// cold serial execution.
+TEST(NetTest, ConcurrentClientsBitIdenticalToSerial) {
+  TablePtr berkeley = Berkeley();
+  TablePtr cancer = Cancer();
+
+  struct Workload {
+    std::string dataset;
+    std::string sql;
+    std::string digest;
+  };
+  std::vector<Workload> workloads = {
+      {"b", "SELECT Gender, avg(Accepted) FROM b GROUP BY Gender", ""},
+      {"b",
+       "SELECT Gender, avg(Accepted) FROM b WHERE Department IN "
+       "('A','B','C') GROUP BY Gender",
+       ""},
+      {"b",
+       "SELECT Gender, Department, avg(Accepted) FROM b GROUP BY Gender, "
+       "Department",
+       ""},
+      {"c", "SELECT Lung_Cancer, avg(Car_Accident) FROM c GROUP BY "
+            "Lung_Cancer",
+       ""},
+  };
+  for (Workload& w : workloads) {
+    w.digest = SerialDigest(w.dataset == "b" ? berkeley : cancer, w.sql);
+  }
+
+  Harness harness({.num_workers = 4});
+  harness.service.RegisterTable("b", berkeley);
+  harness.service.RegisterTable("c", cancer);
+
+  constexpr int kClients = 4;
+  constexpr int kRounds = 3;
+  std::vector<std::thread> clients;
+  std::vector<std::string> failures[kClients];
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      HttpClient client = harness.Client();  // keep-alive, reused
+      for (int round = 0; round < kRounds; ++round) {
+        for (size_t i = 0; i < workloads.size(); ++i) {
+          // Staggered start indices put twin requests in flight
+          // concurrently, exercising coalescing and batching.
+          const Workload& w = workloads[(i + t) % workloads.size()];
+          auto report =
+              client.Post("/v1/analyze", AnalyzeBody(w.dataset, w.sql));
+          if (!report.ok()) {
+            failures[t].push_back(report.status().ToString());
+            continue;
+          }
+          if (report->Find("digest")->string_value() != w.digest) {
+            failures[t].push_back("digest mismatch for " + w.sql);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& c : clients) c.join();
+  for (int t = 0; t < kClients; ++t) {
+    EXPECT_TRUE(failures[t].empty())
+        << "client " << t << ": " << failures[t].front();
+  }
+
+  // The shared caches carried remote traffic: strictly fewer discovery
+  // computations than requests.
+  const DiscoveryCacheStats stats = harness.service.discovery_stats();
+  const int64_t total = kClients * kRounds *
+                        static_cast<int64_t>(workloads.size());
+  EXPECT_GT(stats.hits + stats.coalesced, 0);
+  EXPECT_LT(stats.misses, total);
+  EXPECT_EQ(stats.hits + stats.coalesced + stats.misses, total);
+}
+
+TEST(NetTest, PerRequestOptionsChangeTheAnalysis) {
+  TablePtr berkeley = Berkeley();
+  const std::string sql =
+      "SELECT Gender, avg(Accepted) FROM b GROUP BY Gender";
+
+  HypDbOptions loose;
+  loose.alpha = 0.2;
+  HypDb db(berkeley, loose);
+  auto expected = db.AnalyzeSql(sql);
+  ASSERT_TRUE(expected.ok());
+
+  Harness harness({.num_workers = 2});
+  harness.service.RegisterTable("b", berkeley);
+  HttpClient client = harness.Client();
+
+  JsonValue body = AnalyzeBody("b", sql);
+  JsonValue options = JsonValue::MakeObject();
+  options.Set("alpha", JsonValue::Double(0.2));
+  body.Set("options", std::move(options));
+  auto report = client.Post("/v1/analyze", body);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->Find("digest")->string_value(),
+            CanonicalReportDigest(*expected));
+}
+
+TEST(NetTest, AsyncSubmitPollWaitCancelAndDeadline) {
+  TablePtr berkeley = Berkeley();
+  // One worker makes queueing deterministic: the slow cancer request
+  // occupies it while the victims sit in the queue.
+  Harness harness({.num_workers = 1});
+  harness.service.RegisterTable("b", berkeley);
+  harness.service.RegisterTable("c", Cancer(20000));
+  HttpClient client = harness.Client();
+
+  const std::string slow_sql =
+      "SELECT Lung_Cancer, avg(Car_Accident) FROM c GROUP BY Lung_Cancer";
+  const std::string fast_sql =
+      "SELECT Gender, avg(Accepted) FROM b GROUP BY Gender";
+
+  auto slow = client.Post("/v1/submit", AnalyzeBody("c", slow_sql));
+  ASSERT_TRUE(slow.ok()) << slow.status();
+  const int64_t slow_ticket = slow->Find("ticket")->int_value();
+
+  // Victim 1: queued behind the slow request (different batch key, so
+  // batching cannot pull it forward); cancellable.
+  auto victim = client.Post("/v1/submit", AnalyzeBody("b", fast_sql));
+  ASSERT_TRUE(victim.ok());
+  const int64_t victim_ticket = victim->Find("ticket")->int_value();
+
+  // Victim 2: a deadline far shorter than the slow request's runtime.
+  JsonValue deadline_body = AnalyzeBody("b", fast_sql);
+  deadline_body.Set("deadline_seconds", JsonValue::Double(1e-6));
+  auto expired = client.Post("/v1/submit", deadline_body);
+  ASSERT_TRUE(expired.ok());
+  const int64_t expired_ticket = expired->Find("ticket")->int_value();
+
+  // Cancel victim 1 while it is still queued.
+  auto cancelled = client.Delete("/v1/requests/" +
+                                 std::to_string(victim_ticket));
+  ASSERT_TRUE(cancelled.ok()) << cancelled.status();
+  EXPECT_TRUE(cancelled->Find("cancelled")->bool_value());
+  auto victim_result = client.Get(
+      "/v1/requests/" + std::to_string(victim_ticket) + "?wait=1");
+  EXPECT_FALSE(victim_result.ok());
+  EXPECT_EQ(victim_result.status().code(), StatusCode::kCancelled);
+  // A second cancel has nothing left to cancel.
+  EXPECT_EQ(client.Delete("/v1/requests/" + std::to_string(victim_ticket))
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+
+  // The deadline victim is rejected at pickup with 408.
+  auto expired_result = client.Get(
+      "/v1/requests/" + std::to_string(expired_ticket) + "?wait=1");
+  EXPECT_FALSE(expired_result.ok());
+  EXPECT_EQ(expired_result.status().code(), StatusCode::kDeadlineExceeded);
+  auto raw = client.Request(
+      "GET", "/v1/requests/" + std::to_string(expired_ticket));
+  ASSERT_TRUE(raw.ok());
+  // The result was claimed by the wait above; polling again is a 404.
+  EXPECT_EQ(raw->status, 404);
+
+  // The slow request itself completes and digests correctly.
+  auto slow_result = client.Get(
+      "/v1/requests/" + std::to_string(slow_ticket) + "?wait=1");
+  ASSERT_TRUE(slow_result.ok()) << slow_result.status();
+  EXPECT_EQ(slow_result->Find("stats")->Find("ticket")->int_value(),
+            slow_ticket);
+
+  // Poll (no wait) on a fresh pending ticket answers 202 done:false.
+  auto pending = client.Post("/v1/submit", AnalyzeBody("c", slow_sql));
+  ASSERT_TRUE(pending.ok());
+  const std::string pending_path =
+      "/v1/requests/" +
+      std::to_string(pending->Find("ticket")->int_value());
+  auto poll = client.Request("GET", pending_path);
+  ASSERT_TRUE(poll.ok());
+  if (poll->status == 202) {
+    auto body = ParseJson(poll->body);
+    ASSERT_TRUE(body.ok());
+    EXPECT_FALSE(body->Find("done")->bool_value());
+  }
+  auto final_result = client.Get(pending_path + "?wait=1");
+  EXPECT_TRUE(final_result.ok()) << final_result.status();
+}
+
+TEST(NetTest, MalformedHttpGets4xxAndServerSurvives) {
+  Harness harness({.num_workers = 1});
+  const int port = harness.server.port();
+
+  EXPECT_NE(RawExchange(port, "GARBAGE\r\n\r\n").find("HTTP/1.1 400"),
+            std::string::npos);
+  EXPECT_NE(RawExchange(port, "GET /healthz HTTP/2.7\r\n\r\n")
+                .find("HTTP/1.1 400"),
+            std::string::npos);
+  EXPECT_NE(RawExchange(port, "GET nohpath HTTP/1.1\r\n\r\n")
+                .find("HTTP/1.1 400"),
+            std::string::npos);
+  EXPECT_NE(RawExchange(port,
+                        "POST /v1/analyze HTTP/1.1\r\n"
+                        "Content-Length: abc\r\n\r\n")
+                .find("HTTP/1.1 400"),
+            std::string::npos);
+  EXPECT_NE(RawExchange(port, "POST /v1/analyze HTTP/1.1\r\n\r\n")
+                .find("HTTP/1.1 411"),
+            std::string::npos);
+  EXPECT_NE(RawExchange(port,
+                        "POST /v1/analyze HTTP/1.1\r\n"
+                        "Content-Length: 999999999999\r\n\r\n")
+                .find("HTTP/1.1 413"),
+            std::string::npos);
+  EXPECT_NE(RawExchange(port,
+                        "POST /v1/analyze HTTP/1.1\r\n"
+                        "Transfer-Encoding: chunked\r\n\r\n")
+                .find("HTTP/1.1 501"),
+            std::string::npos);
+  EXPECT_NE(RawExchange(port,
+                        "GET /healthz HTTP/1.1\r\nbroken header line\r\n\r\n")
+                .find("HTTP/1.1 400"),
+            std::string::npos);
+
+  // A header bomb larger than the configured cap is cut off at 400.
+  std::string bomb = "GET /healthz HTTP/1.1\r\nX-Bomb: ";
+  bomb.append(128 * 1024, 'a');
+  EXPECT_NE(RawExchange(port, bomb).find("HTTP/1.1 400"),
+            std::string::npos);
+
+  // Malformed JSON in a well-formed HTTP request: 400 from the parser.
+  HttpClient client = harness.Client();
+  auto bad_json = client.Request("POST", "/v1/analyze", "{not json");
+  ASSERT_TRUE(bad_json.ok());
+  EXPECT_EQ(bad_json->status, 400);
+  auto wrong_shape = client.Request("POST", "/v1/analyze", "[1,2,3]");
+  ASSERT_TRUE(wrong_shape.ok());
+  EXPECT_EQ(wrong_shape->status, 400);
+  auto bad_ticket = client.Request("GET", "/v1/requests/notanumber");
+  ASSERT_TRUE(bad_ticket.ok());
+  EXPECT_EQ(bad_ticket->status, 400);
+  auto not_found = client.Request("GET", "/nope");
+  ASSERT_TRUE(not_found.ok());
+  EXPECT_EQ(not_found->status, 404);
+  auto wrong_method = client.Request("DELETE", "/healthz");
+  ASSERT_TRUE(wrong_method.ok());
+  EXPECT_EQ(wrong_method->status, 400);
+
+  // After all of the abuse the server still serves.
+  auto health = client.Get("/healthz");
+  ASSERT_TRUE(health.ok()) << health.status();
+  EXPECT_TRUE(health->Find("ok")->bool_value());
+}
+
+TEST(NetTest, LineJsonModeServesIdenticalPayloadsOnTheSamePort) {
+  TablePtr berkeley = Berkeley();
+  const std::string sql =
+      "SELECT Gender, avg(Accepted) FROM b GROUP BY Gender";
+  const std::string expected = SerialDigest(berkeley, sql);
+
+  Harness harness({.num_workers = 2});
+  harness.service.RegisterTable("b", berkeley);
+  LineClient client("127.0.0.1", harness.server.port());
+
+  JsonValue health = JsonValue::MakeObject();
+  health.Set("cmd", JsonValue::Str("health"));
+  auto health_result = client.Call(health);
+  ASSERT_TRUE(health_result.ok()) << health_result.status();
+  EXPECT_EQ(health_result->Find("workers")->int_value(), 2);
+
+  JsonValue analyze = AnalyzeBody("b", sql);
+  analyze.Set("cmd", JsonValue::Str("analyze"));
+  auto report = client.Call(analyze);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->Find("digest")->string_value(), expected);
+
+  // Async verbs over the line protocol.
+  JsonValue submit = AnalyzeBody("b", sql);
+  submit.Set("cmd", JsonValue::Str("submit"));
+  auto ticket = client.Call(submit);
+  ASSERT_TRUE(ticket.ok()) << ticket.status();
+  JsonValue wait = JsonValue::MakeObject();
+  wait.Set("cmd", JsonValue::Str("wait"));
+  wait.Set("ticket", *ticket->Find("ticket"));
+  auto waited = client.Call(wait);
+  ASSERT_TRUE(waited.ok()) << waited.status();
+  EXPECT_EQ(waited->Find("digest")->string_value(), expected);
+
+  // Malformed lines answer an error envelope on a live connection.
+  auto error_line = client.CallRaw("{broken");
+  ASSERT_TRUE(error_line.ok());
+  EXPECT_NE(error_line->find("\"ok\":false"), std::string::npos);
+  auto missing_cmd = client.CallRaw("{}");
+  ASSERT_TRUE(missing_cmd.ok());
+  EXPECT_NE(missing_cmd->find("invalid_argument"), std::string::npos);
+  EXPECT_EQ(client.Call(health).status().code(), StatusCode::kOk);
+}
+
+TEST(NetTest, ConnectionLimitAnswers503) {
+  Harness harness({.num_workers = 1},
+                  HttpServerOptions{.max_connections = 1});
+  // Occupy the single slot with a live keep-alive connection.
+  HttpClient first = harness.Client();
+  ASSERT_TRUE(first.Get("/healthz").ok());
+  const std::string overflow =
+      RawExchange(harness.server.port(), "GET /healthz HTTP/1.1\r\n\r\n");
+  EXPECT_NE(overflow.find("HTTP/1.1 503"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace hypdb

@@ -329,6 +329,67 @@ TEST(HypDbServiceTest, AsyncSubmitPollWait) {
   EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
 }
 
+TEST(HypDbServiceTest, CancelDropsQueuedRequestsOnly) {
+  HypDbServiceOptions options;
+  options.num_workers = 1;
+  HypDbService service(options);
+  service.RegisterTable("b", Berkeley());
+  service.RegisterTable("c", Cancer(20000));
+
+  // The slow request occupies the lone worker; the victim (a different
+  // batch key, so batching cannot drain it alongside) stays queued.
+  const uint64_t slow = service.Submit(
+      {"c",
+       "SELECT Lung_Cancer, avg(Car_Accident) FROM c GROUP BY Lung_Cancer",
+       {}});
+  const uint64_t victim = service.Submit(
+      {"b", "SELECT Gender, avg(Accepted) FROM b GROUP BY Gender", {}});
+
+  EXPECT_TRUE(service.Cancel(victim));
+  EXPECT_TRUE(service.Done(victim));  // completed-with-error counts as done
+  auto result = service.Wait(victim);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  // Nothing left to cancel: the ticket is claimed.
+  EXPECT_FALSE(service.Cancel(victim));
+
+  auto slow_result = service.Wait(slow);
+  ASSERT_TRUE(slow_result.ok()) << slow_result.status();
+  // Finished (and unknown) tickets are not cancellable either.
+  EXPECT_FALSE(service.Cancel(slow));
+  EXPECT_FALSE(service.Cancel(999999));
+}
+
+TEST(HypDbServiceTest, DeadlineRejectsRequestsThatQueuedTooLong) {
+  HypDbServiceOptions options;
+  options.num_workers = 1;
+  HypDbService service(options);
+  service.RegisterTable("b", Berkeley());
+  service.RegisterTable("c", Cancer(20000));
+
+  const uint64_t slow = service.Submit(
+      {"c",
+       "SELECT Lung_Cancer, avg(Car_Accident) FROM c GROUP BY Lung_Cancer",
+       {}});
+  // Any measurable queue wait exceeds a microsecond deadline.
+  SubmitOptions submit;
+  submit.deadline_seconds = 1e-6;
+  const uint64_t expired = service.Submit(
+      {"b", "SELECT Gender, avg(Accepted) FROM b GROUP BY Gender", {}},
+      submit);
+  auto result = service.Wait(expired);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+
+  // A generous deadline leaves the request untouched.
+  submit.deadline_seconds = 300.0;
+  const uint64_t relaxed = service.Submit(
+      {"b", "SELECT Gender, avg(Accepted) FROM b GROUP BY Gender", {}},
+      submit);
+  EXPECT_TRUE(service.Wait(relaxed).ok());
+  EXPECT_TRUE(service.Wait(slow).ok());
+}
+
 TEST(HypDbServiceTest, RacedWaitsClaimTheTicketExactlyOnce) {
   HypDbServiceOptions options;
   options.num_workers = 1;
