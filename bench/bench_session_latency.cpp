@@ -1,0 +1,145 @@
+// Staged-session latency: time-to-first-bias-verdict of the staged
+// AnalysisSession vs the full one-shot analysis, on the adult workload
+// (paper Sec. 7.3 / Fig. 3 top — the "think twice" query).
+//
+// The paper's interaction model shows the analyst the plain answers and
+// a bias warning first; explanations and rewrites are drilled into on
+// demand. The session API makes that warning cheap: Detect() runs only
+// bind + discovery + the per-context balance tests, skipping the
+// explanation and rewrite stages entirely. This bench measures both
+// paths through the service (shared shards, discovery cache, scheduler)
+// against a cold service each, and asserts:
+//  1. staged time-to-first-verdict < full one-shot latency (strictly);
+//  2. finishing the staged session yields a report digest bit-identical
+//     to the one-shot analysis.
+// Violation of either exits non-zero. Results land in
+// BENCH_session_latency.json.
+//
+// Usage: bench_session_latency [scale]   (scale multiplies rows)
+
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+#include "core/hypdb.h"
+#include "datagen/adult_data.h"
+#include "service/hypdb_service.h"
+#include "service/report_digest.h"
+#include "util/stopwatch.h"
+
+using namespace hypdb;
+using namespace hypdb::bench;
+
+namespace {
+
+constexpr char kSql[] =
+    "SELECT Gender, avg(Income) FROM adult GROUP BY Gender";
+
+TablePtr Adult(double scale) {
+  AdultDataOptions options;
+  options.num_rows = static_cast<int64_t>(options.num_rows * scale);
+  auto table = GenerateAdultData(options);
+  if (!table.ok()) {
+    std::fprintf(stderr, "adult datagen failed: %s\n",
+                 table.status().ToString().c_str());
+    std::exit(1);
+  }
+  return MakeTable(std::move(*table));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = ScaleArg(argc, argv);
+  Header("bench_session_latency",
+         "staged AnalysisSession: time-to-first-bias-verdict vs one-shot "
+         "(adult workload, Sec. 7.3)");
+
+  TablePtr adult = Adult(scale);
+
+  // One-shot path: a cold service, full analysis.
+  double oneshot_seconds = 0.0;
+  std::string oneshot_digest;
+  {
+    HypDbService service;
+    service.RegisterTable("adult", adult);
+    Stopwatch timer;
+    auto report = service.AnalyzeSql("adult", kSql);
+    oneshot_seconds = timer.ElapsedSeconds();
+    if (!report.ok()) {
+      std::fprintf(stderr, "one-shot analyze failed: %s\n",
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    oneshot_digest = CanonicalReportDigest(report->report);
+  }
+
+  // Staged path: an equally cold service; the analyst's first verdict
+  // is create + detect (discovery included). Then finish the session to
+  // check bit-identity of the complete staged report.
+  double staged_detect_seconds = 0.0;
+  std::string staged_digest;
+  bool staged_complete = false;
+  {
+    HypDbService service;
+    service.RegisterTable("adult", adult);
+    Stopwatch timer;
+    auto info = service.CreateSession({"adult", kSql, {}});
+    if (!info.ok()) {
+      std::fprintf(stderr, "session create failed: %s\n",
+                   info.status().ToString().c_str());
+      return 1;
+    }
+    auto detect = service.AdvanceSession(info->id, "detect");
+    staged_detect_seconds = timer.ElapsedSeconds();
+    if (!detect.ok()) {
+      std::fprintf(stderr, "detect stage failed: %s\n",
+                   detect.status().ToString().c_str());
+      return 1;
+    }
+    auto finished = service.AdvanceSession(info->id, "report");
+    if (!finished.ok()) {
+      std::fprintf(stderr, "report stage failed: %s\n",
+                   finished.status().ToString().c_str());
+      return 1;
+    }
+    staged_complete = finished->stats.session_complete;
+    staged_digest = CanonicalReportDigest(finished->report);
+  }
+
+  Row({"path", "seconds"});
+  Row({"one-shot (full)", Fmt("%.3f", oneshot_seconds)});
+  Row({"staged (detect)", Fmt("%.3f", staged_detect_seconds)});
+  const double speedup =
+      staged_detect_seconds > 0 ? oneshot_seconds / staged_detect_seconds
+                                : 0.0;
+  std::printf("time-to-first-bias-verdict speedup: %.2fx\n", speedup);
+
+  net::JsonValue results = net::JsonValue::MakeObject();
+  results.Set("sql", net::JsonValue::Str(kSql));
+  results.Set("scale", net::JsonValue::Double(scale));
+  results.Set("one_shot_seconds", net::JsonValue::Double(oneshot_seconds));
+  results.Set("staged_detect_seconds",
+              net::JsonValue::Double(staged_detect_seconds));
+  results.Set("speedup", net::JsonValue::Double(speedup));
+  results.Set("digest_match",
+              net::JsonValue::Bool(staged_digest == oneshot_digest));
+  WriteBenchJson("session_latency", std::move(results));
+
+  if (!staged_complete || staged_digest != oneshot_digest) {
+    std::fprintf(stderr,
+                 "FAIL: staged session report is not bit-identical to the "
+                 "one-shot analysis\n");
+    return 1;
+  }
+  if (staged_detect_seconds >= oneshot_seconds) {
+    std::fprintf(stderr,
+                 "FAIL: staged time-to-first-verdict (%.3fs) is not below "
+                 "the full one-shot latency (%.3fs)\n",
+                 staged_detect_seconds, oneshot_seconds);
+    return 1;
+  }
+  std::printf("OK: staged verdict %.2fx faster, digests bit-identical\n",
+              speedup);
+  return 0;
+}

@@ -26,6 +26,14 @@
 //   hypdb> poll 3                              # done yet?
 //   hypdb> wait 3                              # block + print the report
 //   hypdb> cancel 3                            # drop it if still queued
+//   hypdb> session flights SELECT Carrier, avg(Delayed) FROM flights
+//          GROUP BY Carrier                    # staged "think twice" loop
+//   session 1
+//   hypdb> step 1 detect                       # first bias verdicts only
+//   hypdb> step 1 explain 0                    # drill into context 0
+//   hypdb> step 1 report                       # run the rest, full report
+//   hypdb> sessions                            # live sessions + stages
+//   hypdb> close 1                             # delete the session
 //   hypdb> stats                               # cache/engine/worker stats
 //   hypdb> datasets                            # what is registered
 //   hypdb> quit
@@ -86,7 +94,8 @@ void PrintServiceReport(const ServiceReport& report) {
 int RunServe(const HypDbServiceOptions& options) {
   HypDbService service(options);
   std::printf("HypDB service REPL — %d workers. Commands: load, gen, "
-              "analyze, submit, poll, wait, cancel, datasets, stats, quit\n",
+              "analyze, submit, poll, wait, cancel, session, step, "
+              "sessions, close, datasets, stats, quit\n",
               service.num_workers());
 
   std::string line;
@@ -176,6 +185,85 @@ int RunServe(const HypDbServiceOptions& options) {
         continue;
       }
       PrintServiceReport(*report);
+      continue;
+    }
+
+    if (cmd == "session") {
+      AnalyzeRequest request;
+      in >> request.dataset;
+      std::getline(in, request.sql);
+      if (request.dataset.empty() || Trim(request.sql).empty()) {
+        std::printf("usage: session <dataset> <SELECT ...>\n");
+        continue;
+      }
+      auto info = service.CreateSession(request);
+      if (!info.ok()) {
+        std::printf("error: %s\n", info.status().ToString().c_str());
+        continue;
+      }
+      std::printf("session %llu\n%s\n",
+                  static_cast<unsigned long long>(info->id),
+                  net::SerializeJson(net::ToJson(*info)).c_str());
+      continue;
+    }
+
+    if (cmd == "step") {
+      uint64_t session = 0;
+      std::string stage;
+      std::string context_token;
+      in >> session >> stage >> context_token;
+      if (session == 0 || stage.empty()) {
+        std::printf("usage: step <session> "
+                    "<answers|discover|detect|explain|rewrite|report> "
+                    "[context]\n");
+        continue;
+      }
+      std::optional<int> ctx;
+      if (!context_token.empty()) ctx = std::atoi(context_token.c_str());
+      auto report = service.AdvanceSession(session, stage, ctx);
+      if (!report.ok()) {
+        std::printf("error: %s\n", report.status().ToString().c_str());
+        continue;
+      }
+      if (stage == "report" || stage == "run") {
+        // The full analysis — same rendering as `analyze`.
+        PrintServiceReport(*report);
+      } else {
+        // The incremental stage body the wire protocol serves.
+        std::printf("%s\n",
+                    net::SerializeJson(net::SessionStageToJson(*report))
+                        .c_str());
+      }
+      continue;
+    }
+
+    if (cmd == "sessions") {
+      for (const SessionInfo& info : service.Sessions()) {
+        std::string stages;
+        for (const auto& s : info.stages) {
+          if (!stages.empty()) stages += " ";
+          stages += s.stage + (s.done ? "+" : "-");
+        }
+        std::printf("session %-4llu %-12s %s  %s\n",
+                    static_cast<unsigned long long>(info.id),
+                    info.dataset.c_str(),
+                    info.complete ? "complete  " : "in-progress",
+                    stages.c_str());
+      }
+      continue;
+    }
+
+    if (cmd == "close") {
+      uint64_t session = 0;
+      in >> session;
+      if (session == 0) {
+        std::printf("usage: close <session>\n");
+        continue;
+      }
+      Status closed = service.CloseSession(session);
+      std::printf(closed.ok() ? "session %llu: closed\n"
+                              : "session %llu: not found or gone\n",
+                  static_cast<unsigned long long>(session));
       continue;
     }
 

@@ -44,17 +44,38 @@ StatusOr<std::vector<ContextBias>> DetectBias(
     const DetectorOptions& options, CountEngineStats* count_stats) {
   HYPDB_ASSIGN_OR_RETURN(std::vector<Context> contexts,
                          SplitContexts(table, bound));
+  return DetectBias(table, bound, contexts, covariates, mediators, options,
+                    nullptr, count_stats);
+}
+
+StatusOr<std::vector<ContextBias>> DetectBias(
+    const TablePtr& table, const BoundQuery& bound,
+    const std::vector<Context>& contexts,
+    const std::vector<int>& covariates, const std::vector<int>* mediators,
+    const DetectorOptions& options,
+    const std::vector<std::shared_ptr<CountEngine>>* context_engines,
+    CountEngineStats* count_stats) {
   std::vector<ContextBias> out;
   out.reserve(contexts.size());
   uint64_t seed = options.seed;
-  for (const Context& ctx : contexts) {
+  for (size_t c = 0; c < contexts.size(); ++c) {
+    const Context& ctx = contexts[c];
     ContextBias bias;
     bias.context_labels = ctx.labels;
     bias.rows = ctx.view.NumRows();
 
     // One count engine per context: the balance tests for total and
-    // direct effect share most of their counts.
-    MiEngine engine(ctx.view, options.engine);
+    // direct effect share most of their counts. A caller-provided engine
+    // is used as-is (it already caches and may persist across stages).
+    const std::shared_ptr<CountEngine> shared =
+        context_engines != nullptr && c < context_engines->size()
+            ? (*context_engines)[c]
+            : nullptr;
+    MiEngine engine = shared != nullptr
+                          ? MiEngine(ctx.view, shared, options.engine,
+                                     /*wrap_provider=*/false)
+                          : MiEngine(ctx.view, options.engine);
+    const CountEngineStats stats_before = engine.count_engine().stats();
     CiTester tester(&engine, options.ci, seed++);
     HYPDB_ASSIGN_OR_RETURN(
         bias.total, TestBalance(table, tester, bound.treatment, covariates,
@@ -70,7 +91,9 @@ StatusOr<std::vector<ContextBias>> DetectBias(
           TestBalance(table, tester, bound.treatment, v, options.alpha));
       bias.has_direct = true;
     }
-    if (count_stats != nullptr) *count_stats += engine.count_engine().stats();
+    if (count_stats != nullptr) {
+      *count_stats += engine.count_engine().stats() - stats_before;
+    }
     out.push_back(std::move(bias));
   }
 

@@ -10,6 +10,7 @@
 #ifndef HYPDB_CORE_DETECTOR_H_
 #define HYPDB_CORE_DETECTOR_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -60,6 +61,21 @@ StatusOr<std::vector<ContextBias>> DetectBias(
     const TablePtr& table, const BoundQuery& bound,
     const std::vector<int>& covariates, const std::vector<int>* mediators,
     const DetectorOptions& options, CountEngineStats* count_stats = nullptr);
+
+/// Same, over pre-split contexts (`contexts` must be SplitContexts of
+/// `bound`). When `context_engines` is non-null it is aligned with
+/// `contexts`; a non-null entry routes that context's counts through the
+/// shared engine (which must aggregate exactly that context's rows)
+/// instead of a private one, and only the stats delta of the call is
+/// accumulated. Detection is one whole-query stage — the FDR adjustment
+/// spans every context — which is why there is no per-context variant.
+StatusOr<std::vector<ContextBias>> DetectBias(
+    const TablePtr& table, const BoundQuery& bound,
+    const std::vector<Context>& contexts,
+    const std::vector<int>& covariates, const std::vector<int>* mediators,
+    const DetectorOptions& options,
+    const std::vector<std::shared_ptr<CountEngine>>* context_engines,
+    CountEngineStats* count_stats = nullptr);
 
 }  // namespace hypdb
 

@@ -119,6 +119,73 @@ StatusOr<std::vector<ExplanationTriple>> FineGrainedExplanations(
                                  z_col, top_k);
 }
 
+StatusOr<ContextExplanation> ExplainContext(
+    const TablePtr& table, const BoundQuery& bound, const Context& ctx,
+    const std::vector<int>& variables, const ExplainerOptions& options,
+    const std::shared_ptr<CountEngine>& engine_in,
+    CountEngineStats* count_stats) {
+  if (options.outcome_index < 0 ||
+      options.outcome_index >= static_cast<int>(bound.outcomes.size())) {
+    return Status::OutOfRange("outcome_index out of range");
+  }
+  const int y_col = bound.outcomes[options.outcome_index];
+
+  ContextExplanation expl;
+  expl.context_labels = ctx.labels;
+
+  // Coarse-grained responsibilities (Eq. 4). The same count engine
+  // serves the fine-grained triples below. A caller-provided engine is
+  // used as-is (it already caches and may persist across stages).
+  MiEngine engine = engine_in != nullptr
+                        ? MiEngine(ctx.view, engine_in, options.engine,
+                                   /*wrap_provider=*/false)
+                        : MiEngine(ctx.view, options.engine);
+  const CountEngineStats stats_before = engine.count_engine().stats();
+  std::vector<double> numerators(variables.size(), 0.0);
+  HYPDB_ASSIGN_OR_RETURN(double i_full,
+                         engine.MiSets({bound.treatment}, variables, {}));
+  double denom = 0.0;
+  for (size_t i = 0; i < variables.size(); ++i) {
+    HYPDB_ASSIGN_OR_RETURN(
+        double i_given,
+        engine.MiSets({bound.treatment}, variables, {variables[i]}));
+    numerators[i] = std::max(0.0, i_full - i_given);
+    denom += numerators[i];
+  }
+  for (size_t i = 0; i < variables.size(); ++i) {
+    Responsibility r;
+    r.attribute = table->column(variables[i]).name();
+    r.column = variables[i];
+    r.rho = denom > 0.0 ? numerators[i] / denom : 0.0;
+    expl.coarse.push_back(std::move(r));
+  }
+  std::sort(expl.coarse.begin(), expl.coarse.end(),
+            [](const Responsibility& a, const Responsibility& b) {
+              return a.rho != b.rho ? a.rho > b.rho
+                                    : a.attribute < b.attribute;
+            });
+
+  // Fine-grained for the top covariates.
+  int fine_count = std::min<int>(options.fine_covariates,
+                                 static_cast<int>(expl.coarse.size()));
+  for (int i = 0; i < fine_count; ++i) {
+    if (expl.coarse[i].rho <= 0.0) break;
+    FineGrained fine;
+    fine.covariate = expl.coarse[i].attribute;
+    fine.column = expl.coarse[i].column;
+    HYPDB_ASSIGN_OR_RETURN(
+        fine.top,
+        FineGrainedExplanations(engine.count_engine(), *table,
+                                bound.treatment, y_col, fine.column,
+                                options.top_k));
+    expl.fine.push_back(std::move(fine));
+  }
+  if (count_stats != nullptr) {
+    *count_stats += engine.count_engine().stats() - stats_before;
+  }
+  return expl;
+}
+
 StatusOr<std::vector<ContextExplanation>> ExplainBias(
     const TablePtr& table, const BoundQuery& bound,
     const std::vector<int>& variables, const ExplainerOptions& options,
@@ -129,56 +196,12 @@ StatusOr<std::vector<ContextExplanation>> ExplainBias(
       options.outcome_index >= static_cast<int>(bound.outcomes.size())) {
     return Status::OutOfRange("outcome_index out of range");
   }
-  const int y_col = bound.outcomes[options.outcome_index];
-
   std::vector<ContextExplanation> out;
   for (const Context& ctx : contexts) {
-    ContextExplanation expl;
-    expl.context_labels = ctx.labels;
-
-    // Coarse-grained responsibilities (Eq. 4). The same count engine
-    // serves the fine-grained triples below.
-    MiEngine engine(ctx.view, options.engine);
-    std::vector<double> numerators(variables.size(), 0.0);
-    HYPDB_ASSIGN_OR_RETURN(double i_full,
-                           engine.MiSets({bound.treatment}, variables, {}));
-    double denom = 0.0;
-    for (size_t i = 0; i < variables.size(); ++i) {
-      HYPDB_ASSIGN_OR_RETURN(
-          double i_given,
-          engine.MiSets({bound.treatment}, variables, {variables[i]}));
-      numerators[i] = std::max(0.0, i_full - i_given);
-      denom += numerators[i];
-    }
-    for (size_t i = 0; i < variables.size(); ++i) {
-      Responsibility r;
-      r.attribute = table->column(variables[i]).name();
-      r.column = variables[i];
-      r.rho = denom > 0.0 ? numerators[i] / denom : 0.0;
-      expl.coarse.push_back(std::move(r));
-    }
-    std::sort(expl.coarse.begin(), expl.coarse.end(),
-              [](const Responsibility& a, const Responsibility& b) {
-                return a.rho != b.rho ? a.rho > b.rho
-                                      : a.attribute < b.attribute;
-              });
-
-    // Fine-grained for the top covariates.
-    int fine_count = std::min<int>(options.fine_covariates,
-                                   static_cast<int>(expl.coarse.size()));
-    for (int i = 0; i < fine_count; ++i) {
-      if (expl.coarse[i].rho <= 0.0) break;
-      FineGrained fine;
-      fine.covariate = expl.coarse[i].attribute;
-      fine.column = expl.coarse[i].column;
-      HYPDB_ASSIGN_OR_RETURN(
-          fine.top,
-          FineGrainedExplanations(engine.count_engine(), *table,
-                                  bound.treatment, y_col, fine.column,
-                                  options.top_k));
-      expl.fine.push_back(std::move(fine));
-    }
-    if (count_stats != nullptr) *count_stats += engine.count_engine().stats();
+    HYPDB_ASSIGN_OR_RETURN(
+        ContextExplanation expl,
+        ExplainContext(table, bound, ctx, variables, options, nullptr,
+                       count_stats));
     out.push_back(std::move(expl));
   }
   return out;

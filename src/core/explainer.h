@@ -16,6 +16,7 @@
 #ifndef HYPDB_CORE_EXPLAINER_H_
 #define HYPDB_CORE_EXPLAINER_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -74,6 +75,18 @@ struct ExplainerOptions {
 StatusOr<std::vector<ContextExplanation>> ExplainBias(
     const TablePtr& table, const BoundQuery& bound,
     const std::vector<int>& variables, const ExplainerOptions& options,
+    CountEngineStats* count_stats = nullptr);
+
+/// One context of ExplainBias, independently invokable (explanations are
+/// deterministic and context-local, so any subset/order of contexts
+/// reproduces the batch results bit-identically). When `engine` is
+/// non-null the estimators route counts through it (it must aggregate
+/// exactly ctx.view's rows) instead of a private engine; only the stats
+/// delta over the call is accumulated.
+StatusOr<ContextExplanation> ExplainContext(
+    const TablePtr& table, const BoundQuery& bound, const Context& ctx,
+    const std::vector<int>& variables, const ExplainerOptions& options,
+    const std::shared_ptr<CountEngine>& engine = nullptr,
     CountEngineStats* count_stats = nullptr);
 
 /// Alg. 3 over engine-served counts: top-k triples for covariate `z_col`.

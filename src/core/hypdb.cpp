@@ -3,27 +3,24 @@
 #include <algorithm>
 #include <cmath>
 
-#include "causal/ci_oracle.h"
+#include "core/analysis_session.h"
 #include "core/sql_parser.h"
-#include "core/sql_printer.h"
-#include "stats/mi_engine.h"
-#include "util/rng.h"
-#include "util/stopwatch.h"
 #include "util/string_util.h"
 
 namespace hypdb {
 namespace {
 
-std::vector<std::string> Names(const TablePtr& table,
-                               const std::vector<int>& cols) {
-  std::vector<std::string> out;
-  out.reserve(cols.size());
-  for (int c : cols) out.push_back(table->column(c).name());
-  return out;
-}
-
 bool Contains(const std::vector<int>& v, int x) {
   return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+SessionHooks ToSessionHooks(const AnalyzeHooks& hooks) {
+  SessionHooks out;
+  out.population_engine = hooks.population_engine;
+  if (hooks.reuse_discovery != nullptr) {
+    out.reuse_discovery = *hooks.reuse_discovery;
+  }
+  return out;
 }
 
 }  // namespace
@@ -49,102 +46,15 @@ StatusOr<DiscoveryReport> HypDb::Discover(const AggQuery& query) const {
 StatusOr<DiscoveryReport> HypDb::Discover(
     const AggQuery& query,
     const std::shared_ptr<CountEngine>& population_engine) const {
-  Stopwatch timer;
-  HYPDB_ASSIGN_OR_RETURN(BoundQuery bound, BindQuery(table_, query));
-  DiscoveryReport report;
-
-  // Candidate attributes: everything except the treatment, minus logical
-  // dependencies (Sec. 4). The treatment is pinned first so bijection
-  // partners of T are dropped, never T itself.
-  std::vector<int> filtered = {bound.treatment};
-  {
-    std::vector<int> pool = {bound.treatment};
-    for (int c = 0; c < table_->NumColumns(); ++c) {
-      if (c != bound.treatment) pool.push_back(c);
-    }
-    if (options_.apply_fd_filter) {
-      Rng rng(options_.seed ^ 0xFD);
-      HYPDB_ASSIGN_OR_RETURN(
-          FdFilterReport fd,
-          FilterLogicalDependencies(bound.population, pool, options_.fd,
-                                    rng));
-      filtered = fd.kept;
-      for (const auto& [dropped, partner] : fd.dropped_fd) {
-        report.dropped_fd.push_back(table_->column(dropped).name());
-      }
-      for (int dropped : fd.dropped_keys) {
-        report.dropped_keys.push_back(table_->column(dropped).name());
-      }
-      if (!Contains(filtered, bound.treatment)) {
-        // The treatment itself looked key-like; discovery is meaningless.
-        return Status::FailedPrecondition(
-            "treatment attribute " + query.treatment +
-            " was classified as key-like");
-      }
-    } else {
-      filtered = pool;
-    }
-  }
-
-  std::vector<int> candidates;
-  for (int c : filtered) {
-    if (c != bound.treatment) candidates.push_back(c);
-  }
-
-  // One count engine serves both discovery runs (PA_T and PA_Y): their
-  // CI tests overlap heavily on the shared population. A service-provided
-  // engine is used as-is (it already caches and may be shared across
-  // concurrent queries); its stats are reported as a delta over this
-  // call. The delta excludes work done before the call but NOT work other
-  // queries do concurrently during it — with a shared engine the counters
-  // are approximate attribution, never part of the bit-identity
-  // invariant (report digests exclude count_stats for this reason).
-  const bool external = population_engine != nullptr;
-  MiEngine engine =
-      external ? MiEngine(bound.population, population_engine,
-                          options_.engine, /*wrap_provider=*/false)
-               : MiEngine(bound.population, options_.engine);
-  const CountEngineStats stats_before =
-      external ? engine.count_engine().stats() : CountEngineStats{};
-  CiTester tester(&engine, options_.ci, options_.seed);
-  DataCiOracle oracle(&tester, options_.alpha);
-
-  // Z = PA_T (Alg. 1); outcomes never enter the covariate set.
+  // One implementation: the session's discovery stage (the FD filter +
+  // two CD runs) over a throwaway session.
+  SessionHooks hooks;
+  hooks.population_engine = population_engine;
   HYPDB_ASSIGN_OR_RETURN(
-      CdResult cd_t,
-      DiscoverParents(oracle, bound.treatment, candidates, options_.cd,
-                      bound.outcomes));
-  report.covariates_fell_back = cd_t.fell_back_to_blanket;
-  report.treatment_blanket_cols = cd_t.markov_blanket;
-  for (int p : cd_t.parents) {
-    if (!Contains(bound.outcomes, p)) report.covariate_cols.push_back(p);
-  }
-
-  // M = PA_Y − {T} for the primary outcome.
-  if (options_.discover_mediators) {
-    const int y = bound.outcomes[0];
-    std::vector<int> y_candidates;
-    for (int c : filtered) {
-      if (c != y) y_candidates.push_back(c);
-    }
-    HYPDB_ASSIGN_OR_RETURN(
-        CdResult cd_y,
-        DiscoverParents(oracle, y, y_candidates, options_.cd,
-                        {bound.treatment}));
-    report.mediators_fell_back = cd_y.fell_back_to_blanket;
-    for (int p : cd_y.parents) {
-      if (p != bound.treatment && !Contains(bound.outcomes, p)) {
-        report.mediator_cols.push_back(p);
-      }
-    }
-  }
-
-  report.covariates = Names(table_, report.covariate_cols);
-  report.mediators = Names(table_, report.mediator_cols);
-  report.tests_used = oracle.num_tests();
-  report.count_stats = engine.count_engine().stats() - stats_before;
-  report.seconds = timer.ElapsedSeconds();
-  return report;
+      std::unique_ptr<AnalysisSession> session,
+      AnalysisSession::Create(table_, query, options_, std::move(hooks)));
+  HYPDB_ASSIGN_OR_RETURN(const DiscoveryReport* report, session->Discover());
+  return *report;
 }
 
 StatusOr<EffectBounds> HypDb::BoundEffects(
@@ -164,76 +74,16 @@ StatusOr<HypDbReport> HypDb::Analyze(const AggQuery& query) {
 
 StatusOr<HypDbReport> HypDb::Analyze(const AggQuery& query,
                                      const AnalyzeHooks& hooks) {
-  HypDbReport report;
-  report.query = query;
-  report.sql_plain = query.ToSql();
-
-  HYPDB_ASSIGN_OR_RETURN(BoundQuery bound, BindQuery(table_, query));
-  HYPDB_ASSIGN_OR_RETURN(report.plain, EvaluatePlainQuery(table_, query));
-  if (hooks.reuse_discovery != nullptr) {
-    report.discovery = *hooks.reuse_discovery;
-  } else {
-    HYPDB_ASSIGN_OR_RETURN(report.discovery,
-                           Discover(query, hooks.population_engine));
-  }
-
-  // --- Detection (Sec. 3.1). Discovery time is reported separately; the
-  // paper's "Det." column covers the balance tests.
-  Stopwatch timer;
-  report.count_stats = report.discovery.count_stats;
-  DetectorOptions det;
-  det.ci = options_.ci;
-  det.alpha = options_.alpha;
-  det.seed = options_.seed ^ 0xDE7EC7;
-  det.engine = options_.engine;
-  const std::vector<int>* mediators =
-      options_.discover_mediators ? &report.discovery.mediator_cols : nullptr;
+  // The one-shot pipeline is a composition of the session stages in
+  // canonical order — Report() runs answers, discovery, detection,
+  // explanation and resolution over one set of persisted intermediate
+  // state, so the staged and one-shot paths are the same code and their
+  // reports bit-identical by construction.
   HYPDB_ASSIGN_OR_RETURN(
-      report.bias, DetectBias(table_, bound, report.discovery.covariate_cols,
-                              mediators, det, &report.count_stats));
-  report.detect_seconds = timer.ElapsedSeconds();
-
-  // --- Explanation (Sec. 3.2) over V = Z ∪ M.
-  timer.Restart();
-  std::vector<int> v = report.discovery.covariate_cols;
-  for (int m : report.discovery.mediator_cols) {
-    if (!Contains(v, m)) v.push_back(m);
-  }
-  std::sort(v.begin(), v.end());
-  ExplainerOptions explain = options_.explain;
-  explain.engine = options_.engine;
-  HYPDB_ASSIGN_OR_RETURN(
-      report.explanations,
-      ExplainBias(table_, bound, v, explain, &report.count_stats));
-  report.explain_seconds = timer.ElapsedSeconds();
-
-  // --- Resolution (Sec. 3.3).
-  timer.Restart();
-  RewriterOptions rw;
-  rw.ci = options_.ci;
-  rw.seed = options_.seed ^ 0x9E50;
-  rw.compute_direct = options_.discover_mediators;
-  rw.direct_reference = options_.direct_reference;
-  rw.compute_significance = options_.compute_significance;
-  rw.engine = options_.engine;
-  HYPDB_ASSIGN_OR_RETURN(
-      report.rewrites,
-      RewriteAndEstimate(table_, bound, report.discovery.covariate_cols,
-                         report.discovery.mediator_cols, rw,
-                         &report.count_stats));
-  report.resolve_seconds = timer.ElapsedSeconds();
-
-  report.sql_total = RewrittenTotalSql(query, report.discovery.covariates);
-  if (options_.discover_mediators) {
-    std::string reference = options_.direct_reference;
-    if (reference.empty() && !bound.treatment_labels.empty()) {
-      reference = bound.treatment_labels.back();
-    }
-    report.sql_direct = RewrittenDirectSql(
-        query, report.discovery.covariates, report.discovery.mediators,
-        reference);
-  }
-  return report;
+      std::unique_ptr<AnalysisSession> session,
+      AnalysisSession::Create(table_, query, options_,
+                              ToSessionHooks(hooks)));
+  return session->Report();
 }
 
 StatusOr<HypDbReport> HypDb::AnalyzeSql(const std::string& sql) {

@@ -9,7 +9,6 @@
 #include "stats/mi_engine.h"
 
 namespace hypdb {
-namespace {
 
 // Observed treatment codes in a view, with their labels, sorted by label.
 StatusOr<std::vector<std::pair<int32_t, std::string>>> TreatmentsIn(
@@ -25,6 +24,8 @@ StatusOr<std::vector<std::pair<int32_t, std::string>>> TreatmentsIn(
             [](const auto& a, const auto& b) { return a.second < b.second; });
   return out;
 }
+
+namespace {
 
 // The adjustment formula (Eq. 2) with exact matching over one context.
 Status ComputeTotal(
@@ -259,6 +260,81 @@ double ContextRewrite::Difference(const std::string& t1,
   return g1->means[outcome_idx] - g0->means[outcome_idx];
 }
 
+StatusOr<ContextRewrite> RewriteContextAndEstimate(
+    const TablePtr& table, const BoundQuery& bound, const Context& ctx,
+    const std::vector<std::pair<int32_t, std::string>>& treatments,
+    const std::vector<int>& covariates, const std::vector<int>& mediators,
+    const RewriterOptions& options, uint64_t sig_seed,
+    const std::shared_ptr<CountEngine>& engine,
+    CountEngineStats* count_stats) {
+  (void)table;
+  ContextRewrite rewrite;
+  rewrite.context_labels = ctx.labels;
+  rewrite.rows = ctx.view.NumRows();
+
+  if (treatments.size() < 2) {
+    // Nothing to compare in this context; report it empty.
+    return rewrite;
+  }
+
+  HYPDB_RETURN_IF_ERROR(ComputeTotal(ctx.view, bound.treatment, covariates,
+                                     bound.outcomes, treatments, &rewrite));
+
+  if (options.compute_direct && treatments.size() == 2) {
+    int reference_slot = static_cast<int>(treatments.size()) - 1;
+    if (!options.direct_reference.empty()) {
+      for (size_t i = 0; i < treatments.size(); ++i) {
+        if (treatments[i].second == options.direct_reference) {
+          reference_slot = static_cast<int>(i);
+        }
+      }
+    }
+    HYPDB_RETURN_IF_ERROR(
+        ComputeDirect(ctx.view, bound.treatment, covariates, mediators,
+                      bound.outcomes, treatments, reference_slot, &rewrite));
+  }
+
+  if (options.compute_significance) {
+    MiEngine mi = engine != nullptr
+                      ? MiEngine(ctx.view, engine, options.engine,
+                                 /*wrap_provider=*/false)
+                      : MiEngine(ctx.view, options.engine);
+    const CountEngineStats stats_before = mi.count_engine().stats();
+    CiTester tester(&mi, options.ci, sig_seed);
+    for (int y : bound.outcomes) {
+      std::vector<int> z_total;
+      for (int c : covariates) {
+        if (c != y) z_total.push_back(c);
+      }
+      std::vector<int> z_direct = z_total;
+      for (int m : mediators) {
+        if (m != y &&
+            std::find(z_direct.begin(), z_direct.end(), m) ==
+                z_direct.end()) {
+          z_direct.push_back(m);
+        }
+      }
+      HYPDB_ASSIGN_OR_RETURN(
+          CiResult plain, tester.TestSets({bound.treatment}, {y}, {}));
+      rewrite.plain_sig.push_back(plain);
+      HYPDB_ASSIGN_OR_RETURN(
+          CiResult total_sig,
+          tester.TestSets({bound.treatment}, {y}, z_total));
+      rewrite.total_sig.push_back(total_sig);
+      if (rewrite.has_direct) {
+        HYPDB_ASSIGN_OR_RETURN(
+            CiResult direct_sig,
+            tester.TestSets({bound.treatment}, {y}, z_direct));
+        rewrite.direct_sig.push_back(direct_sig);
+      }
+    }
+    if (count_stats != nullptr) {
+      *count_stats += mi.count_engine().stats() - stats_before;
+    }
+  }
+  return rewrite;
+}
+
 StatusOr<std::vector<ContextRewrite>> RewriteAndEstimate(
     const TablePtr& table, const BoundQuery& bound,
     const std::vector<int>& covariates, const std::vector<int>& mediators,
@@ -266,74 +342,20 @@ StatusOr<std::vector<ContextRewrite>> RewriteAndEstimate(
   HYPDB_ASSIGN_OR_RETURN(std::vector<Context> contexts,
                          SplitContexts(table, bound));
   std::vector<ContextRewrite> out;
+  // Seed bookkeeping: only contexts with something to compare construct a
+  // significance tester, so only they consume a seed — RewriteContext-
+  // AndEstimate callers must hand each context the same value.
   uint64_t seed = options.seed;
-
   for (const Context& ctx : contexts) {
-    ContextRewrite rewrite;
-    rewrite.context_labels = ctx.labels;
-    rewrite.rows = ctx.view.NumRows();
-
     HYPDB_ASSIGN_OR_RETURN(auto treatments,
                            TreatmentsIn(ctx.view, bound.treatment));
-    if (treatments.size() < 2) {
-      // Nothing to compare in this context; report it empty.
-      out.push_back(std::move(rewrite));
-      continue;
-    }
-
-    HYPDB_RETURN_IF_ERROR(ComputeTotal(ctx.view, bound.treatment,
-                                       covariates, bound.outcomes,
-                                       treatments, &rewrite));
-
-    if (options.compute_direct && treatments.size() == 2) {
-      int reference_slot = static_cast<int>(treatments.size()) - 1;
-      if (!options.direct_reference.empty()) {
-        for (size_t i = 0; i < treatments.size(); ++i) {
-          if (treatments[i].second == options.direct_reference) {
-            reference_slot = static_cast<int>(i);
-          }
-        }
-      }
-      HYPDB_RETURN_IF_ERROR(
-          ComputeDirect(ctx.view, bound.treatment, covariates, mediators,
-                        bound.outcomes, treatments, reference_slot,
-                        &rewrite));
-    }
-
-    if (options.compute_significance) {
-      MiEngine engine(ctx.view, options.engine);
-      CiTester tester(&engine, options.ci, seed++);
-      for (int y : bound.outcomes) {
-        std::vector<int> z_total;
-        for (int c : covariates) {
-          if (c != y) z_total.push_back(c);
-        }
-        std::vector<int> z_direct = z_total;
-        for (int m : mediators) {
-          if (m != y &&
-              std::find(z_direct.begin(), z_direct.end(), m) ==
-                  z_direct.end()) {
-            z_direct.push_back(m);
-          }
-        }
-        HYPDB_ASSIGN_OR_RETURN(
-            CiResult plain, tester.TestSets({bound.treatment}, {y}, {}));
-        rewrite.plain_sig.push_back(plain);
-        HYPDB_ASSIGN_OR_RETURN(
-            CiResult total_sig,
-            tester.TestSets({bound.treatment}, {y}, z_total));
-        rewrite.total_sig.push_back(total_sig);
-        if (rewrite.has_direct) {
-          HYPDB_ASSIGN_OR_RETURN(
-              CiResult direct_sig,
-              tester.TestSets({bound.treatment}, {y}, z_direct));
-          rewrite.direct_sig.push_back(direct_sig);
-        }
-      }
-      if (count_stats != nullptr) {
-        *count_stats += engine.count_engine().stats();
-      }
-    }
+    const uint64_t ctx_seed = seed;
+    if (treatments.size() >= 2) ++seed;
+    HYPDB_ASSIGN_OR_RETURN(
+        ContextRewrite rewrite,
+        RewriteContextAndEstimate(table, bound, ctx, treatments, covariates,
+                                  mediators, options, ctx_seed, nullptr,
+                                  count_stats));
     out.push_back(std::move(rewrite));
   }
   return out;

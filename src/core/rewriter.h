@@ -22,7 +22,9 @@
 #ifndef HYPDB_CORE_REWRITER_H_
 #define HYPDB_CORE_REWRITER_H_
 
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/query.h"
@@ -88,6 +90,30 @@ StatusOr<std::vector<ContextRewrite>> RewriteAndEstimate(
     const TablePtr& table, const BoundQuery& bound,
     const std::vector<int>& covariates, const std::vector<int>& mediators,
     const RewriterOptions& options, CountEngineStats* count_stats = nullptr);
+
+/// Observed treatment (code, label) pairs in a view, sorted by label —
+/// the per-context treatment inventory the rewrite formulas compare.
+/// Exposed so stage-at-a-time callers (core/analysis_session.h) can
+/// reproduce the rewrite seed bookkeeping exactly: within one query, the
+/// i-th context with >= 2 treatments consumes significance seed
+/// options.seed + i.
+StatusOr<std::vector<std::pair<int32_t, std::string>>> TreatmentsIn(
+    const TableView& view, int treatment);
+
+/// One context of RewriteAndEstimate, independently invokable.
+/// `treatments` must be TreatmentsIn(ctx.view) and `sig_seed` the seed
+/// the whole-query loop would hand this context (see TreatmentsIn) —
+/// given those, the result is bit-identical to the batch path. When
+/// `engine` is non-null the significance tests route their counts
+/// through it (it must aggregate exactly ctx.view's rows) instead of a
+/// private engine; only the stats delta over the call is accumulated.
+StatusOr<ContextRewrite> RewriteContextAndEstimate(
+    const TablePtr& table, const BoundQuery& bound, const Context& ctx,
+    const std::vector<std::pair<int32_t, std::string>>& treatments,
+    const std::vector<int>& covariates, const std::vector<int>& mediators,
+    const RewriterOptions& options, uint64_t sig_seed,
+    const std::shared_ptr<CountEngine>& engine = nullptr,
+    CountEngineStats* count_stats = nullptr);
 
 }  // namespace hypdb
 

@@ -24,6 +24,7 @@ int HttpStatusForCode(StatusCode code) {
     case StatusCode::kIoError: return 500;
     case StatusCode::kCancelled: return 409;
     case StatusCode::kDeadlineExceeded: return 408;
+    case StatusCode::kGone: return 410;
   }
   return 500;
 }
@@ -82,9 +83,7 @@ Target SplitTarget(const std::string& target) {
   return {target.substr(0, question), target.substr(question + 1)};
 }
 
-StatusOr<uint64_t> ParseTicketPath(const std::string& path,
-                                   const std::string& prefix) {
-  const std::string id = path.substr(prefix.size());
+StatusOr<uint64_t> ParseId(const std::string& id) {
   if (id.empty() || id.find_first_not_of("0123456789") != std::string::npos) {
     return Status::InvalidArgument("malformed request id '" + id + "'");
   }
@@ -94,6 +93,11 @@ StatusOr<uint64_t> ParseTicketPath(const std::string& path,
     return Status::InvalidArgument("request id out of range: " + id);
   }
   return ticket;
+}
+
+StatusOr<uint64_t> ParseTicketPath(const std::string& path,
+                                   const std::string& prefix) {
+  return ParseId(path.substr(prefix.size()));
 }
 
 /// ASSIGN_OR_RETURN for HttpResponse-returning routing code: failures
@@ -174,6 +178,74 @@ StatusOr<JsonValue> HypDbHandlers::WaitFor(uint64_t ticket) {
   return ToJson(report);
 }
 
+StatusOr<JsonValue> HypDbHandlers::SessionCreate(const JsonValue& body) {
+  HYPDB_ASSIGN_OR_RETURN(
+      WireAnalyzeRequest wire,
+      AnalyzeRequestFromJson(body, service_->options().analysis));
+  HYPDB_ASSIGN_OR_RETURN(SessionInfo info,
+                         service_->CreateSession(wire.request));
+  return ToJson(info);
+}
+
+StatusOr<JsonValue> HypDbHandlers::SessionStep(uint64_t session,
+                                               const std::string& stage,
+                                               const JsonValue& body) {
+  std::optional<int> context;
+  SubmitOptions submit;
+  if (body.is_object()) {
+    // Strict like every other wire body: only the step parameters are
+    // legal here (HandleLine strips its cmd/session/stage envelope
+    // members before delegating).
+    for (const auto& [key, value] : body.members()) {
+      if (key == "context" && value.is_int()) {
+        context = static_cast<int>(value.int_value());
+      } else if (key == "deadline_seconds" && value.is_number()) {
+        submit.deadline_seconds = value.number_value();
+      } else {
+        return Status::InvalidArgument(
+            "unknown or mistyped step member \"" + key + "\"");
+      }
+    }
+  } else if (!body.is_null()) {
+    return Status::InvalidArgument("step body must be a JSON object");
+  }
+  HYPDB_ASSIGN_OR_RETURN(
+      ServiceReport report,
+      service_->AdvanceSession(session, stage, context, submit));
+  // The "report" stage is the full analysis: answer with the same body
+  // /v1/analyze serves (digest-comparable by any client).
+  if (stage == "report" || stage == "run") return ToJson(report);
+  return SessionStageToJson(report);
+}
+
+StatusOr<JsonValue> HypDbHandlers::SessionInspect(uint64_t session) {
+  HYPDB_ASSIGN_OR_RETURN(SessionInfo info,
+                         service_->InspectSession(session));
+  JsonValue out = ToJson(info);
+  if (info.complete) {
+    HYPDB_ASSIGN_OR_RETURN(ServiceReport snapshot,
+                           service_->SessionSnapshot(session));
+    out.Set("report", ToJson(snapshot));
+  }
+  return out;
+}
+
+StatusOr<JsonValue> HypDbHandlers::SessionClose(uint64_t session) {
+  HYPDB_RETURN_IF_ERROR(service_->CloseSession(session));
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("session", JsonValue::Int(static_cast<int64_t>(session)));
+  out.Set("closed", JsonValue::Bool(true));
+  return out;
+}
+
+JsonValue HypDbHandlers::SessionList() {
+  JsonValue out = JsonValue::MakeArray();
+  for (const SessionInfo& info : service_->Sessions()) {
+    out.Append(ToJson(info));
+  }
+  return out;
+}
+
 StatusOr<JsonValue> HypDbHandlers::Cancel(uint64_t ticket) {
   if (!service_->Cancel(ticket)) {
     if (service_->Done(ticket)) {
@@ -237,6 +309,51 @@ HttpResponse HypDbHandlers::HandleHttp(const HttpRequest& request) {
                                                        : Submit(body));
   }
 
+  if (target.path == "/v1/sessions") {
+    if (request.method == "GET") return JsonResponse(200, SessionList());
+    if (request.method == "POST") {
+      HYPDB_ASSIGN_OR_RETURN_HTTP(JsonValue body, ParseJson(request.body));
+      StatusOr<JsonValue> created = SessionCreate(body);
+      if (!created.ok()) return ErrorResponse(created.status());
+      return JsonResponse(201, *created);
+    }
+    return ErrorResponse(
+        Status::InvalidArgument("use GET or POST /v1/sessions"));
+  }
+
+  const std::string kSessions = "/v1/sessions/";
+  if (target.path.rfind(kSessions, 0) == 0) {
+    const std::string rest = target.path.substr(kSessions.size());
+    const size_t slash = rest.find('/');
+    if (slash == std::string::npos) {
+      HYPDB_ASSIGN_OR_RETURN_HTTP(uint64_t session, ParseId(rest));
+      if (request.method == "GET") {
+        return ResultResponse(SessionInspect(session));
+      }
+      if (request.method == "DELETE") {
+        return ResultResponse(SessionClose(session));
+      }
+      return ErrorResponse(
+          Status::InvalidArgument("use GET or DELETE " + target.path));
+    }
+    HYPDB_ASSIGN_OR_RETURN_HTTP(uint64_t session,
+                                ParseId(rest.substr(0, slash)));
+    const std::string stage = rest.substr(slash + 1);
+    if (stage.empty() || stage.find('/') != std::string::npos) {
+      return ErrorResponse(Status::InvalidArgument(
+          "use POST /v1/sessions/{id}/{stage}"));
+    }
+    if (request.method != "POST") {
+      return ErrorResponse(
+          Status::InvalidArgument("use POST " + target.path));
+    }
+    JsonValue body;  // stage bodies are optional
+    if (!request.body.empty()) {
+      HYPDB_ASSIGN_OR_RETURN_HTTP(body, ParseJson(request.body));
+    }
+    return ResultResponse(SessionStep(session, stage, body));
+  }
+
   const std::string kRequests = "/v1/requests/";
   if (target.path.rfind(kRequests, 0) == 0) {
     HYPDB_ASSIGN_OR_RETURN_HTTP(uint64_t ticket,
@@ -282,9 +399,20 @@ std::string HypDbHandlers::HandleLine(const std::string& line) {
   if (cmd == nullptr || !cmd->is_string()) {
     return envelope(Status::InvalidArgument(
         "expected a string \"cmd\" member (register|datasets|analyze|"
-        "submit|poll|wait|cancel|stats|health)"));
+        "submit|poll|wait|cancel|session|step|sessions|session_info|"
+        "session_close|stats|health)"));
   }
   const std::string& verb = cmd->string_value();
+
+  const auto session_id = [&body]() -> StatusOr<uint64_t> {
+    const JsonValue* session = body.Find("session");
+    if (session == nullptr || !session->is_int() ||
+        session->int_value() <= 0) {
+      return Status::InvalidArgument(
+          "expected a positive integer \"session\" member");
+    }
+    return static_cast<uint64_t>(session->int_value());
+  };
 
   if (verb == "health") {
     JsonValue out = JsonValue::MakeObject();
@@ -309,6 +437,32 @@ std::string HypDbHandlers::HandleLine(const std::string& line) {
     if (verb == "poll") return envelope(Poll(*ticket));
     if (verb == "wait") return envelope(WaitFor(*ticket));
     return envelope(Cancel(*ticket));
+  }
+  if (verb == "session") return envelope(SessionCreate(body));
+  if (verb == "sessions") return envelope(SessionList());
+  if (verb == "step") {
+    auto session = session_id();
+    if (!session.ok()) return envelope(session.status());
+    const JsonValue* stage = body.Find("stage");
+    if (stage == nullptr || !stage->is_string()) {
+      return envelope(Status::InvalidArgument(
+          "expected a string \"stage\" member (answers|discover|detect|"
+          "explain|rewrite|report)"));
+    }
+    // Strip the line-protocol envelope; SessionStep is strict about the
+    // rest, exactly like the HTTP route.
+    JsonValue params = JsonValue::MakeObject();
+    for (const auto& [key, value] : body.members()) {
+      if (key == "cmd" || key == "session" || key == "stage") continue;
+      params.Set(key, value);
+    }
+    return envelope(SessionStep(*session, stage->string_value(), params));
+  }
+  if (verb == "session_info" || verb == "session_close") {
+    auto session = session_id();
+    if (!session.ok()) return envelope(session.status());
+    return envelope(verb == "session_info" ? SessionInspect(*session)
+                                           : SessionClose(*session));
   }
   return envelope(Status::InvalidArgument("unknown cmd \"" + verb + "\""));
 }

@@ -10,15 +10,26 @@
 //   POST   /v1/submit          (same body)                 async -> ticket
 //   GET    /v1/requests/{id}   poll; ?wait=1 blocks; a finished result is
 //                              claimed by the GET that fetches it
-//   DELETE /v1/requests/{id}   cancel a still-queued request
-//   GET    /v1/stats           cache/engine/worker introspection
+//   DELETE /v1/requests/{id}   cancel a still-queued request (or request
+//                              cooperative cancellation of a running
+//                              session stage job)
+//   POST   /v1/sessions        (analyze body)  create a staged session
+//   POST   /v1/sessions/{id}/{answers|discover|detect|explain|rewrite|
+//          report}             advance one stage; body optional
+//                              {"context": N, "deadline_seconds": X}
+//   GET    /v1/sessions        list live sessions
+//   GET    /v1/sessions/{id}   inspect (full report + digest once the
+//                              session is complete)
+//   DELETE /v1/sessions/{id}   close the session
+//   GET    /v1/stats           cache/engine/worker/session introspection
 //   GET    /healthz            liveness
 //
 // Errors are ErrorToJson bodies ({"code","message"}) with the HTTP status
-// from HttpStatusForCode. The line-JSON protocol carries the same
+// from HttpStatusForCode; expired/invalidated sessions answer 410 Gone,
+// never-issued session ids 404. The line-JSON protocol carries the same
 // payloads in an {"ok":bool, "result"|"error": ...} envelope, selected by
 // a "cmd" member (register/datasets/analyze/submit/poll/wait/cancel/
-// stats/health).
+// session/step/sessions/session_info/session_close/stats/health).
 
 #ifndef HYPDB_NET_HYPDB_HANDLERS_H_
 #define HYPDB_NET_HYPDB_HANDLERS_H_
@@ -61,6 +72,12 @@ class HypDbHandlers {
   StatusOr<JsonValue> Poll(uint64_t ticket);
   StatusOr<JsonValue> WaitFor(uint64_t ticket);
   StatusOr<JsonValue> Cancel(uint64_t ticket);
+  StatusOr<JsonValue> SessionCreate(const JsonValue& body);
+  StatusOr<JsonValue> SessionStep(uint64_t session, const std::string& stage,
+                                  const JsonValue& body);
+  StatusOr<JsonValue> SessionInspect(uint64_t session);
+  StatusOr<JsonValue> SessionClose(uint64_t session);
+  JsonValue SessionList();
 
   HypDbService* service_;
 };

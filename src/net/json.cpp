@@ -524,6 +524,15 @@ JsonValue ToJson(const RequestStats& stats) {
                          : stats.discovery_reused  ? "cached"
                                                    : "computed"));
   out.Set("engine_delta", ToJson(stats.engine_delta));
+  // Session stage jobs only — absent members keep the analyze-path wire
+  // format (and its golden digests) byte-stable.
+  if (stats.session_id != 0) {
+    out.Set("session",
+            JsonValue::Int(static_cast<int64_t>(stats.session_id)));
+    out.Set("stage", JsonValue::Str(stats.stage));
+    out.Set("stage_reused", JsonValue::Bool(stats.stage_reused));
+    out.Set("session_complete", JsonValue::Bool(stats.session_complete));
+  }
   return out;
 }
 
@@ -561,24 +570,11 @@ JsonValue ToJson(const DatasetInfo& info) {
   return out;
 }
 
-JsonValue ToJson(const ServiceReport& report) {
-  const HypDbReport& r = report.report;
-  JsonValue out = JsonValue::MakeObject();
-  out.Set("digest", JsonValue::Str(CanonicalReportDigest(r)));
-  out.Set("any_bias", JsonValue::Bool(r.AnyBias()));
-
-  JsonValue sql = JsonValue::MakeObject();
-  sql.Set("plain", JsonValue::Str(r.sql_plain));
-  sql.Set("total", JsonValue::Str(r.sql_total));
-  sql.Set("direct", JsonValue::Str(r.sql_direct));
-  out.Set("sql", std::move(sql));
-
-  out.Set("discovery", ToJson(r.discovery));
-
+JsonValue ToJson(const QueryAnswers& plain) {
   JsonValue answers = JsonValue::MakeObject();
-  answers.Set("outcomes", StringsToJson(r.plain.outcome_names));
+  answers.Set("outcomes", StringsToJson(plain.outcome_names));
   JsonValue contexts = JsonValue::MakeArray();
-  for (const auto& ctx : r.plain.contexts) {
+  for (const auto& ctx : plain.contexts) {
     JsonValue c = JsonValue::MakeObject();
     c.Set("context", StringsToJson(ctx.context_labels));
     JsonValue groups = JsonValue::MakeArray();
@@ -595,21 +591,195 @@ JsonValue ToJson(const ServiceReport& report) {
     contexts.Append(std::move(c));
   }
   answers.Set("contexts", std::move(contexts));
-  out.Set("answers", std::move(answers));
+  return answers;
+}
 
-  JsonValue bias = JsonValue::MakeArray();
-  for (const auto& b : r.bias) {
+JsonValue ToJson(const std::vector<ContextBias>& bias) {
+  JsonValue out = JsonValue::MakeArray();
+  for (const auto& b : bias) {
     JsonValue entry = JsonValue::MakeObject();
     entry.Set("context", StringsToJson(b.context_labels));
     entry.Set("rows", JsonValue::Int(b.rows));
     entry.Set("total", BalanceToJson(b.total));
     if (b.has_direct) entry.Set("direct", BalanceToJson(b.direct));
-    bias.Append(std::move(entry));
+    out.Append(std::move(entry));
   }
-  out.Set("bias", std::move(bias));
+  return out;
+}
+
+JsonValue ToJson(const ContextExplanation& explanation) {
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("context", StringsToJson(explanation.context_labels));
+  JsonValue coarse = JsonValue::MakeArray();
+  for (const auto& r : explanation.coarse) {
+    JsonValue entry = JsonValue::MakeObject();
+    entry.Set("attribute", JsonValue::Str(r.attribute));
+    entry.Set("responsibility", JsonValue::Double(r.rho));
+    coarse.Append(std::move(entry));
+  }
+  out.Set("coarse", std::move(coarse));
+  JsonValue fine = JsonValue::MakeArray();
+  for (const auto& f : explanation.fine) {
+    JsonValue entry = JsonValue::MakeObject();
+    entry.Set("covariate", JsonValue::Str(f.covariate));
+    JsonValue triples = JsonValue::MakeArray();
+    for (const auto& t : f.top) {
+      JsonValue triple = JsonValue::MakeObject();
+      triple.Set("rank", JsonValue::Int(t.borda_rank));
+      triple.Set("t", JsonValue::Str(t.t_label));
+      triple.Set("y", JsonValue::Str(t.y_label));
+      triple.Set("z", JsonValue::Str(t.z_label));
+      triple.Set("kappa_tz", JsonValue::Double(t.kappa_tz));
+      triple.Set("kappa_yz", JsonValue::Double(t.kappa_yz));
+      triples.Append(std::move(triple));
+    }
+    entry.Set("top", std::move(triples));
+    fine.Append(std::move(entry));
+  }
+  out.Set("fine", std::move(fine));
+  return out;
+}
+
+namespace {
+
+JsonValue AdjustedGroupsToJson(const std::vector<AdjustedGroup>& groups) {
+  JsonValue out = JsonValue::MakeArray();
+  for (const auto& g : groups) {
+    JsonValue entry = JsonValue::MakeObject();
+    entry.Set("treatment", JsonValue::Str(g.treatment_label));
+    entry.Set("rows", JsonValue::Int(g.rows));
+    JsonValue means = JsonValue::MakeArray();
+    for (double m : g.means) means.Append(JsonValue::Double(m));
+    entry.Set("means", std::move(means));
+    out.Append(std::move(entry));
+  }
+  return out;
+}
+
+JsonValue CiResultsToJson(const std::vector<CiResult>& results) {
+  JsonValue out = JsonValue::MakeArray();
+  for (const auto& r : results) {
+    JsonValue entry = JsonValue::MakeObject();
+    entry.Set("statistic", JsonValue::Double(r.statistic));
+    entry.Set("p_value", JsonValue::Double(r.p_value));
+    out.Append(std::move(entry));
+  }
+  return out;
+}
+
+}  // namespace
+
+JsonValue ToJson(const ContextRewrite& rewrite) {
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("context", StringsToJson(rewrite.context_labels));
+  out.Set("rows", JsonValue::Int(rewrite.rows));
+  out.Set("total", AdjustedGroupsToJson(rewrite.total));
+  out.Set("blocks_seen", JsonValue::Int(rewrite.blocks_seen));
+  out.Set("blocks_used", JsonValue::Int(rewrite.blocks_used));
+  if (rewrite.has_direct) {
+    out.Set("direct", AdjustedGroupsToJson(rewrite.direct));
+    out.Set("direct_reference", JsonValue::Str(rewrite.direct_reference));
+  }
+  out.Set("plain_sig", CiResultsToJson(rewrite.plain_sig));
+  out.Set("total_sig", CiResultsToJson(rewrite.total_sig));
+  out.Set("direct_sig", CiResultsToJson(rewrite.direct_sig));
+  return out;
+}
+
+JsonValue ToJson(const SessionInfo& info) {
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("session", JsonValue::Int(static_cast<int64_t>(info.id)));
+  out.Set("dataset", JsonValue::Str(info.dataset));
+  out.Set("epoch", JsonValue::Int(info.epoch));
+  out.Set("sql", JsonValue::Str(info.sql));
+  out.Set("complete", JsonValue::Bool(info.complete));
+  out.Set("contexts", JsonValue::Int(info.contexts));
+  out.Set("age_seconds", JsonValue::Double(info.age_seconds));
+  out.Set("idle_seconds", JsonValue::Double(info.idle_seconds));
+  JsonValue stages = JsonValue::MakeArray();
+  for (const auto& s : info.stages) {
+    JsonValue stage = JsonValue::MakeObject();
+    stage.Set("stage", JsonValue::Str(s.stage));
+    stage.Set("done", JsonValue::Bool(s.done));
+    stage.Set("runs", JsonValue::Int(s.runs));
+    stage.Set("reuses", JsonValue::Int(s.reuses));
+    stage.Set("seconds", JsonValue::Double(s.seconds));
+    stages.Append(std::move(stage));
+  }
+  out.Set("stages", std::move(stages));
+  return out;
+}
+
+JsonValue ToJson(const ServiceReport& report) {
+  const HypDbReport& r = report.report;
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("digest", JsonValue::Str(CanonicalReportDigest(r)));
+  out.Set("any_bias", JsonValue::Bool(r.AnyBias()));
+
+  JsonValue sql = JsonValue::MakeObject();
+  sql.Set("plain", JsonValue::Str(r.sql_plain));
+  sql.Set("total", JsonValue::Str(r.sql_total));
+  sql.Set("direct", JsonValue::Str(r.sql_direct));
+  out.Set("sql", std::move(sql));
+
+  out.Set("discovery", ToJson(r.discovery));
+  out.Set("answers", ToJson(r.plain));
+  out.Set("bias", ToJson(r.bias));
 
   out.Set("rendered", JsonValue::Str(RenderReport(r)));
   out.Set("stats", ToJson(report.stats));
+  return out;
+}
+
+JsonValue SessionStageToJson(const ServiceReport& report) {
+  const HypDbReport& r = report.report;
+  const RequestStats& stats = report.stats;
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("session",
+          JsonValue::Int(static_cast<int64_t>(stats.session_id)));
+  out.Set("stage", JsonValue::Str(stats.stage));
+  out.Set("reused", JsonValue::Bool(stats.stage_reused));
+  out.Set("complete", JsonValue::Bool(stats.session_complete));
+
+  // The advanced stage's payload, through the same piece renderers the
+  // full report body uses.
+  if (stats.stage == "answers") {
+    out.Set("answers", ToJson(r.plain));
+  } else if (stats.stage == "discover") {
+    out.Set("discovery", ToJson(r.discovery));
+    JsonValue sql = JsonValue::MakeObject();
+    sql.Set("plain", JsonValue::Str(r.sql_plain));
+    sql.Set("total", JsonValue::Str(r.sql_total));
+    sql.Set("direct", JsonValue::Str(r.sql_direct));
+    out.Set("sql", std::move(sql));
+  } else if (stats.stage == "detect") {
+    out.Set("bias", ToJson(r.bias));
+    out.Set("any_bias", JsonValue::Bool(r.AnyBias()));
+  } else if (stats.stage == "explain") {
+    if (report.stage_explanation.has_value()) {
+      out.Set("explanation", ToJson(*report.stage_explanation));
+    } else {
+      JsonValue explanations = JsonValue::MakeArray();
+      for (const auto& e : r.explanations) explanations.Append(ToJson(e));
+      out.Set("explanations", std::move(explanations));
+    }
+  } else if (stats.stage == "rewrite") {
+    if (report.stage_rewrite.has_value()) {
+      out.Set("rewrite", ToJson(*report.stage_rewrite));
+    } else {
+      JsonValue rewrites = JsonValue::MakeArray();
+      for (const auto& rw : r.rewrites) rewrites.Append(ToJson(rw));
+      out.Set("rewrites", std::move(rewrites));
+    }
+  }
+  // Once every stage has run, the snapshot is the full report: publish
+  // the canonical digest so any client can check bit-identity against
+  // the one-shot /v1/analyze path.
+  if (stats.session_complete) {
+    out.Set("digest", JsonValue::Str(CanonicalReportDigest(r)));
+    out.Set("any_bias", JsonValue::Bool(r.AnyBias()));
+  }
+  out.Set("stats", ToJson(stats));
   return out;
 }
 
@@ -634,7 +804,7 @@ Status StatusFromJson(const JsonValue& v) {
       StatusCode::kOutOfRange,      StatusCode::kFailedPrecondition,
       StatusCode::kUnimplemented,   StatusCode::kInternal,
       StatusCode::kIoError,         StatusCode::kCancelled,
-      StatusCode::kDeadlineExceeded};
+      StatusCode::kDeadlineExceeded, StatusCode::kGone};
   for (const StatusCode c : kCodes) {
     if (code->string_value() == StatusCodeName(c)) return Status(c, text);
   }
@@ -644,6 +814,7 @@ Status StatusFromJson(const JsonValue& v) {
 JsonValue ServiceStatsToJson(const HypDbService& service) {
   JsonValue out = JsonValue::MakeObject();
   out.Set("workers", JsonValue::Int(service.num_workers()));
+  out.Set("sessions", JsonValue::Int(service.num_sessions()));
   out.Set("discovery_cache", ToJson(service.discovery_stats()));
   JsonValue datasets = JsonValue::MakeArray();
   for (const DatasetInfo& info : service.Datasets()) {

@@ -112,9 +112,24 @@ JsonValue ToJson(const RequestStats& stats);
 JsonValue ToJson(const DiscoveryReport& discovery);
 JsonValue ToJson(const DiscoveryCacheStats& stats);
 JsonValue ToJson(const DatasetInfo& info);
+/// Stage-piece renderers — the same functions assemble the full report
+/// body and the incremental session stage reports, so the two surfaces
+/// cannot drift.
+JsonValue ToJson(const QueryAnswers& answers);
+JsonValue ToJson(const std::vector<ContextBias>& bias);
+JsonValue ToJson(const ContextExplanation& explanation);
+JsonValue ToJson(const ContextRewrite& rewrite);
+/// A session's lifecycle/introspection row (stage table, counters, TTL
+/// clocks) — the POST/GET /v1/sessions body.
+JsonValue ToJson(const SessionInfo& info);
 /// The full response body of an analysis: canonical digest, structured
 /// answers/bias/discovery, the human-readable rendering, request stats.
 JsonValue ToJson(const ServiceReport& report);
+/// Incremental stage report of POST /v1/sessions/{id}/{stage}: session/
+/// stage/reused/complete header, the advanced stage's payload (rendered
+/// through the piece renderers above), the canonical digest once the
+/// session is complete, and the request stats.
+JsonValue SessionStageToJson(const ServiceReport& report);
 /// {"code": "<stable name>", "message": ...} — the wire error convention.
 JsonValue ErrorToJson(const Status& status);
 /// Inverse of ErrorToJson: rebuilds the Status a peer sent (unrecognized

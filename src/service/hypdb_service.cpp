@@ -1,5 +1,7 @@
 #include "service/hypdb_service.h"
 
+#include "core/sql_parser.h"
+
 namespace hypdb {
 namespace {
 
@@ -20,12 +22,20 @@ QuerySchedulerOptions SchedulerOptions(const HypDbServiceOptions& o) {
   return out;
 }
 
+SessionManagerOptions SessionOptions(const HypDbServiceOptions& o) {
+  SessionManagerOptions out;
+  out.max_sessions = o.max_sessions;
+  out.ttl_seconds = o.session_ttl_seconds;
+  return out;
+}
+
 }  // namespace
 
 HypDbService::HypDbService(HypDbServiceOptions options)
     : options_(std::move(options)),
       registry_(RegistryOptions(options_)),
       discovery_(DiscoveryCacheOptions{options_.max_discovery_entries}),
+      sessions_(SessionOptions(options_)),
       scheduler_(std::make_unique<QueryScheduler>(
           &registry_, &discovery_, SchedulerOptions(options_))) {}
 
@@ -33,8 +43,10 @@ int64_t HypDbService::RegisterTable(const std::string& name,
                                     TablePtr table) {
   const int64_t epoch = registry_.Register(name, std::move(table));
   // The epoch in DiscoveryKey already makes stale entries unreachable;
-  // invalidation frees their memory eagerly.
+  // invalidation frees their memory eagerly. Sessions pin the old
+  // epoch's engines and discovery, so they go with it (kGone).
   discovery_.InvalidatePrefix(DatasetKeyPrefix(name));
+  sessions_.InvalidateDataset(name);
   return epoch;
 }
 
@@ -42,6 +54,7 @@ StatusOr<int64_t> HypDbService::RegisterCsv(const std::string& name,
                                             const std::string& path) {
   HYPDB_ASSIGN_OR_RETURN(int64_t epoch, registry_.RegisterCsv(name, path));
   discovery_.InvalidatePrefix(DatasetKeyPrefix(name));
+  sessions_.InvalidateDataset(name);
   return epoch;
 }
 
@@ -79,6 +92,207 @@ bool HypDbService::Done(uint64_t ticket) const {
 
 StatusOr<ServiceReport> HypDbService::Wait(uint64_t ticket) {
   return scheduler_->Wait(ticket);
+}
+
+StatusOr<SessionInfo> HypDbService::CreateSession(
+    const AnalyzeRequest& request) {
+  HYPDB_ASSIGN_OR_RETURN(DatasetRegistry::Snapshot snapshot,
+                         registry_.GetSnapshot(request.dataset));
+  HYPDB_ASSIGN_OR_RETURN(AggQuery query, ParseAggQuery(request.sql));
+  const HypDbOptions& analysis =
+      request.options.has_value() ? *request.options : options_.analysis;
+
+  SessionHooks hooks;
+  const std::string dataset = request.dataset;
+  const int64_t epoch = snapshot.epoch;
+  if (options_.share_engines) {
+    // The whole-population shard (discovery counts), exactly as the
+    // analyze path wires it. A re-registration between snapshot and here
+    // degrades to unshared — still correct, just not pooled.
+    HYPDB_ASSIGN_OR_RETURN(BoundQuery bound,
+                           BindQuery(snapshot.table, query));
+    StatusOr<std::shared_ptr<CountEngine>> shard = registry_.ShardEngine(
+        dataset, epoch, SubpopulationSignature(query), bound.population);
+    if (shard.ok()) {
+      hooks.population_engine = std::move(*shard);
+    } else if (shard.status().code() != StatusCode::kFailedPrecondition) {
+      return shard.status();
+    }
+    // Per-context shards: detection/explanation/resolution counts of
+    // context Γ_i = C ∧ X = x_i route through the shard keyed by that
+    // conjunction's canonical signature, so concurrent sessions (and
+    // future direct queries on the same subpopulation) share one cache
+    // instead of each rebuilding a private engine.
+    DatasetRegistry* registry = &registry_;
+    hooks.context_engine_provider =
+        [registry, dataset, epoch](
+            const std::vector<std::pair<std::string,
+                                        std::vector<std::string>>>& where,
+            const TableView& view) -> std::shared_ptr<CountEngine> {
+      AggQuery context_query;
+      context_query.where = where;
+      StatusOr<std::shared_ptr<CountEngine>> shard =
+          registry->ShardEngine(dataset, epoch,
+                                SubpopulationSignature(context_query), view);
+      if (!shard.ok()) return nullptr;  // stale epoch: private fallback
+      return std::move(*shard);
+    };
+  }
+  // The interceptor closure is built before the session's Entry exists;
+  // both share ownership of the flags object, so there is no post-
+  // publication pointer patching a concurrent stage job could race.
+  auto flags = std::make_shared<SessionDiscoveryFlags>();
+  if (options_.share_discovery) {
+    DiscoveryCache* cache = &discovery_;
+    const std::string key = DiscoveryKey(dataset, epoch, query, analysis);
+    hooks.discovery_interceptor =
+        [cache, key, flags](
+            const std::function<StatusOr<DiscoveryReport>()>& compute)
+        -> StatusOr<DiscoveryReport> {
+      bool reused = false;
+      bool coalesced = false;
+      StatusOr<DiscoveryReport> report =
+          cache->LookupOrCompute(key, compute, &reused, &coalesced);
+      flags->reused.store(reused);
+      flags->coalesced.store(coalesced);
+      return report;
+    };
+  }
+
+  HYPDB_ASSIGN_OR_RETURN(
+      std::unique_ptr<AnalysisSession> session,
+      AnalysisSession::Create(snapshot.table, query, analysis,
+                              std::move(hooks)));
+  std::shared_ptr<SessionManager::Entry> entry = sessions_.Insert(
+      dataset, epoch, request.sql, query, BatchKey(dataset, query),
+      std::move(session), std::move(flags));
+  return sessions_.Info(entry);
+}
+
+uint64_t HypDbService::SubmitSessionStage(uint64_t session_id,
+                                          std::string stage,
+                                          std::optional<int> context,
+                                          SubmitOptions submit) {
+  auto cancel_flag = std::make_shared<std::atomic<bool>>(false);
+  // Batch with analyze twins of the same (dataset, treatment,
+  // subpopulation) when the session is alive; an unknown/expired id
+  // keeps an empty batch key and the job itself reports the error.
+  std::string batch_key;
+  if (StatusOr<std::shared_ptr<SessionManager::Entry>> entry =
+          sessions_.Get(session_id);
+      entry.ok()) {
+    batch_key = (*entry)->batch_key;
+  }
+  return scheduler_->SubmitTask(
+      std::move(batch_key),
+      [this, session_id, stage = std::move(stage), context, cancel_flag](
+          RequestStats* stats) {
+        return RunSessionStage(session_id, stage, context, cancel_flag,
+                               stats);
+      },
+      submit, cancel_flag);
+}
+
+StatusOr<ServiceReport> HypDbService::AdvanceSession(uint64_t session_id,
+                                                     const std::string& stage,
+                                                     std::optional<int> context,
+                                                     SubmitOptions submit) {
+  return Wait(SubmitSessionStage(session_id, stage, context, submit));
+}
+
+StatusOr<ServiceReport> HypDbService::RunSessionStage(
+    uint64_t session_id, const std::string& stage,
+    std::optional<int> context,
+    const std::shared_ptr<std::atomic<bool>>& cancel_flag,
+    RequestStats* stats) {
+  HYPDB_ASSIGN_OR_RETURN(std::shared_ptr<SessionManager::Entry> entry,
+                         sessions_.Get(session_id));
+  std::lock_guard<std::mutex> stage_lock(entry->mu);
+  AnalysisSession& session = *entry->session;
+  session.SetCancelCheck(
+      [cancel_flag] { return cancel_flag != nullptr && cancel_flag->load(); });
+  int64_t runs_before = 0;
+  for (int s = 0; s < kNumAnalysisStages; ++s) {
+    runs_before +=
+        session.stage_state(static_cast<AnalysisStage>(s)).runs;
+  }
+
+  ServiceReport out;
+  Status status = [&]() -> Status {
+    if (stage == "report" || stage == "run") {
+      if (context.has_value()) {
+        return Status::InvalidArgument(
+            "stage 'report' does not take a context (only explain and "
+            "rewrite run per-context)");
+      }
+      return session.Report().status();
+    }
+    HYPDB_ASSIGN_OR_RETURN(AnalysisStage parsed, ParseAnalysisStage(stage));
+    if (context.has_value() && parsed != AnalysisStage::kExplain &&
+        parsed != AnalysisStage::kRewrite) {
+      return Status::InvalidArgument(
+          "stage '" + stage + "' does not take a context (only explain "
+          "and rewrite run per-context)");
+    }
+    switch (parsed) {
+      case AnalysisStage::kAnswers: return session.Answers().status();
+      case AnalysisStage::kDiscover: return session.Discover().status();
+      case AnalysisStage::kDetect: return session.Detect().status();
+      case AnalysisStage::kExplain: {
+        if (!context.has_value()) return session.Explain().status();
+        // Per-context advances surface the single context's result even
+        // while the whole stage (the snapshot vector) is incomplete.
+        HYPDB_ASSIGN_OR_RETURN(const ContextExplanation* expl,
+                               session.Explain(*context));
+        out.stage_explanation = *expl;
+        return Status::Ok();
+      }
+      case AnalysisStage::kRewrite: {
+        if (!context.has_value()) return session.Rewrite().status();
+        HYPDB_ASSIGN_OR_RETURN(const ContextRewrite* rewrite,
+                               session.Rewrite(*context));
+        out.stage_rewrite = *rewrite;
+        return Status::Ok();
+      }
+    }
+    return Status::Internal("unhandled stage");
+  }();
+  session.SetCancelCheck({});
+  HYPDB_RETURN_IF_ERROR(status);
+
+  int64_t runs_after = 0;
+  for (int s = 0; s < kNumAnalysisStages; ++s) {
+    runs_after += session.stage_state(static_cast<AnalysisStage>(s)).runs;
+  }
+  stats->session_id = session_id;
+  stats->stage = stage;
+  stats->stage_reused = runs_after == runs_before;
+  stats->session_complete = session.complete();
+  stats->discovery_reused = entry->discovery_flags->reused.load();
+  stats->discovery_coalesced = entry->discovery_flags->coalesced.load();
+  out.report = session.Snapshot();
+  return out;
+}
+
+StatusOr<SessionInfo> HypDbService::InspectSession(uint64_t session_id) {
+  HYPDB_ASSIGN_OR_RETURN(std::shared_ptr<SessionManager::Entry> entry,
+                         sessions_.Get(session_id));
+  return sessions_.Info(entry);
+}
+
+StatusOr<ServiceReport> HypDbService::SessionSnapshot(uint64_t session_id) {
+  HYPDB_ASSIGN_OR_RETURN(std::shared_ptr<SessionManager::Entry> entry,
+                         sessions_.Get(session_id));
+  std::lock_guard<std::mutex> stage_lock(entry->mu);
+  ServiceReport out;
+  out.report = entry->session->Snapshot();
+  out.stats.session_id = session_id;
+  out.stats.session_complete = entry->session->complete();
+  return out;
+}
+
+Status HypDbService::CloseSession(uint64_t session_id) {
+  return sessions_.Erase(session_id);
 }
 
 }  // namespace hypdb

@@ -28,7 +28,9 @@
 #ifndef HYPDB_SERVICE_HYPDB_SERVICE_H_
 #define HYPDB_SERVICE_HYPDB_SERVICE_H_
 
+#include <atomic>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -36,6 +38,7 @@
 #include "service/discovery_cache.h"
 #include "service/query_scheduler.h"
 #include "service/request.h"
+#include "service/session_manager.h"
 
 namespace hypdb {
 
@@ -54,6 +57,10 @@ struct HypDbServiceOptions {
   /// Feature toggles (both on in production; tests ablate them).
   bool share_engines = true;
   bool share_discovery = true;
+  /// Staged analysis sessions kept live (LRU-evicted beyond this).
+  int64_t max_sessions = 64;
+  /// Idle seconds before a session expires; <= 0 disables expiry.
+  double session_ttl_seconds = 600.0;
 };
 
 /// Thread-safe: any number of client threads may register datasets and
@@ -77,11 +84,48 @@ class HypDbService {
 
   /// Async API: Submit returns a ticket; Done polls; Wait blocks and
   /// claims the result (one Wait per ticket); Cancel drops still-queued
-  /// requests (returns false for running/finished/unknown tickets).
+  /// requests, and for in-flight *session stage* jobs requests
+  /// cooperative cancellation (kCancelled at the next stage boundary).
   uint64_t Submit(AnalyzeRequest request, SubmitOptions submit = {});
   bool Done(uint64_t ticket) const;
   StatusOr<ServiceReport> Wait(uint64_t ticket);
   bool Cancel(uint64_t ticket);
+
+  /// --- staged analysis sessions (the "think twice" loop) -------------
+  /// A session decomposes one analysis into independently invokable,
+  /// idempotent stages over persisted state (core/analysis_session.h),
+  /// wired into the shared infrastructure: its discovery goes through
+  /// the DiscoveryCache, its population and per-context counts through
+  /// the registry's shard engines, and each stage runs as a scheduler
+  /// job (batching, deadlines and cancellation apply).
+
+  /// Creates a session for `request` (binding the query now, so
+  /// malformed queries fail here). The session dies with the dataset
+  /// epoch: re-registration invalidates it (kGone afterwards).
+  StatusOr<SessionInfo> CreateSession(const AnalyzeRequest& request);
+  /// Runs one stage — "answers", "discover", "detect", "explain",
+  /// "rewrite" (the latter two optionally for one `context`), or
+  /// "report" (every remaining stage, canonical order). Synchronous
+  /// facade over SubmitSessionStage + Wait. The returned report is the
+  /// session's current snapshot; stats carry session_id/stage/
+  /// stage_reused/session_complete.
+  StatusOr<ServiceReport> AdvanceSession(uint64_t session_id,
+                                         const std::string& stage,
+                                         std::optional<int> context = {},
+                                         SubmitOptions submit = {});
+  /// Async flavor: the stage job's ticket (Wait/Done/Cancel as usual;
+  /// Cancel on the running job takes effect at the next stage boundary).
+  uint64_t SubmitSessionStage(uint64_t session_id, std::string stage,
+                              std::optional<int> context = {},
+                              SubmitOptions submit = {});
+  StatusOr<SessionInfo> InspectSession(uint64_t session_id);
+  /// The session's current report snapshot without running anything —
+  /// the GET-side view (digest-comparable once the session is complete).
+  StatusOr<ServiceReport> SessionSnapshot(uint64_t session_id);
+  std::vector<SessionInfo> Sessions() const { return sessions_.List(); }
+  /// Closes the session; kNotFound/kGone per the SessionManager rules.
+  Status CloseSession(uint64_t session_id);
+  int64_t num_sessions() const { return sessions_.size(); }
 
   /// Introspection.
   DiscoveryCacheStats discovery_stats() const { return discovery_.stats(); }
@@ -92,11 +136,19 @@ class HypDbService {
   const HypDbServiceOptions& options() const { return options_; }
 
  private:
+  /// The body of a session stage job (runs on a scheduler worker).
+  StatusOr<ServiceReport> RunSessionStage(
+      uint64_t session_id, const std::string& stage,
+      std::optional<int> context,
+      const std::shared_ptr<std::atomic<bool>>& cancel_flag,
+      RequestStats* stats);
+
   HypDbServiceOptions options_;
   DatasetRegistry registry_;
   DiscoveryCache discovery_;
-  // Last member: workers touch registry_/discovery_, so they must be
-  // joined (scheduler destroyed) before those die.
+  mutable SessionManager sessions_;
+  // Last member: workers touch registry_/discovery_/sessions_, so they
+  // must be joined (scheduler destroyed) before those die.
   std::unique_ptr<QueryScheduler> scheduler_;
 };
 

@@ -73,6 +73,25 @@ uint64_t QueryScheduler::Submit(AnalyzeRequest request,
   return ticket;
 }
 
+uint64_t QueryScheduler::SubmitTask(
+    std::string batch_key,
+    std::function<StatusOr<ServiceReport>(RequestStats*)> run,
+    SubmitOptions submit, std::shared_ptr<std::atomic<bool>> cancel_flag) {
+  Job job;
+  job.submit = submit;
+  job.batch_key = std::move(batch_key);
+  job.run = std::move(run);
+  job.cancel_flag = std::move(cancel_flag);
+  std::unique_lock<std::mutex> lock(mu_);
+  const uint64_t ticket = next_ticket_++;
+  job.ticket = ticket;
+  slots_.emplace(ticket, std::make_shared<Slot>());
+  queue_.push_back(std::move(job));
+  lock.unlock();
+  queue_cv_.notify_one();
+  return ticket;
+}
+
 StatusOr<ServiceReport> QueryScheduler::Wait(uint64_t ticket) {
   std::unique_lock<std::mutex> lock(mu_);
   auto it = slots_.find(ticket);
@@ -105,15 +124,27 @@ bool QueryScheduler::Done(uint64_t ticket) const {
 }
 
 bool QueryScheduler::Cancel(uint64_t ticket) {
+  std::shared_ptr<std::atomic<bool>> running_flag;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto job = std::find_if(queue_.begin(), queue_.end(),
                             [&](const Job& j) { return j.ticket == ticket; });
-    if (job == queue_.end()) return false;  // unknown, running, or done
-    queue_.erase(job);
-    CompleteLocked(ticket, StatusOr<ServiceReport>(Status::Cancelled(
-                               "request " + std::to_string(ticket) +
-                               " cancelled before it ran")));
+    if (job == queue_.end()) {
+      // Not queued: cooperative jobs can still be cancelled in flight —
+      // the worker observes the flag at its next stage boundary.
+      auto running = running_cancels_.find(ticket);
+      if (running == running_cancels_.end()) return false;
+      running_flag = running->second;
+    } else {
+      queue_.erase(job);
+      CompleteLocked(ticket, StatusOr<ServiceReport>(Status::Cancelled(
+                                 "request " + std::to_string(ticket) +
+                                 " cancelled before it ran")));
+    }
+  }
+  if (running_flag != nullptr) {
+    running_flag->store(true);
+    return true;
   }
   done_cv_.notify_all();
   return true;
@@ -163,9 +194,17 @@ void QueryScheduler::RunJob(Job job, int worker_id) {
                  stats.queue_seconds, job.submit.deadline_seconds))));
     return;
   }
+  if (job.cancel_flag != nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    running_cancels_.emplace(job.ticket, job.cancel_flag);
+  }
   Stopwatch run;
   StatusOr<ServiceReport> result = Execute(job, worker_id, &stats);
   stats.run_seconds = run.ElapsedSeconds();
+  if (job.cancel_flag != nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    running_cancels_.erase(job.ticket);
+  }
   if (result.ok()) result->stats = stats;
   Complete(job.ticket, std::move(result));
 }
@@ -174,6 +213,10 @@ StatusOr<ServiceReport> QueryScheduler::Execute(const Job& job,
                                                 int worker_id,
                                                 RequestStats* stats) {
   (void)worker_id;
+  // Custom work (session stage jobs) — the closure owns its own
+  // sharing/validation; ticket/batching/deadline handling above applies
+  // unchanged.
+  if (job.run) return job.run(stats);
   // One snapshot for the whole request: table and epoch are read
   // atomically, every later step (binding, shard lookup, discovery key)
   // uses this pair, so a concurrent re-registration can neither mix old

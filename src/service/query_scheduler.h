@@ -21,8 +21,10 @@
 #ifndef HYPDB_SERVICE_QUERY_SCHEDULER_H_
 #define HYPDB_SERVICE_QUERY_SCHEDULER_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -76,6 +78,22 @@ class QueryScheduler {
   /// Enqueues `request`; returns the ticket to Wait()/Done() on.
   uint64_t Submit(AnalyzeRequest request, SubmitOptions submit = {});
 
+  /// Enqueues an arbitrary unit of work (a session stage job) behind the
+  /// same ticket machinery: it queues with `batch_key` (so it drains
+  /// together with analyze twins of the same dataset/treatment/
+  /// subpopulation), honors SubmitOptions::deadline_seconds at pickup,
+  /// and can be Cancel()ed while queued. When `cancel_flag` is non-null
+  /// the job is additionally *cooperatively* cancellable while running:
+  /// Cancel(ticket) sets the flag and the job observes it at its next
+  /// stage boundary, completing with kCancelled (or normally, if no
+  /// boundary remained). `run` executes on a worker thread and may fill
+  /// request-level stats; the scheduler stamps timing fields afterwards.
+  uint64_t SubmitTask(
+      std::string batch_key,
+      std::function<StatusOr<ServiceReport>(RequestStats*)> run,
+      SubmitOptions submit = {},
+      std::shared_ptr<std::atomic<bool>> cancel_flag = nullptr);
+
   /// Blocks until the ticket completes; a ticket can be waited on once.
   StatusOr<ServiceReport> Wait(uint64_t ticket);
 
@@ -84,9 +102,13 @@ class QueryScheduler {
 
   /// Drops the ticket if it is still queued: the job never runs and its
   /// slot completes with kCancelled (a pending Wait() returns that).
-  /// Returns false when the ticket is unknown, already running, or done —
-  /// in-flight work is never aborted, so a false return with Done() false
-  /// means the result is still coming.
+  /// For a *running* job submitted with a cancel flag (session stage
+  /// jobs), sets the flag and returns true — cancellation is then
+  /// cooperative: the job completes with kCancelled at its next stage
+  /// boundary, or normally if it had already passed the last one.
+  /// Returns false when the ticket is unknown, done, or running without
+  /// a cancel flag — in-flight analyze work is never aborted, so a false
+  /// return with Done() false means the result is still coming.
   bool Cancel(uint64_t ticket);
 
   int num_workers() const { return static_cast<int>(workers_.size()); }
@@ -99,6 +121,11 @@ class QueryScheduler {
     AggQuery query;         // parsed at Submit
     std::string batch_key;  // dataset + treatment + subpopulation
     Stopwatch queued;       // started at Submit; read at pickup
+    /// Custom work (SubmitTask); when set, Execute() runs this instead
+    /// of the analyze pipeline.
+    std::function<StatusOr<ServiceReport>(RequestStats*)> run;
+    /// Cooperative-cancel handle of a SubmitTask job (may be null).
+    std::shared_ptr<std::atomic<bool>> cancel_flag;
   };
 
   struct Slot {
@@ -124,6 +151,8 @@ class QueryScheduler {
   std::condition_variable done_cv_;   // waiters: a ticket completed
   std::deque<Job> queue_;
   std::map<uint64_t, std::shared_ptr<Slot>> slots_;
+  /// Cancel flags of currently *running* cooperative jobs, by ticket.
+  std::map<uint64_t, std::shared_ptr<std::atomic<bool>>> running_cancels_;
   std::deque<uint64_t> done_order_;  // completion order; may hold stale
                                      // (already-claimed) tickets
   int64_t retained_results_ = 0;     // live completed-unclaimed slots

@@ -57,12 +57,30 @@ struct RequestStats {
   /// deltas). Attribution is approximate under concurrency: overlapping
   /// requests on the same shard see each other's work.
   CountEngineStats engine_delta;
+
+  // --- session stage jobs only (session_id == 0 otherwise) ------------
+  /// The AnalysisSession this request advanced.
+  uint64_t session_id = 0;
+  /// The stage that ran ("answers"..."rewrite", or "report").
+  std::string stage;
+  /// The stage was fully served from persisted session state (no
+  /// computation happened — detect-after-detect is a no-op).
+  bool stage_reused = false;
+  /// Every stage of the session is now complete; the report snapshot's
+  /// digest is comparable to a one-shot analysis.
+  bool session_complete = false;
 };
 
 /// What HypDbService hands back: the full report plus service stats.
+/// For session stage advances, `report` is the session's current
+/// snapshot (per-context stages appear once every context is done) and
+/// the optional members carry the single-context result of a
+/// per-context explain/rewrite advance.
 struct ServiceReport {
   HypDbReport report;
   RequestStats stats;
+  std::optional<ContextExplanation> stage_explanation;
+  std::optional<ContextRewrite> stage_rewrite;
 };
 
 /// Canonical rendering of the query's WHERE clause: terms sorted by

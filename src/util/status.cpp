@@ -24,6 +24,8 @@ const char* StatusCodeName(StatusCode code) {
       return "cancelled";
     case StatusCode::kDeadlineExceeded:
       return "deadline_exceeded";
+    case StatusCode::kGone:
+      return "gone";
   }
   return "unknown";
 }

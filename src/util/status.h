@@ -26,6 +26,7 @@ enum class StatusCode {
   kIoError,           // file system problem
   kCancelled,         // caller withdrew the request before it ran
   kDeadlineExceeded,  // request expired before (or while) running
+  kGone,              // resource existed but expired / was invalidated
 };
 
 /// Returns a stable lowercase name for `code` (e.g. "invalid_argument").
@@ -66,6 +67,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Gone(std::string msg) {
+    return Status(StatusCode::kGone, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
