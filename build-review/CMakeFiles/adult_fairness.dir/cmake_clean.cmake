@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adult_fairness.dir/examples/adult_fairness.cpp.o"
+  "CMakeFiles/adult_fairness.dir/examples/adult_fairness.cpp.o.d"
+  "adult_fairness"
+  "adult_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adult_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

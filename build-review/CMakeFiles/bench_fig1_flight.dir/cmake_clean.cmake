@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_flight.dir/bench/bench_fig1_flight.cpp.o"
+  "CMakeFiles/bench_fig1_flight.dir/bench/bench_fig1_flight.cpp.o.d"
+  "bench_fig1_flight"
+  "bench_fig1_flight.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_flight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_adult_staples.dir/bench/bench_fig3_adult_staples.cpp.o"
+  "CMakeFiles/bench_fig3_adult_staples.dir/bench/bench_fig3_adult_staples.cpp.o.d"
+  "bench_fig3_adult_staples"
+  "bench_fig3_adult_staples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_adult_staples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

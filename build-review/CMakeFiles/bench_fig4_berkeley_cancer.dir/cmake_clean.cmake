@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_berkeley_cancer.dir/bench/bench_fig4_berkeley_cancer.cpp.o"
+  "CMakeFiles/bench_fig4_berkeley_cancer.dir/bench/bench_fig4_berkeley_cancer.cpp.o.d"
+  "bench_fig4_berkeley_cancer"
+  "bench_fig4_berkeley_cancer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_berkeley_cancer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5a_false_discoveries.dir/bench/bench_fig5a_false_discoveries.cpp.o"
+  "CMakeFiles/bench_fig5a_false_discoveries.dir/bench/bench_fig5a_false_discoveries.cpp.o.d"
+  "bench_fig5a_false_discoveries"
+  "bench_fig5a_false_discoveries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5a_false_discoveries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

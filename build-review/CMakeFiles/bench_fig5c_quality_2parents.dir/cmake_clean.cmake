@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5c_quality_2parents.dir/bench/bench_fig5c_quality_2parents.cpp.o"
+  "CMakeFiles/bench_fig5c_quality_2parents.dir/bench/bench_fig5c_quality_2parents.cpp.o.d"
+  "bench_fig5c_quality_2parents"
+  "bench_fig5c_quality_2parents.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5c_quality_2parents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6c_caching.dir/bench/bench_fig6c_caching.cpp.o"
+  "CMakeFiles/bench_fig6c_caching.dir/bench/bench_fig6c_caching.cpp.o.d"
+  "bench_fig6c_caching"
+  "bench_fig6c_caching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6c_caching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8a_test_quality.dir/bench/bench_fig8a_test_quality.cpp.o"
+  "CMakeFiles/bench_fig8a_test_quality.dir/bench/bench_fig8a_test_quality.cpp.o.d"
+  "bench_fig8a_test_quality"
+  "bench_fig8a_test_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8a_test_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

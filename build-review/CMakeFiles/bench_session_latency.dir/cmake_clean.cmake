@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_session_latency.dir/bench/bench_session_latency.cpp.o"
+  "CMakeFiles/bench_session_latency.dir/bench/bench_session_latency.cpp.o.d"
+  "bench_session_latency"
+  "bench_session_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_session_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

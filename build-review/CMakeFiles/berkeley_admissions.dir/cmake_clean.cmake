@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/berkeley_admissions.dir/examples/berkeley_admissions.cpp.o"
+  "CMakeFiles/berkeley_admissions.dir/examples/berkeley_admissions.cpp.o.d"
+  "berkeley_admissions"
+  "berkeley_admissions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/berkeley_admissions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for berkeley_admissions.
+# This may be replaced when dependencies are built.

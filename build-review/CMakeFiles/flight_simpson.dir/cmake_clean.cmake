@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flight_simpson.dir/examples/flight_simpson.cpp.o"
+  "CMakeFiles/flight_simpson.dir/examples/flight_simpson.cpp.o.d"
+  "flight_simpson"
+  "flight_simpson.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flight_simpson.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

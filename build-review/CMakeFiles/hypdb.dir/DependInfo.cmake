@@ -1,0 +1,74 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bn/bayes_net.cpp" "CMakeFiles/hypdb.dir/src/bn/bayes_net.cpp.o" "gcc" "CMakeFiles/hypdb.dir/src/bn/bayes_net.cpp.o.d"
+  "/root/repo/src/causal/cd_algorithm.cpp" "CMakeFiles/hypdb.dir/src/causal/cd_algorithm.cpp.o" "gcc" "CMakeFiles/hypdb.dir/src/causal/cd_algorithm.cpp.o.d"
+  "/root/repo/src/causal/eval.cpp" "CMakeFiles/hypdb.dir/src/causal/eval.cpp.o" "gcc" "CMakeFiles/hypdb.dir/src/causal/eval.cpp.o.d"
+  "/root/repo/src/causal/fd_filter.cpp" "CMakeFiles/hypdb.dir/src/causal/fd_filter.cpp.o" "gcc" "CMakeFiles/hypdb.dir/src/causal/fd_filter.cpp.o.d"
+  "/root/repo/src/causal/gs_structure.cpp" "CMakeFiles/hypdb.dir/src/causal/gs_structure.cpp.o" "gcc" "CMakeFiles/hypdb.dir/src/causal/gs_structure.cpp.o.d"
+  "/root/repo/src/causal/hill_climbing.cpp" "CMakeFiles/hypdb.dir/src/causal/hill_climbing.cpp.o" "gcc" "CMakeFiles/hypdb.dir/src/causal/hill_climbing.cpp.o.d"
+  "/root/repo/src/causal/markov_blanket.cpp" "CMakeFiles/hypdb.dir/src/causal/markov_blanket.cpp.o" "gcc" "CMakeFiles/hypdb.dir/src/causal/markov_blanket.cpp.o.d"
+  "/root/repo/src/core/analysis_session.cpp" "CMakeFiles/hypdb.dir/src/core/analysis_session.cpp.o" "gcc" "CMakeFiles/hypdb.dir/src/core/analysis_session.cpp.o.d"
+  "/root/repo/src/core/detector.cpp" "CMakeFiles/hypdb.dir/src/core/detector.cpp.o" "gcc" "CMakeFiles/hypdb.dir/src/core/detector.cpp.o.d"
+  "/root/repo/src/core/effect_bounds.cpp" "CMakeFiles/hypdb.dir/src/core/effect_bounds.cpp.o" "gcc" "CMakeFiles/hypdb.dir/src/core/effect_bounds.cpp.o.d"
+  "/root/repo/src/core/explainer.cpp" "CMakeFiles/hypdb.dir/src/core/explainer.cpp.o" "gcc" "CMakeFiles/hypdb.dir/src/core/explainer.cpp.o.d"
+  "/root/repo/src/core/hypdb.cpp" "CMakeFiles/hypdb.dir/src/core/hypdb.cpp.o" "gcc" "CMakeFiles/hypdb.dir/src/core/hypdb.cpp.o.d"
+  "/root/repo/src/core/query.cpp" "CMakeFiles/hypdb.dir/src/core/query.cpp.o" "gcc" "CMakeFiles/hypdb.dir/src/core/query.cpp.o.d"
+  "/root/repo/src/core/rewriter.cpp" "CMakeFiles/hypdb.dir/src/core/rewriter.cpp.o" "gcc" "CMakeFiles/hypdb.dir/src/core/rewriter.cpp.o.d"
+  "/root/repo/src/core/sql_parser.cpp" "CMakeFiles/hypdb.dir/src/core/sql_parser.cpp.o" "gcc" "CMakeFiles/hypdb.dir/src/core/sql_parser.cpp.o.d"
+  "/root/repo/src/core/sql_printer.cpp" "CMakeFiles/hypdb.dir/src/core/sql_printer.cpp.o" "gcc" "CMakeFiles/hypdb.dir/src/core/sql_printer.cpp.o.d"
+  "/root/repo/src/cube/data_cube.cpp" "CMakeFiles/hypdb.dir/src/cube/data_cube.cpp.o" "gcc" "CMakeFiles/hypdb.dir/src/cube/data_cube.cpp.o.d"
+  "/root/repo/src/dataframe/column.cpp" "CMakeFiles/hypdb.dir/src/dataframe/column.cpp.o" "gcc" "CMakeFiles/hypdb.dir/src/dataframe/column.cpp.o.d"
+  "/root/repo/src/dataframe/csv.cpp" "CMakeFiles/hypdb.dir/src/dataframe/csv.cpp.o" "gcc" "CMakeFiles/hypdb.dir/src/dataframe/csv.cpp.o.d"
+  "/root/repo/src/dataframe/group_by.cpp" "CMakeFiles/hypdb.dir/src/dataframe/group_by.cpp.o" "gcc" "CMakeFiles/hypdb.dir/src/dataframe/group_by.cpp.o.d"
+  "/root/repo/src/dataframe/predicate.cpp" "CMakeFiles/hypdb.dir/src/dataframe/predicate.cpp.o" "gcc" "CMakeFiles/hypdb.dir/src/dataframe/predicate.cpp.o.d"
+  "/root/repo/src/dataframe/table.cpp" "CMakeFiles/hypdb.dir/src/dataframe/table.cpp.o" "gcc" "CMakeFiles/hypdb.dir/src/dataframe/table.cpp.o.d"
+  "/root/repo/src/dataframe/tuple_codec.cpp" "CMakeFiles/hypdb.dir/src/dataframe/tuple_codec.cpp.o" "gcc" "CMakeFiles/hypdb.dir/src/dataframe/tuple_codec.cpp.o.d"
+  "/root/repo/src/dataframe/view.cpp" "CMakeFiles/hypdb.dir/src/dataframe/view.cpp.o" "gcc" "CMakeFiles/hypdb.dir/src/dataframe/view.cpp.o.d"
+  "/root/repo/src/datagen/adult_data.cpp" "CMakeFiles/hypdb.dir/src/datagen/adult_data.cpp.o" "gcc" "CMakeFiles/hypdb.dir/src/datagen/adult_data.cpp.o.d"
+  "/root/repo/src/datagen/berkeley_data.cpp" "CMakeFiles/hypdb.dir/src/datagen/berkeley_data.cpp.o" "gcc" "CMakeFiles/hypdb.dir/src/datagen/berkeley_data.cpp.o.d"
+  "/root/repo/src/datagen/cancer_data.cpp" "CMakeFiles/hypdb.dir/src/datagen/cancer_data.cpp.o" "gcc" "CMakeFiles/hypdb.dir/src/datagen/cancer_data.cpp.o.d"
+  "/root/repo/src/datagen/flight_data.cpp" "CMakeFiles/hypdb.dir/src/datagen/flight_data.cpp.o" "gcc" "CMakeFiles/hypdb.dir/src/datagen/flight_data.cpp.o.d"
+  "/root/repo/src/datagen/random_data.cpp" "CMakeFiles/hypdb.dir/src/datagen/random_data.cpp.o" "gcc" "CMakeFiles/hypdb.dir/src/datagen/random_data.cpp.o.d"
+  "/root/repo/src/datagen/staples_data.cpp" "CMakeFiles/hypdb.dir/src/datagen/staples_data.cpp.o" "gcc" "CMakeFiles/hypdb.dir/src/datagen/staples_data.cpp.o.d"
+  "/root/repo/src/engine/caching_count_engine.cpp" "CMakeFiles/hypdb.dir/src/engine/caching_count_engine.cpp.o" "gcc" "CMakeFiles/hypdb.dir/src/engine/caching_count_engine.cpp.o.d"
+  "/root/repo/src/engine/groupby_kernel.cpp" "CMakeFiles/hypdb.dir/src/engine/groupby_kernel.cpp.o" "gcc" "CMakeFiles/hypdb.dir/src/engine/groupby_kernel.cpp.o.d"
+  "/root/repo/src/graph/d_separation.cpp" "CMakeFiles/hypdb.dir/src/graph/d_separation.cpp.o" "gcc" "CMakeFiles/hypdb.dir/src/graph/d_separation.cpp.o.d"
+  "/root/repo/src/graph/dag.cpp" "CMakeFiles/hypdb.dir/src/graph/dag.cpp.o" "gcc" "CMakeFiles/hypdb.dir/src/graph/dag.cpp.o.d"
+  "/root/repo/src/graph/random_dag.cpp" "CMakeFiles/hypdb.dir/src/graph/random_dag.cpp.o" "gcc" "CMakeFiles/hypdb.dir/src/graph/random_dag.cpp.o.d"
+  "/root/repo/src/net/client.cpp" "CMakeFiles/hypdb.dir/src/net/client.cpp.o" "gcc" "CMakeFiles/hypdb.dir/src/net/client.cpp.o.d"
+  "/root/repo/src/net/http_server.cpp" "CMakeFiles/hypdb.dir/src/net/http_server.cpp.o" "gcc" "CMakeFiles/hypdb.dir/src/net/http_server.cpp.o.d"
+  "/root/repo/src/net/hypdb_handlers.cpp" "CMakeFiles/hypdb.dir/src/net/hypdb_handlers.cpp.o" "gcc" "CMakeFiles/hypdb.dir/src/net/hypdb_handlers.cpp.o.d"
+  "/root/repo/src/net/json.cpp" "CMakeFiles/hypdb.dir/src/net/json.cpp.o" "gcc" "CMakeFiles/hypdb.dir/src/net/json.cpp.o.d"
+  "/root/repo/src/service/dataset_registry.cpp" "CMakeFiles/hypdb.dir/src/service/dataset_registry.cpp.o" "gcc" "CMakeFiles/hypdb.dir/src/service/dataset_registry.cpp.o.d"
+  "/root/repo/src/service/discovery_cache.cpp" "CMakeFiles/hypdb.dir/src/service/discovery_cache.cpp.o" "gcc" "CMakeFiles/hypdb.dir/src/service/discovery_cache.cpp.o.d"
+  "/root/repo/src/service/hypdb_service.cpp" "CMakeFiles/hypdb.dir/src/service/hypdb_service.cpp.o" "gcc" "CMakeFiles/hypdb.dir/src/service/hypdb_service.cpp.o.d"
+  "/root/repo/src/service/query_scheduler.cpp" "CMakeFiles/hypdb.dir/src/service/query_scheduler.cpp.o" "gcc" "CMakeFiles/hypdb.dir/src/service/query_scheduler.cpp.o.d"
+  "/root/repo/src/service/report_digest.cpp" "CMakeFiles/hypdb.dir/src/service/report_digest.cpp.o" "gcc" "CMakeFiles/hypdb.dir/src/service/report_digest.cpp.o.d"
+  "/root/repo/src/service/request.cpp" "CMakeFiles/hypdb.dir/src/service/request.cpp.o" "gcc" "CMakeFiles/hypdb.dir/src/service/request.cpp.o.d"
+  "/root/repo/src/service/session_manager.cpp" "CMakeFiles/hypdb.dir/src/service/session_manager.cpp.o" "gcc" "CMakeFiles/hypdb.dir/src/service/session_manager.cpp.o.d"
+  "/root/repo/src/stats/ci_test.cpp" "CMakeFiles/hypdb.dir/src/stats/ci_test.cpp.o" "gcc" "CMakeFiles/hypdb.dir/src/stats/ci_test.cpp.o.d"
+  "/root/repo/src/stats/contingency.cpp" "CMakeFiles/hypdb.dir/src/stats/contingency.cpp.o" "gcc" "CMakeFiles/hypdb.dir/src/stats/contingency.cpp.o.d"
+  "/root/repo/src/stats/entropy.cpp" "CMakeFiles/hypdb.dir/src/stats/entropy.cpp.o" "gcc" "CMakeFiles/hypdb.dir/src/stats/entropy.cpp.o.d"
+  "/root/repo/src/stats/mi_engine.cpp" "CMakeFiles/hypdb.dir/src/stats/mi_engine.cpp.o" "gcc" "CMakeFiles/hypdb.dir/src/stats/mi_engine.cpp.o.d"
+  "/root/repo/src/stats/multiple_testing.cpp" "CMakeFiles/hypdb.dir/src/stats/multiple_testing.cpp.o" "gcc" "CMakeFiles/hypdb.dir/src/stats/multiple_testing.cpp.o.d"
+  "/root/repo/src/stats/patefield.cpp" "CMakeFiles/hypdb.dir/src/stats/patefield.cpp.o" "gcc" "CMakeFiles/hypdb.dir/src/stats/patefield.cpp.o.d"
+  "/root/repo/src/stats/special_math.cpp" "CMakeFiles/hypdb.dir/src/stats/special_math.cpp.o" "gcc" "CMakeFiles/hypdb.dir/src/stats/special_math.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "CMakeFiles/hypdb.dir/src/util/rng.cpp.o" "gcc" "CMakeFiles/hypdb.dir/src/util/rng.cpp.o.d"
+  "/root/repo/src/util/status.cpp" "CMakeFiles/hypdb.dir/src/util/status.cpp.o" "gcc" "CMakeFiles/hypdb.dir/src/util/status.cpp.o.d"
+  "/root/repo/src/util/string_util.cpp" "CMakeFiles/hypdb.dir/src/util/string_util.cpp.o" "gcc" "CMakeFiles/hypdb.dir/src/util/string_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

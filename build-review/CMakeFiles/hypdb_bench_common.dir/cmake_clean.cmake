@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypdb_bench_common.dir/bench/quality_common.cpp.o"
+  "CMakeFiles/hypdb_bench_common.dir/bench/quality_common.cpp.o.d"
+  "libhypdb_bench_common.a"
+  "libhypdb_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypdb_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

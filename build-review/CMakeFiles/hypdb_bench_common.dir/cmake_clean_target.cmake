@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhypdb_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypdb_bn_test.dir/tests/bn_test.cpp.o"
+  "CMakeFiles/hypdb_bn_test.dir/tests/bn_test.cpp.o.d"
+  "hypdb_bn_test"
+  "hypdb_bn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypdb_bn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

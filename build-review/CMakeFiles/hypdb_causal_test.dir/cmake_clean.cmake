@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypdb_causal_test.dir/tests/causal_test.cpp.o"
+  "CMakeFiles/hypdb_causal_test.dir/tests/causal_test.cpp.o.d"
+  "hypdb_causal_test"
+  "hypdb_causal_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypdb_causal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

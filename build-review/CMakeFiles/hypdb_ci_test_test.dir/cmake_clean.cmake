@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypdb_ci_test_test.dir/tests/ci_test_test.cpp.o"
+  "CMakeFiles/hypdb_ci_test_test.dir/tests/ci_test_test.cpp.o.d"
+  "hypdb_ci_test_test"
+  "hypdb_ci_test_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypdb_ci_test_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypdb_cli.dir/examples/hypdb_cli.cpp.o"
+  "CMakeFiles/hypdb_cli.dir/examples/hypdb_cli.cpp.o.d"
+  "hypdb_cli"
+  "hypdb_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypdb_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypdb_core_test.dir/tests/core_test.cpp.o"
+  "CMakeFiles/hypdb_core_test.dir/tests/core_test.cpp.o.d"
+  "hypdb_core_test"
+  "hypdb_core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypdb_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

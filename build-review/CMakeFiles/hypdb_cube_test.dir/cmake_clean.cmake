@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypdb_cube_test.dir/tests/cube_test.cpp.o"
+  "CMakeFiles/hypdb_cube_test.dir/tests/cube_test.cpp.o.d"
+  "hypdb_cube_test"
+  "hypdb_cube_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypdb_cube_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypdb_dataframe_test.dir/tests/dataframe_test.cpp.o"
+  "CMakeFiles/hypdb_dataframe_test.dir/tests/dataframe_test.cpp.o.d"
+  "hypdb_dataframe_test"
+  "hypdb_dataframe_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypdb_dataframe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

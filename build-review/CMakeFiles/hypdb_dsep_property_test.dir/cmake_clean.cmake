@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypdb_dsep_property_test.dir/tests/dsep_property_test.cpp.o"
+  "CMakeFiles/hypdb_dsep_property_test.dir/tests/dsep_property_test.cpp.o.d"
+  "hypdb_dsep_property_test"
+  "hypdb_dsep_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypdb_dsep_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypdb_engine_test.dir/tests/engine_test.cpp.o"
+  "CMakeFiles/hypdb_engine_test.dir/tests/engine_test.cpp.o.d"
+  "hypdb_engine_test"
+  "hypdb_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypdb_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

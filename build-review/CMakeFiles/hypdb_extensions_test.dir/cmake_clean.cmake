@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypdb_extensions_test.dir/tests/extensions_test.cpp.o"
+  "CMakeFiles/hypdb_extensions_test.dir/tests/extensions_test.cpp.o.d"
+  "hypdb_extensions_test"
+  "hypdb_extensions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypdb_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

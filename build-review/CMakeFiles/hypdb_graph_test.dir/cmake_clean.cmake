@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypdb_graph_test.dir/tests/graph_test.cpp.o"
+  "CMakeFiles/hypdb_graph_test.dir/tests/graph_test.cpp.o.d"
+  "hypdb_graph_test"
+  "hypdb_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypdb_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypdb_hypdb_e2e_test.dir/tests/hypdb_e2e_test.cpp.o"
+  "CMakeFiles/hypdb_hypdb_e2e_test.dir/tests/hypdb_e2e_test.cpp.o.d"
+  "hypdb_hypdb_e2e_test"
+  "hypdb_hypdb_e2e_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypdb_hypdb_e2e_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypdb_json_test.dir/tests/json_test.cpp.o"
+  "CMakeFiles/hypdb_json_test.dir/tests/json_test.cpp.o.d"
+  "hypdb_json_test"
+  "hypdb_json_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypdb_json_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

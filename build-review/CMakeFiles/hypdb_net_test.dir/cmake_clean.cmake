@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypdb_net_test.dir/tests/net_test.cpp.o"
+  "CMakeFiles/hypdb_net_test.dir/tests/net_test.cpp.o.d"
+  "hypdb_net_test"
+  "hypdb_net_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypdb_net_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

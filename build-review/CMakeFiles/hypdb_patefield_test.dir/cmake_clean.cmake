@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypdb_patefield_test.dir/tests/patefield_test.cpp.o"
+  "CMakeFiles/hypdb_patefield_test.dir/tests/patefield_test.cpp.o.d"
+  "hypdb_patefield_test"
+  "hypdb_patefield_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypdb_patefield_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypdb_query_test.dir/tests/query_test.cpp.o"
+  "CMakeFiles/hypdb_query_test.dir/tests/query_test.cpp.o.d"
+  "hypdb_query_test"
+  "hypdb_query_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypdb_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypdb_service_test.dir/tests/service_test.cpp.o"
+  "CMakeFiles/hypdb_service_test.dir/tests/service_test.cpp.o.d"
+  "hypdb_service_test"
+  "hypdb_service_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypdb_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypdb_session_test.dir/tests/session_test.cpp.o"
+  "CMakeFiles/hypdb_session_test.dir/tests/session_test.cpp.o.d"
+  "hypdb_session_test"
+  "hypdb_session_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypdb_session_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypdb_stats_test.dir/tests/stats_test.cpp.o"
+  "CMakeFiles/hypdb_stats_test.dir/tests/stats_test.cpp.o.d"
+  "hypdb_stats_test"
+  "hypdb_stats_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypdb_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

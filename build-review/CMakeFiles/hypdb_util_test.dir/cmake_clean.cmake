@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypdb_util_test.dir/tests/util_test.cpp.o"
+  "CMakeFiles/hypdb_util_test.dir/tests/util_test.cpp.o.d"
+  "hypdb_util_test"
+  "hypdb_util_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypdb_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

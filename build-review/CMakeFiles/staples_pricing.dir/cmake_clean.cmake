@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/staples_pricing.dir/examples/staples_pricing.cpp.o"
+  "CMakeFiles/staples_pricing.dir/examples/staples_pricing.cpp.o.d"
+  "staples_pricing"
+  "staples_pricing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staples_pricing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
