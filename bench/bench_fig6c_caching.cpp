@@ -171,6 +171,23 @@ int main(int argc, char** argv) {
 
   bool fewer_scans = cached_stats.scans < scans_bare;
   bool same_p = max_dp <= 1e-9;
+
+  // The machine-readable trail CI collects (this bench gates the build,
+  // so its trajectory must accumulate like the throughput benches').
+  net::JsonValue results = net::JsonValue::MakeObject();
+  results.Set("scale", net::JsonValue::Double(scale));
+  results.Set("rows", net::JsonValue::Int(eq_options.num_rows));
+  results.Set("tests",
+              net::JsonValue::Int(static_cast<int64_t>(p_scan.size())));
+  results.Set("scans_bare", net::JsonValue::Int(scans_bare));
+  results.Set("scans_caching", net::JsonValue::Int(cached_stats.scans));
+  results.Set("cache_hits", net::JsonValue::Int(cached_stats.cache_hits));
+  results.Set("marginalizations",
+              net::JsonValue::Int(cached_stats.marginalizations));
+  results.Set("max_p_delta", net::JsonValue::Double(max_dp));
+  results.Set("identical", net::JsonValue::Bool(same_p));
+  WriteBenchJson("fig6c_caching", std::move(results));
+
   std::printf("%s: caching engine %s scans and %s p-values\n",
               fewer_scans && same_p ? "PASS" : "FAIL",
               fewer_scans ? "reduces" : "DOES NOT reduce",

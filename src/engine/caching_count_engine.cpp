@@ -5,12 +5,6 @@
 namespace hypdb {
 namespace {
 
-std::vector<int> SortedUnique(std::vector<int> cols) {
-  std::sort(cols.begin(), cols.end());
-  cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
-  return cols;
-}
-
 // True iff `sub` ⊆ `super`, both sorted ascending.
 bool IsSubset(const std::vector<int>& sub, const std::vector<int>& super) {
   size_t j = 0;
@@ -30,7 +24,7 @@ CachingCountEngine::CachingCountEngine(std::shared_ptr<CountEngine> base,
 
 StatusOr<GroupCounts> CachingCountEngine::Counts(
     const std::vector<int>& cols) {
-  std::vector<int> sorted = SortedUnique(cols);
+  std::vector<int> sorted = SortedUniqueColumns(cols);
   if (sorted.size() != cols.size()) {
     // Duplicate columns — rare and never issued by the stats layer; bypass
     // the cache rather than reason about repeated digits. The delegated
@@ -56,18 +50,10 @@ StatusOr<GroupCounts> CachingCountEngine::Counts(
       ++stats_.cache_hits;
       source = exact->second.counts;
     } else if (options_.marginalize_supersets) {
-      // Smallest cached superset wins: fewer groups to sum.
-      const Entry* best = nullptr;
-      for (const auto& [key, entry] : cache_) {
-        if (key.size() <= sorted.size() || !IsSubset(sorted, key)) continue;
-        if (best == nullptr ||
-            entry.counts->NumGroups() < best->counts->NumGroups()) {
-          best = &entry;
-        }
-      }
-      if (best != nullptr) {
+      auto best = BestSupersetLocked(sorted);
+      if (best != cache_.end()) {
         ++stats_.marginalizations;
-        source = best->counts;
+        source = best->second.counts;
         derive = true;
       }
     }
@@ -95,7 +81,7 @@ StatusOr<GroupCounts> CachingCountEngine::Counts(
 }
 
 Status CachingCountEngine::Prefetch(const std::vector<int>& cols) {
-  std::vector<int> sorted = SortedUnique(cols);
+  std::vector<int> sorted = SortedUniqueColumns(cols);
   {
     std::lock_guard<std::mutex> lock(mu_);
     // One pinned focus at a time: release the previous one so repeated
@@ -119,6 +105,14 @@ Status CachingCountEngine::Prefetch(const std::vector<int>& cols) {
       return Status::Ok();
     }
   }
+  // Pass the hint down the stack first (best-effort): a slicing base
+  // forwards it to the *shared parent*, which materializes-and-pins the
+  // S ∪ P superset once for every sibling shard — the Counts() below
+  // then slices a parent cache hit instead of triggering its own scan.
+  // For scanner/cube bases Prefetch is a no-op and nothing changes. An
+  // error here is a missed optimization only; Counts() still answers
+  // (e.g. via the slicer's filtered-view fallback on codec overflow).
+  (void)base_->Prefetch(sorted);
   HYPDB_ASSIGN_OR_RETURN(GroupCounts counts, base_->Counts(sorted));
   std::lock_guard<std::mutex> lock(mu_);
   // A concurrent Prefetch may have repointed the focus while we scanned;
@@ -128,6 +122,42 @@ Status CachingCountEngine::Prefetch(const std::vector<int>& cols) {
          std::make_shared<const GroupCounts>(std::move(counts)),
          /*pinned=*/still_focus);
   return Status::Ok();
+}
+
+std::map<std::vector<int>, CachingCountEngine::Entry>::const_iterator
+CachingCountEngine::BestSupersetLocked(
+    const std::vector<int>& sorted) const {
+  // Deterministic total order so stats and digest trails reproduce
+  // run-to-run given equal cache contents: fewest groups (cheapest sum),
+  // then fewest columns (cheapest decode), then the lexicographically
+  // smallest column set. The map iterates keys ascending, so strict
+  // comparisons make the lexicographic tie-break implicit.
+  auto best = cache_.end();
+  for (auto it = cache_.begin(); it != cache_.end(); ++it) {
+    const std::vector<int>& key = it->first;
+    if (key.size() <= sorted.size() || !IsSubset(sorted, key)) continue;
+    if (best == cache_.end() ||
+        it->second.counts->NumGroups() < best->second.counts->NumGroups() ||
+        (it->second.counts->NumGroups() ==
+             best->second.counts->NumGroups() &&
+         key.size() < best->first.size())) {
+      best = it;
+    }
+  }
+  return best;
+}
+
+std::vector<int> CachingCountEngine::MarginalizationSource(
+    const std::vector<int>& cols) const {
+  std::vector<int> sorted = SortedUniqueColumns(cols);
+  // Mirror Counts(): duplicate-column queries bypass the cache entirely,
+  // so they never marginalize anything.
+  if (sorted.size() != cols.size()) return {};
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!options_.marginalize_supersets) return {};
+  if (cache_.find(sorted) != cache_.end()) return {};
+  auto best = BestSupersetLocked(sorted);
+  return best == cache_.end() ? std::vector<int>{} : best->first;
 }
 
 void CachingCountEngine::Insert(std::vector<int> sorted,

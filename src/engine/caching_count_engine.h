@@ -6,7 +6,11 @@
 // answers a query for S by (in order of preference):
 //  1. returning the cached S summary (cache hit);
 //  2. marginalizing the smallest cached S' ⊇ S summary — summing a few
-//     thousand cells instead of re-scanning millions of rows;
+//     thousand cells instead of re-scanning millions of rows. "Smallest"
+//     is a deterministic total order: fewest groups, then fewest columns,
+//     then lexicographically smallest column set — so given equal cache
+//     contents the same source is chosen run-to-run and the stats /
+//     digest trail is reproducible (see MarginalizationSource);
 //  3. delegating to the wrapped engine (a scan or a cube lookup) and
 //     caching the result.
 // Prefetch(S') materializes a superset summary once and pins it, which is
@@ -63,6 +67,12 @@ class CachingCountEngine : public CountEngine {
   CountEngineStats stats() const override;
   void ResetStats() override;
 
+  /// The cached superset a query for `cols` would marginalize from right
+  /// now, or empty when it would not marginalize (exact entry cached, no
+  /// superset cached, or marginalization disabled). Introspection for
+  /// tests pinning the deterministic tie-break; does not touch stats.
+  std::vector<int> MarginalizationSource(const std::vector<int>& cols) const;
+
   /// Cells currently held (memory proxy), and entry count.
   int64_t cached_cells() const;
   /// Cells held by pinned entries (exempt from the eviction budget).
@@ -81,6 +91,12 @@ class CachingCountEngine : public CountEngine {
                                                 // permutation of the key
     bool pinned = false;
   };
+
+  /// The best cached strict superset of `sorted` to marginalize from
+  /// under the deterministic order (fewest groups, fewest columns,
+  /// lexicographically smallest key), or cache_.end(). Requires mu_ held.
+  std::map<std::vector<int>, Entry>::const_iterator BestSupersetLocked(
+      const std::vector<int>& sorted) const;
 
   /// Inserts under the sorted key, then evicts to budget. Reconciles a
   /// pre-existing entry under the same key (concurrent double-miss):

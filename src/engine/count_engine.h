@@ -12,12 +12,17 @@
 //                          marginalization: counts for S ⊆ S' derive from
 //                          a cached S' summary instead of re-scanning
 //                          (src/engine/caching_count_engine.h).
+//  * PredicateSlicingCountEngine — answers counts over a conjunctive
+//                          equality subpopulation by slicing a shared
+//                          full-table engine's S ∪ P summary at P = v
+//                          (src/engine/predicate_slicing_count_engine.h).
 // Instrumentation (scans, cache hits, marginalizations) flows up the stack
 // into DiscoveryReport / HypDbReport — the Fig. 6(c) metrics.
 
 #ifndef HYPDB_ENGINE_COUNT_ENGINE_H_
 #define HYPDB_ENGINE_COUNT_ENGINE_H_
 
+#include <algorithm>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -34,8 +39,10 @@ namespace hypdb {
 /// because each work field is incremented by exactly one layer kind:
 /// `scans` by view scanners, `cube_hits`/`fallback_calls` by cube
 /// adapters, `cache_hits`/`marginalizations`/`evictions` by caching
-/// layers. `queries` is the exception — wrappers report their own count
-/// (each external query once), not the sum.
+/// layers, `predicate_slices` by predicate-slicing layers
+/// (src/engine/predicate_slicing_count_engine.h). `queries` is the
+/// exception — wrappers report their own count (each external query
+/// once), not the sum.
 struct CountEngineStats {
   /// External Counts() calls answered by the reporting engine.
   int64_t queries = 0;
@@ -45,6 +52,11 @@ struct CountEngineStats {
   int64_t cache_hits = 0;
   /// Queries derived by marginalizing a cached superset summary.
   int64_t marginalizations = 0;
+  /// Queries over a filtered subpopulation answered by slicing a shared
+  /// full-table superset summary at the subpopulation's predicate values
+  /// (cross-shard reuse — the contingency-table sharing of Sec. 6 applied
+  /// across WHERE clauses).
+  int64_t predicate_slices = 0;
   /// Queries answered by cube-cell lookup.
   int64_t cube_hits = 0;
   /// Cube misses delegated to a fallback provider.
@@ -57,6 +69,7 @@ struct CountEngineStats {
     scans += o.scans;
     cache_hits += o.cache_hits;
     marginalizations += o.marginalizations;
+    predicate_slices += o.predicate_slices;
     cube_hits += o.cube_hits;
     fallback_calls += o.fallback_calls;
     evictions += o.evictions;
@@ -69,12 +82,22 @@ struct CountEngineStats {
     d.scans -= o.scans;
     d.cache_hits -= o.cache_hits;
     d.marginalizations -= o.marginalizations;
+    d.predicate_slices -= o.predicate_slices;
     d.cube_hits -= o.cube_hits;
     d.fallback_calls -= o.fallback_calls;
     d.evictions -= o.evictions;
     return d;
   }
 };
+
+/// Canonical cache/superset key for a column list: sorted ascending,
+/// duplicates removed. Every engine layer that keys on column *sets*
+/// (caching, slicing) must canonicalize the same way.
+inline std::vector<int> SortedUniqueColumns(std::vector<int> cols) {
+  std::sort(cols.begin(), cols.end());
+  cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+  return cols;
+}
 
 /// Source of group-by counts over a fixed row population.
 class CountEngine {

@@ -507,6 +507,7 @@ JsonValue ToJson(const CountEngineStats& stats) {
   out.Set("scans", JsonValue::Int(stats.scans));
   out.Set("cache_hits", JsonValue::Int(stats.cache_hits));
   out.Set("marginalizations", JsonValue::Int(stats.marginalizations));
+  out.Set("predicate_slices", JsonValue::Int(stats.predicate_slices));
   out.Set("cube_hits", JsonValue::Int(stats.cube_hits));
   out.Set("fallback_calls", JsonValue::Int(stats.fallback_calls));
   out.Set("evictions", JsonValue::Int(stats.evictions));

@@ -4,8 +4,40 @@
 
 #include "dataframe/csv.h"
 #include "engine/caching_count_engine.h"
+#include "engine/predicate_slicing_count_engine.h"
+#include "service/request.h"
 
 namespace hypdb {
+namespace {
+
+/// Resolves `signature` into the equality conjunction it denotes against
+/// `table`, or false when it is not sliceable: not a well-formed
+/// signature, a term with more (or fewer) than one value, an unknown
+/// attribute, a value absent from the column dictionary (such a term
+/// matches no row — BindQuery rejects the empty population before a
+/// shard is ever requested), or a repeated attribute (distinct conjuncts
+/// on one column intersect; not worth slicing machinery).
+bool ResolveSlicePredicates(const Table& table, const std::string& signature,
+                            std::vector<SlicePredicate>* out) {
+  StatusOr<std::vector<SubpopulationTerm>> terms =
+      ParseSubpopulationSignature(signature);
+  if (!terms.ok() || terms->empty()) return false;
+  out->clear();
+  for (const SubpopulationTerm& term : *terms) {
+    if (term.values.size() != 1) return false;
+    StatusOr<int> col = table.ColumnIndex(term.attribute);
+    if (!col.ok()) return false;
+    const int32_t code = table.column(*col).dict().Find(term.values[0]);
+    if (code < 0) return false;
+    for (const SlicePredicate& prev : *out) {
+      if (prev.col == *col) return false;
+    }
+    out->push_back(SlicePredicate{*col, code});
+  }
+  return true;
+}
+
+}  // namespace
 
 DatasetRegistry::DatasetRegistry(DatasetRegistryOptions options)
     : options_(std::move(options)) {}
@@ -15,11 +47,14 @@ int64_t DatasetRegistry::Register(const std::string& name, TablePtr table) {
   Dataset& ds = datasets_[name];
   ds.table = std::move(table);
   ++ds.epoch;
-  // New data invalidates every cached summary: shards aggregate rows of
-  // the replaced table. Live engines held by in-flight queries stay valid
-  // for the old view (shared_ptr), they just stop being handed out.
+  // New data invalidates every cached summary: shards (and the parent
+  // they slice from) aggregate rows of the replaced table. Live engines
+  // held by in-flight queries stay valid for the old view (shared_ptr),
+  // they just stop being handed out.
+  ds.parent.reset();
   ds.shards.clear();
   ds.shard_age.clear();
+  ds.retired_slices = 0;  // the parent's counters went with it
   return ds.epoch;
 }
 
@@ -67,7 +102,8 @@ std::vector<DatasetInfo> DatasetRegistry::List() const {
     info.epoch = ds.epoch;
     info.rows = ds.table ? ds.table->NumRows() : 0;
     info.columns = ds.table ? ds.table->NumColumns() : 0;
-    info.shards = static_cast<int>(ds.shards.size());
+    info.shards =
+        static_cast<int>(ds.shards.size()) + (ds.parent != nullptr ? 1 : 0);
     out.push_back(std::move(info));
   }
   return out;
@@ -90,28 +126,86 @@ StatusOr<std::shared_ptr<CountEngine>> DatasetRegistry::ShardEngine(
         std::to_string(epoch) + ", current " + std::to_string(ds.epoch) +
         ")");
   }
+  // The empty signature selects the whole table: that IS the parent
+  // engine, so full-table queries and the slicing shards share one cache.
+  if (signature.empty()) return ParentEngineLocked(ds);
+
   auto shard = ds.shards.find(signature);
   if (shard != ds.shards.end()) return shard->second;
 
-  // Mirror MiEngine's engine stack: a kernel-backed scanner, wrapped in a
-  // (thread-safe) caching layer unless materialization is disabled.
-  GroupByKernelOptions kernel;
-  kernel.num_threads = options_.engine.scan_threads;
   std::shared_ptr<CountEngine> engine =
-      std::make_shared<ViewCountProvider>(population, kernel);
-  if (options_.engine.materialize_focus) {
-    CachingCountEngineOptions caching;
-    caching.max_cached_cells = options_.engine.max_cached_cells;
-    engine = std::make_shared<CachingCountEngine>(std::move(engine), caching);
-  }
+      BuildShardLocked(ds, signature, population);
   ds.shards.emplace(signature, engine);
   ds.shard_age.push_back(signature);
   while (static_cast<int>(ds.shards.size()) >
          std::max(1, options_.max_shards_per_dataset)) {
-    ds.shards.erase(ds.shard_age.front());
+    auto oldest = ds.shards.find(ds.shard_age.front());
+    if (oldest != ds.shards.end()) {
+      // Remember the evicted shard's slice count: the internal parent
+      // queries it caused outlive it (in-flight holders of the evicted
+      // engine may still add a few — the accounting is best-effort under
+      // that race, exact otherwise).
+      ds.retired_slices += oldest->second->stats().predicate_slices;
+      ds.shards.erase(oldest);
+    }
     ds.shard_age.pop_front();
   }
   return engine;
+}
+
+GroupByKernelOptions DatasetRegistry::KernelOptions() const {
+  GroupByKernelOptions kernel;
+  kernel.num_threads = options_.engine.scan_threads;
+  return kernel;
+}
+
+std::shared_ptr<CountEngine> DatasetRegistry::WrapCache(
+    std::shared_ptr<CountEngine> base) const {
+  if (!options_.engine.materialize_focus) return base;
+  CachingCountEngineOptions caching;
+  caching.max_cached_cells = options_.engine.max_cached_cells;
+  return std::make_shared<CachingCountEngine>(std::move(base), caching);
+}
+
+std::shared_ptr<CountEngine> DatasetRegistry::CachedScanStack(
+    const TableView& view) const {
+  // Mirror MiEngine's engine stack: a kernel-backed scanner, wrapped in
+  // a (thread-safe) caching layer unless materialization is disabled.
+  return WrapCache(
+      std::make_shared<ViewCountProvider>(view, KernelOptions()));
+}
+
+std::shared_ptr<CountEngine> DatasetRegistry::ParentEngineLocked(
+    Dataset& ds) {
+  if (ds.parent == nullptr) {
+    ds.parent = CachedScanStack(TableView(ds.table));
+  }
+  return ds.parent;
+}
+
+std::shared_ptr<CountEngine> DatasetRegistry::BuildShardLocked(
+    Dataset& ds, const std::string& signature,
+    const TableView& population) {
+  std::vector<SlicePredicate> predicates;
+  // Slicing needs a parent that actually caches: with materialization
+  // off OR a zero cell budget (cache nothing), every slice would re-scan
+  // the full table, strictly worse than scanning the filtered view. (A
+  // zero budget means "unlimited" to the slicer's guard but "cache
+  // nothing" to CachingCountEngine — never forward that configuration.)
+  if (options_.cross_shard_slicing && options_.engine.materialize_focus &&
+      options_.engine.max_cached_cells > 0 && ds.table != nullptr &&
+      ResolveSlicePredicates(*ds.table, signature, &predicates)) {
+    // A shard-local cache over the slicer: exact repeats and shard-level
+    // marginalizations short-circuit before reaching the parent. The
+    // preference order per query is therefore shard hit > shard
+    // marginalization > parent slice (hit/marginalize/scan inside the
+    // parent) > private fallback scan.
+    return WrapCache(std::make_shared<PredicateSlicingCountEngine>(
+        ParentEngineLocked(ds), std::move(predicates), population,
+        KernelOptions(), options_.engine.max_cached_cells));
+  }
+  // Isolated stack: scanner over the filtered view, plus the cache.
+  return CachedScanStack(population);
 }
 
 StatusOr<CountEngineStats> DatasetRegistry::EngineStats(
@@ -122,9 +216,28 @@ StatusOr<CountEngineStats> DatasetRegistry::EngineStats(
     return Status::NotFound("dataset not registered: " + name);
   }
   CountEngineStats total;
+  // Parent first, shards after. Work counters never double count:
+  // slicing shards report their own layer + private fallback only, never
+  // the shared parent. `queries` needs one correction — each successful
+  // slice issued exactly one internal Counts() on the parent (counted in
+  // the parent's queries), so subtract the slice count to keep the
+  // aggregate at "each external query once". A parent call that *failed*
+  // (S ∪ P codec overflow, answered by the shard's fallback instead)
+  // still counts once extra — rare and conservative.
+  if (it->second.parent != nullptr) total += it->second.parent->stats();
   for (const auto& [sig, engine] : it->second.shards) {
-    total += engine->stats();
+    const CountEngineStats shard = engine->stats();
+    total += shard;
+    total.queries -= shard.predicate_slices;
   }
+  // Slices by since-evicted shards still sit in the parent's queries.
+  total.queries -= it->second.retired_slices;
+  // Parent and shard counters are read under their own mutexes, not one
+  // atomic snapshot: a worker mid-slice can land its predicate_slices
+  // increment between our two reads, transiently over-subtracting.
+  // Clamp — the counters are approximate under concurrency (as
+  // RequestStats documents), but never negative.
+  total.queries = std::max<int64_t>(total.queries, 0);
   return total;
 }
 

@@ -3,17 +3,26 @@
 // The one-shot pipeline re-loads data and re-scans counts per Analyze()
 // call. The registry is the service's antidote: a table is registered
 // once under a name, and every query against it draws counts from a
-// per-dataset pool of CachingCountEngines, *sharded by subpopulation
-// signature* (the canonical WHERE rendering — see service/request.h).
-// Concurrent queries on the same (dataset, subpopulation) therefore share
-// one thread-safe contingency cache instead of each owning a private one;
-// queries on different subpopulations get different shards, so their
-// caches (whose counts aggregate different row sets) never mix — the
-// ROADMAP's "context-keyed cache pool" sharding.
+// per-dataset pool of count engines, *sharded by subpopulation signature*
+// (the canonical WHERE rendering — see service/request.h). Concurrent
+// queries on the same (dataset, subpopulation) therefore share one
+// thread-safe contingency cache instead of each owning a private one.
+//
+// Shards of one dataset also share *across* subpopulations: every dataset
+// owns one parent CachingCountEngine over the full table (the engine the
+// empty signature gets), and a shard whose signature parses to a pure
+// equality conjunction P = v is built as a CachingCountEngine over a
+// PredicateSlicingCountEngine — its counts over S are derived by slicing
+// the parent's shared S ∪ P summary at P = v instead of scanning the
+// filtered view (src/engine/predicate_slicing_count_engine.h). Signatures
+// with multi-value IN terms, unknown attributes, values absent from the
+// dictionary, or repeated attributes keep the classic isolated stack
+// (scanner + cache over the filtered view); either way counts are
+// bit-identical, only the work accounting differs.
 //
 // Re-registering a name replaces the table, bumps its epoch and drops its
-// shards; the service layer uses the epoch in discovery-cache keys so
-// stale discoveries can never serve the new data.
+// shards (parent included); the service layer uses the epoch in
+// discovery-cache keys so stale discoveries can never serve the new data.
 
 #ifndef HYPDB_SERVICE_DATASET_REGISTRY_H_
 #define HYPDB_SERVICE_DATASET_REGISTRY_H_
@@ -35,8 +44,16 @@ struct DatasetRegistryOptions {
   /// Count-engine configuration for shard engines (kernel threads, cache
   /// budget, materialization toggle).
   MiEngineOptions engine;
-  /// Shard engines kept per dataset; oldest-first eviction beyond this.
+  /// Filtered shard engines kept per dataset (the full-table parent is
+  /// exempt); oldest-first eviction beyond this.
   int max_shards_per_dataset = 32;
+  /// Serve equality-conjunction shards by slicing the dataset's shared
+  /// parent engine (cross-shard reuse). Off, every shard scans its own
+  /// filtered view in isolation — the pre-slicing behavior benches use
+  /// as the baseline. Requires engine.materialize_focus (an uncached
+  /// parent would re-scan the full table per slice, strictly worse than
+  /// scanning the filtered view).
+  bool cross_shard_slicing = true;
 };
 
 /// One row of List(): a registered dataset's shape and pool state.
@@ -81,22 +98,60 @@ class DatasetRegistry {
   /// identical) view. `epoch` must match the dataset's current epoch —
   /// FailedPrecondition otherwise (the dataset was re-registered since
   /// the caller's snapshot; a stale population must not seed the new
-  /// epoch's pool). Oldest shards are dropped beyond
-  /// max_shards_per_dataset.
+  /// epoch's pool). The empty signature names the dataset's full-table
+  /// parent engine; equality-conjunction signatures get slicing shards
+  /// backed by that parent (see the header comment). Oldest filtered
+  /// shards are dropped beyond max_shards_per_dataset; an evicted
+  /// parent reference held by live slicing shards stays valid
+  /// (shared_ptr), it just stops being handed out.
   StatusOr<std::shared_ptr<CountEngine>> ShardEngine(
       const std::string& name, int64_t epoch, const std::string& signature,
       const TableView& population);
 
-  /// Aggregate count-engine stats across a dataset's live shards.
+  /// Aggregate count-engine stats across a dataset's live shards plus
+  /// its parent engine. Well-defined without double counting: slicing
+  /// shards report only their own layer and private fallback scanner,
+  /// never the shared parent they draw from.
   StatusOr<CountEngineStats> EngineStats(const std::string& name) const;
 
  private:
   struct Dataset {
     TablePtr table;
     int64_t epoch = 0;
+    /// Full-table engine: serves empty-signature queries directly and
+    /// superset summaries to the slicing shards. Created on first use,
+    /// never LRU-evicted (it is the working set every slice derives
+    /// from), dropped on re-registration like everything else.
+    std::shared_ptr<CountEngine> parent;
     std::map<std::string, std::shared_ptr<CountEngine>> shards;
     std::list<std::string> shard_age;  // creation order, oldest first
+    /// Slices performed by since-evicted shards: each one was an internal
+    /// query on the parent, and EngineStats must keep subtracting them
+    /// after the shard (and its predicate_slices counter) is gone.
+    int64_t retired_slices = 0;
   };
+
+  /// The options_.engine kernel configuration for scanners.
+  GroupByKernelOptions KernelOptions() const;
+  /// Wraps `base` in a CachingCountEngine under the options_ budget, or
+  /// returns it unchanged when materialization is disabled. Every engine
+  /// stack the registry builds goes through this one function, so parent
+  /// and shards can never diverge in cache configuration.
+  std::shared_ptr<CountEngine> WrapCache(
+      std::shared_ptr<CountEngine> base) const;
+  /// The classic stack: kernel-backed scanner over `view` + WrapCache.
+  std::shared_ptr<CountEngine> CachedScanStack(const TableView& view) const;
+
+  /// ds.parent, created over the full table if absent. Requires mu_.
+  std::shared_ptr<CountEngine> ParentEngineLocked(Dataset& ds);
+
+  /// A new engine for `signature` over `population`: a slicing stack
+  /// through the shared parent when the signature is a pure equality
+  /// conjunction (and slicing is enabled), the isolated scanner+cache
+  /// stack otherwise. Requires mu_.
+  std::shared_ptr<CountEngine> BuildShardLocked(
+      Dataset& ds, const std::string& signature,
+      const TableView& population);
 
   mutable std::mutex mu_;
   DatasetRegistryOptions options_;

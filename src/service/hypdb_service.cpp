@@ -9,6 +9,7 @@ DatasetRegistryOptions RegistryOptions(const HypDbServiceOptions& o) {
   DatasetRegistryOptions out;
   out.engine = o.analysis.engine;
   out.max_shards_per_dataset = o.max_shards_per_dataset;
+  out.cross_shard_slicing = o.cross_shard_slicing;
   return out;
 }
 

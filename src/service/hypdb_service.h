@@ -54,9 +54,13 @@ struct HypDbServiceOptions {
   int64_t max_discovery_entries = 256;
   /// Same-batch-key requests a worker drains per pickup.
   int batch_max = 8;
-  /// Feature toggles (both on in production; tests ablate them).
+  /// Feature toggles (all on in production; tests and benches ablate
+  /// them). `cross_shard_slicing` lets equality-conjunction shards derive
+  /// counts from the dataset's shared parent engine instead of scanning
+  /// their filtered view in isolation (DatasetRegistryOptions).
   bool share_engines = true;
   bool share_discovery = true;
+  bool cross_shard_slicing = true;
   /// Staged analysis sessions kept live (LRU-evicted beyond this).
   int64_t max_sessions = 64;
   /// Idle seconds before a session expires; <= 0 disables expiry.

@@ -46,12 +46,63 @@ std::string SubpopulationSignature(const AggQuery& query) {
     terms.push_back(std::move(term));
   }
   std::sort(terms.begin(), terms.end());
+  // Identical conjuncts are idempotent (t AND t ≡ t): `a IN ('1') AND
+  // a IN ('1')` selects the same rows as `a IN ('1')` and must map to
+  // the same shard. (Distinct terms on one attribute are kept — their
+  // conjunction is an intersection, a different subpopulation.)
+  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
   std::string sig;
   for (size_t i = 0; i < terms.size(); ++i) {
     if (i > 0) sig += "&";
     sig += terms[i];
   }
   return sig;
+}
+
+StatusOr<std::vector<SubpopulationTerm>> ParseSubpopulationSignature(
+    const std::string& signature) {
+  std::vector<SubpopulationTerm> terms;
+  if (signature.empty()) return terms;
+  SubpopulationTerm term;
+  std::string token;
+  bool in_values = false;  // before vs after the term's unescaped '='
+  auto finish_term = [&]() -> Status {
+    if (!in_values) {
+      return Status::InvalidArgument(
+          "malformed subpopulation signature (term without '='): " +
+          signature);
+    }
+    term.values.push_back(std::move(token));
+    token.clear();
+    terms.push_back(std::move(term));
+    term = {};
+    in_values = false;
+    return Status::Ok();
+  };
+  for (size_t i = 0; i < signature.size(); ++i) {
+    const char c = signature[i];
+    if (c == '\\') {
+      if (i + 1 >= signature.size()) {
+        return Status::InvalidArgument(
+            "malformed subpopulation signature (trailing escape): " +
+            signature);
+      }
+      token.push_back(signature[++i]);
+    } else if (c == '=' && !in_values) {
+      term.attribute = std::move(token);
+      token.clear();
+      in_values = true;
+    } else if (c == ',' && in_values) {
+      term.values.push_back(std::move(token));
+      token.clear();
+    } else if (c == '&') {
+      HYPDB_RETURN_IF_ERROR(finish_term());
+    } else {
+      token.push_back(c);
+    }
+  }
+  HYPDB_RETURN_IF_ERROR(finish_term());
+  return terms;
 }
 
 std::string DatasetKeyPrefix(const std::string& dataset) {

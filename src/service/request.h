@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/hypdb.h"
 
@@ -83,10 +84,26 @@ struct ServiceReport {
   std::optional<ContextRewrite> stage_rewrite;
 };
 
-/// Canonical rendering of the query's WHERE clause: terms sorted by
-/// attribute, values sorted and de-duplicated within each term. Queries
-/// selecting the same subpopulation (up to term/value order) share it.
+/// Canonical rendering of the query's WHERE clause: values sorted and
+/// de-duplicated within each term, terms sorted, identical terms
+/// de-duplicated. Queries selecting the same subpopulation (up to term
+/// order, value order, and term/value repetition) share it.
 std::string SubpopulationSignature(const AggQuery& query);
+
+/// One parsed conjunct of a subpopulation signature: attribute IN values.
+struct SubpopulationTerm {
+  std::string attribute;
+  std::vector<std::string> values;
+};
+
+/// Inverse of SubpopulationSignature: parses the canonical rendering back
+/// into structured terms (attributes and values unescaped, in signature
+/// order). This is how DatasetRegistry decides whether a shard's
+/// subpopulation is a pure equality conjunction it can serve by slicing
+/// the dataset's shared parent engine. InvalidArgument for strings that
+/// are not well-formed signatures.
+StatusOr<std::vector<SubpopulationTerm>> ParseSubpopulationSignature(
+    const std::string& signature);
 
 /// Prefix every cache key of `dataset` starts with — the invalidation
 /// handle used when a dataset is re-registered.

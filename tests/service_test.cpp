@@ -15,6 +15,8 @@
 
 #include "core/hypdb.h"
 #include "core/sql_parser.h"
+#include "dataframe/group_by.h"
+#include "dataframe/predicate.h"
 #include "datagen/berkeley_data.h"
 #include "datagen/cancer_data.h"
 #include "service/dataset_registry.h"
@@ -66,6 +68,49 @@ TEST(SubpopulationSignatureTest, StructuralCharactersInValuesNeverCollide) {
   two_values.where = {{"A", {"1", "2"}}};
   EXPECT_NE(SubpopulationSignature(comma_value),
             SubpopulationSignature(two_values));
+}
+
+TEST(SubpopulationSignatureTest, RepeatedTermsAndValuesCollapse) {
+  // t AND t selects the same rows as t — one shard, not two.
+  AggQuery once;
+  once.where = {{"Department", {"A"}}};
+  AggQuery twice;
+  twice.where = {{"Department", {"A"}}, {"Department", {"A"}}};
+  EXPECT_EQ(SubpopulationSignature(once), SubpopulationSignature(twice));
+  AggQuery value_dup;
+  value_dup.where = {{"Department", {"A", "A"}}};
+  EXPECT_EQ(SubpopulationSignature(once),
+            SubpopulationSignature(value_dup));
+
+  // Distinct terms on one attribute intersect — NOT collapsible.
+  AggQuery intersect;
+  intersect.where = {{"Department", {"A"}}, {"Department", {"B"}}};
+  EXPECT_NE(SubpopulationSignature(once),
+            SubpopulationSignature(intersect));
+}
+
+TEST(SubpopulationSignatureTest, ParseInvertsTheRendering) {
+  AggQuery q;
+  q.where = {{"Carrier", {"UA", "AA", "UA"}},
+             {"A&B", {"x=y", "w,z", "\\esc"}},
+             {"Airport", {"ROC"}}};
+  auto terms = ParseSubpopulationSignature(SubpopulationSignature(q));
+  ASSERT_TRUE(terms.ok());
+  ASSERT_EQ(terms->size(), 3u);
+  // Signature order: terms sorted, values sorted and deduped, structure
+  // characters unescaped back to the original strings.
+  EXPECT_EQ((*terms)[0].attribute, "A&B");
+  EXPECT_EQ((*terms)[0].values,
+            (std::vector<std::string>{"\\esc", "w,z", "x=y"}));
+  EXPECT_EQ((*terms)[1].attribute, "Airport");
+  EXPECT_EQ((*terms)[1].values, (std::vector<std::string>{"ROC"}));
+  EXPECT_EQ((*terms)[2].attribute, "Carrier");
+  EXPECT_EQ((*terms)[2].values, (std::vector<std::string>{"AA", "UA"}));
+
+  EXPECT_TRUE(ParseSubpopulationSignature("")->empty());
+  EXPECT_FALSE(ParseSubpopulationSignature("no-equals").ok());
+  EXPECT_FALSE(ParseSubpopulationSignature("a=1&bad").ok());
+  EXPECT_FALSE(ParseSubpopulationSignature("a=1\\").ok());
 }
 
 TEST(DiscoveryKeyTest, SeparatesOptionsDatasetsAndEpochs) {
@@ -157,6 +202,77 @@ TEST(DatasetRegistryTest, ShardEnginesShareCountsPerSignature) {
   auto other = *registry.ShardEngine("b", 1, "x", TableView(table));
   EXPECT_NE(engine.get(), other.get());
   EXPECT_EQ(other->stats().queries, 0);
+}
+
+// The cross-shard tentpole: equality-conjunction shards of one dataset
+// derive their counts by slicing the shared full-table parent, so a
+// multi-subpopulation workload scans the data far fewer times than
+// isolated shards would — with bit-identical counts.
+TEST(DatasetRegistryTest, EqualityShardsSliceFromSharedParent) {
+  DatasetRegistry shared;   // cross_shard_slicing on (default)
+  DatasetRegistryOptions isolated_options;
+  isolated_options.cross_shard_slicing = false;
+  DatasetRegistry isolated(isolated_options);
+
+  const std::vector<std::string> departments = {"A", "B", "C", "D"};
+  auto run = [&](DatasetRegistry& registry) -> CountEngineStats {
+    registry.Register("b", Berkeley());
+    TablePtr table = *registry.Get("b");
+    const int gender = *table->ColumnIndex("Gender");
+    const int accepted = *table->ColumnIndex("Accepted");
+    for (const std::string& dept : departments) {
+      AggQuery q;
+      q.where = {{"Department", {dept}}};
+      auto pred = Predicate::FromInLists(*table, q.where);
+      EXPECT_TRUE(pred.ok());
+      TableView view = TableView(table).Filter(*pred);
+      auto shard = registry.ShardEngine("b", 1, SubpopulationSignature(q),
+                                        view);
+      EXPECT_TRUE(shard.ok());
+      for (const std::vector<int>& cols :
+           std::vector<std::vector<int>>{{gender}, {gender, accepted}}) {
+        auto counts = (*shard)->Counts(cols);
+        auto direct = CountBy(view, cols);
+        EXPECT_TRUE(counts.ok());
+        EXPECT_TRUE(direct.ok());
+        if (!counts.ok() || !direct.ok()) continue;
+        EXPECT_EQ(counts->keys, direct->keys);
+        EXPECT_EQ(counts->counts, direct->counts);
+        EXPECT_EQ(counts->total, direct->total);
+      }
+    }
+    return *registry.EngineStats("b");
+  };
+
+  CountEngineStats with_slicing = run(shared);
+  CountEngineStats without = run(isolated);
+  // Isolated: every department scans its own view per distinct column
+  // set. Shared: the parent scans once per distinct superset and every
+  // department slices it.
+  EXPECT_EQ(without.scans,
+            static_cast<int64_t>(2 * departments.size()));
+  EXPECT_EQ(without.predicate_slices, 0);
+  EXPECT_EQ(with_slicing.predicate_slices,
+            static_cast<int64_t>(2 * departments.size()));
+  EXPECT_LT(with_slicing.scans, without.scans);
+
+  // Multi-value IN terms are not equality conjunctions: they keep the
+  // isolated stack and scan their own view.
+  TablePtr table = *shared.Get("b");
+  AggQuery multi;
+  multi.where = {{"Department", {"A", "B"}}};
+  auto pred = Predicate::FromInLists(*table, multi.where);
+  ASSERT_TRUE(pred.ok());
+  TableView view = TableView(table).Filter(*pred);
+  auto shard =
+      shared.ShardEngine("b", 1, SubpopulationSignature(multi), view);
+  ASSERT_TRUE(shard.ok());
+  const int gender = *table->ColumnIndex("Gender");
+  CountEngineStats before = *shared.EngineStats("b");
+  ASSERT_TRUE((*shard)->Counts({gender}).ok());
+  CountEngineStats after = *shared.EngineStats("b");
+  EXPECT_EQ(after.predicate_slices, before.predicate_slices);
+  EXPECT_EQ(after.scans, before.scans + 1);
 }
 
 TEST(DiscoveryCacheTest, HitsMissesAndEviction) {
