@@ -11,6 +11,9 @@
 //   --bounds            also print the effect interval over all subsets
 //                       of MB(T) (the Sec. 4 bounds extension)
 //   --threads=N         worker threads for data scans (0 = all cores)
+//   --morsel=N          rows per scan morsel (work unit handed to a
+//                       scan worker; results identical for any value)
+//   --no-simd           force the scalar scan kernels (bit-identical)
 //
 // Service mode (REPL) — a long-lived HypDbService driven line-by-line
 // from stdin, sharing discovery results and contingency caches across
@@ -351,6 +354,10 @@ int main(int argc, char** argv) {
       bounds = true;
     } else if (flag.rfind("--threads=", 0) == 0) {
       options.engine.scan_threads = std::atoi(flag.c_str() + 10);
+    } else if (flag.rfind("--morsel=", 0) == 0) {
+      options.engine.scan_morsel_rows = std::atoll(flag.c_str() + 9);
+    } else if (flag == "--no-simd") {
+      options.engine.scan_simd = false;
     } else if (flag.rfind("--workers=", 0) == 0) {
       workers = std::atoi(flag.c_str() + 10);
     } else if (flag == "--serve") {
@@ -408,7 +415,8 @@ int main(int argc, char** argv) {
   std::string sql;
   if (positional.size() < 2) {
     std::printf("usage: %s <data.csv> \"<SELECT ...>\" [--alpha=A] "
-                "[--no-mediators] [--bounds] [--threads=N]\n"
+                "[--no-mediators] [--bounds] [--threads=N] [--morsel=N] "
+                "[--no-simd]\n"
                 "       %s --serve [--workers=N] [--threads=N] [--alpha=A]\n"
                 "       %s --listen=PORT [--host=ADDR] [--workers=N] "
                 "[--threads=N] [--alpha=A]\n"

@@ -31,10 +31,8 @@ std::vector<std::string> Names(const TablePtr& table,
 // configuration would not have had).
 std::shared_ptr<CountEngine> MakePrivateEngine(const TableView& view,
                                                const MiEngineOptions& o) {
-  GroupByKernelOptions kernel;
-  kernel.num_threads = o.scan_threads;
   std::shared_ptr<CountEngine> base =
-      std::make_shared<ViewCountProvider>(view, kernel);
+      std::make_shared<ViewCountProvider>(view, ScanKernelOptions(o));
   if (!o.materialize_focus) return base;
   CachingCountEngineOptions caching;
   caching.max_cached_cells = o.max_cached_cells;

@@ -50,6 +50,22 @@ class Column {
 
   int64_t NumRows() const { return static_cast<int64_t>(codes_.size()); }
   int32_t Cardinality() const { return dict_.size(); }
+
+  /// Bits needed to address the code space [0, Cardinality()): the
+  /// bit-packed width scan kernels fuse multi-column keys with. 0 for a
+  /// constant (cardinality-1) column.
+  int CodeBits() const {
+    int bits = 0;
+    for (uint32_t span = dict_.size() > 0
+                             ? static_cast<uint32_t>(dict_.size()) - 1
+                             : 0;
+         span != 0; span >>= 1) {
+      ++bits;
+    }
+    return bits;
+  }
+
+
   int32_t CodeAt(int64_t row) const { return codes_[row]; }
   const std::string& LabelAt(int64_t row) const {
     return dict_.Label(codes_[row]);

@@ -1,6 +1,19 @@
 #include "dataframe/tuple_codec.h"
 
 namespace hypdb {
+namespace {
+
+// Bits needed to address [0, card) — the packed width of one column.
+int BitsFor(int32_t card) {
+  int bits = 0;
+  for (uint32_t span = card > 0 ? static_cast<uint32_t>(card) - 1 : 0;
+       span != 0; span >>= 1) {
+    ++bits;
+  }
+  return bits;
+}
+
+}  // namespace
 
 StatusOr<TupleCodec> TupleCodec::Create(const Table& table,
                                         const std::vector<int>& cols) {
@@ -22,6 +35,9 @@ StatusOr<TupleCodec> TupleCodec::Create(const Table& table,
     }
     codec.cards_.push_back(card);
     codec.strides_.push_back(stride);
+    codec.bit_widths_.push_back(BitsFor(card));
+    codec.shifts_.push_back(codec.packed_bits_);
+    codec.packed_bits_ += codec.bit_widths_.back();
     if (stride > kMaxDomain / static_cast<uint64_t>(card)) {
       return Status::OutOfRange(
           "tuple domain overflows: product of cardinalities exceeds 2^62");
@@ -39,6 +55,9 @@ TupleCodec TupleCodec::Project(const std::vector<int>& positions) const {
     out.cols_.push_back(cols_[p]);
     out.cards_.push_back(cards_[p]);
     out.strides_.push_back(stride);
+    out.bit_widths_.push_back(BitsFor(cards_[p]));
+    out.shifts_.push_back(out.packed_bits_);
+    out.packed_bits_ += out.bit_widths_.back();
     stride *= static_cast<uint64_t>(cards_[p]);
   }
   out.domain_ = stride;

@@ -76,10 +76,49 @@ class TupleCodec {
   /// Product of cardinalities (1 for an empty column list).
   uint64_t Domain() const { return domain_; }
 
+  // --- bit-packed keys (scan-kernel fast path) -----------------------------
+  //
+  // Padding each column's radix to a power of two turns the mixed-radix
+  // dot product into shifts and ors: packed = Σ code_j << shift_j. Shift
+  // order matches stride order (cols()[0] least significant), so packed
+  // keys enumerate tuples in the same lexicographic order as mixed-radix
+  // keys — a dense accumulator indexed by packed key drains in sorted
+  // mixed-radix key order with no extra sort.
+
+  /// Per-column bit widths (Column::CodeBits of each codec column).
+  const std::vector<int>& bit_widths() const { return bit_widths_; }
+  /// Per-column left-shift amounts for packed keys.
+  const std::vector<int>& shifts() const { return shifts_; }
+  /// Total packed width in bits (sum of bit_widths).
+  int packed_bits() const { return packed_bits_; }
+
+  /// True when packed keys fit the kernel key space (< 2^62, same bound
+  /// as mixed-radix keys so the hash sentinel stays free).
+  bool CanBitPack() const { return packed_bits_ <= 62; }
+
+  /// Size of the padded (power-of-two-radix) key space, 2^packed_bits.
+  /// Only meaningful when CanBitPack(). Slots whose digits fall outside a
+  /// column's cardinality are never produced by any row.
+  uint64_t PackedDomain() const { return uint64_t{1} << packed_bits_; }
+
+  /// Converts a packed key back to the canonical mixed-radix key.
+  uint64_t PackedToKey(uint64_t packed) const {
+    uint64_t key = 0;
+    for (size_t j = 0; j < cols_.size(); ++j) {
+      const uint64_t digit =
+          (packed >> shifts_[j]) & ((uint64_t{1} << bit_widths_[j]) - 1);
+      key += digit * strides_[j];
+    }
+    return key;
+  }
+
  private:
   std::vector<int> cols_;
   std::vector<int32_t> cards_;
   std::vector<uint64_t> strides_;
+  std::vector<int> bit_widths_;
+  std::vector<int> shifts_;
+  int packed_bits_ = 0;
   uint64_t domain_ = 1;
 };
 

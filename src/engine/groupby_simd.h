@@ -1,0 +1,74 @@
+// SIMD kernel table for the group-by scan.
+//
+// groupby_kernel.cpp owns dispatch: it resolves this table once per
+// process (compile-time availability here, runtime CPU detection there)
+// and falls back to scalar twins of every entry — the scalar path is
+// always compiled and always tested, so a build with
+// HYPDB_ENABLE_SIMD=OFF (or a non-x86 toolchain) runs the same algorithm
+// and produces bit-identical GroupCounts.
+//
+// The AVX2 implementations live in groupby_simd_avx2.cpp, the one
+// translation unit compiled with -mavx2.
+
+#ifndef HYPDB_ENGINE_GROUPBY_SIMD_H_
+#define HYPDB_ENGINE_GROUPBY_SIMD_H_
+
+#include <cstdint>
+
+namespace hypdb {
+
+/// Specialized kernels cover arities 1..kMaxSpecializedArity (the shapes
+/// entropy/CMI estimation issues constantly); wider tuples run the
+/// generic scalar loop.
+inline constexpr int kMaxSpecializedArity = 4;
+
+/// Packed domains up to this size qualify for the in-register histogram
+/// kernel: one byte-counter vector per group cell, updated with
+/// compare/subtract — no per-row memory traffic at all. 16 cells covers
+/// the small contingency tables bias queries revolve around (Gender x
+/// AgeBand and the like) while keeping one AVX2 register per cell.
+inline constexpr uint64_t kTinyDomainMax = 16;
+
+/// Raw scan inputs resolved once per ScanCounts call: per-column code
+/// pointers plus packed-key shift amounts, in codec (stride) order —
+/// shifts[0] is always 0.
+struct PackedColumns {
+  const int32_t* codes[kMaxSpecializedArity] = {};
+  int shifts[kMaxSpecializedArity] = {};
+};
+
+/// Dense radix accumulation over contiguous physical rows [begin, end):
+/// ++counts[packed_key(r)]. Key computation is vectorized; the
+/// scatter-increment runs scalar per lane, which keeps duplicate keys
+/// within a vector conflict-safe. Packed keys are < 2^31 on the dense
+/// path (dispatch bound), so lanes are 32-bit. Accumulators are uint32
+/// — half the cache footprint of int64, decisive for L1-resident count
+/// arrays — and the dispatcher guarantees fewer than 2^31 increments
+/// per array, so cells cannot overflow.
+using DenseAccumulateFn = void (*)(const PackedColumns& cols, int64_t begin,
+                                   int64_t end, uint32_t* counts);
+
+/// Packs the keys of contiguous physical rows [begin, end) into
+/// out[0..end-begin). 64-bit keys: the hash path's packed width may
+/// reach 62 bits.
+using PackKeysFn = void (*)(const PackedColumns& cols, int64_t begin,
+                            int64_t end, uint64_t* out);
+
+/// Kernel table indexed by arity (index 0 unused).
+struct GroupBySimdKernels {
+  DenseAccumulateFn dense_accumulate[kMaxSpecializedArity + 1] = {};
+  PackKeysFn pack_keys[kMaxSpecializedArity + 1] = {};
+  /// Optional tiny-domain variant, used when the packed domain is at
+  /// most kTinyDomainMax; null entries fall back to dense_accumulate
+  /// (the scalar table leaves them null — a scalar per-row bump is
+  /// already optimal there, and counts are identical either way).
+  DenseAccumulateFn dense_accumulate_tiny[kMaxSpecializedArity + 1] = {};
+};
+
+/// The AVX2 kernel table, or null when the binary was built without it.
+/// Callers must still check the CPU at runtime before using the table.
+const GroupBySimdKernels* Avx2KernelTable();
+
+}  // namespace hypdb
+
+#endif  // HYPDB_ENGINE_GROUPBY_SIMD_H_

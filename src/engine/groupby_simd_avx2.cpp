@@ -1,0 +1,202 @@
+// AVX2 group-by kernels — the only translation unit compiled with -mavx2
+// (CMake sets the flag and HYPDB_SIMD_AVX2 together, and only when
+// HYPDB_ENABLE_SIMD is ON and the compiler supports it). Nothing here
+// runs unless the dispatcher in groupby_kernel.cpp verified AVX2 at
+// runtime first.
+
+#include "engine/groupby_simd.h"
+
+#if defined(HYPDB_SIMD_AVX2) && defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace hypdb {
+namespace {
+
+// counts[packed_key] += 1 over [begin, end). Keys for 16 rows are fused
+// with vpslld/vpor into a spilled lane buffer read back as eight 64-bit
+// pairs (halving the reload count), and the spill is double-buffered so
+// the scalar increments of block k read a buffer stored a full iteration
+// earlier — hiding the store-to-load forwarding latency that serializes
+// a naive spill-then-reload loop. The increments themselves run scalar,
+// so duplicate keys inside one vector never lose updates.
+template <int A>
+void DenseAccumulateAvx2(const PackedColumns& cols, int64_t begin,
+                         int64_t end, uint32_t* counts) {
+  __m128i sh[kMaxSpecializedArity];
+  for (int j = 1; j < A; ++j) sh[j] = _mm_cvtsi32_si128(cols.shifts[j]);
+  // 16 packed 32-bit keys per block, viewed as 8 pairs; two buffers.
+  alignas(64) uint64_t lane[2][8];
+  const auto fuse16 = [&](int64_t at, uint64_t* dst) {
+    for (int v = 0; v < 2; ++v) {
+      __m256i key = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(cols.codes[0] + at + 8 * v));
+      for (int j = 1; j < A; ++j) {
+        const __m256i c = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(cols.codes[j] + at + 8 * v));
+        key = _mm256_or_si256(key, _mm256_sll_epi32(c, sh[j]));
+      }
+      _mm256_store_si256(reinterpret_cast<__m256i*>(dst + 4 * v), key);
+    }
+  };
+  const auto bump8 = [counts](const uint64_t* pairs) {
+    for (int k = 0; k < 8; ++k) {
+      const uint64_t pair = pairs[k];
+      ++counts[static_cast<uint32_t>(pair)];
+      ++counts[pair >> 32];
+    }
+  };
+  int64_t i = begin;
+  if (end - begin >= 16) {
+    fuse16(begin, lane[0]);
+    int buf = 0;
+    for (i = begin + 16; i + 16 <= end; i += 16) {
+      fuse16(i, lane[buf ^ 1]);
+      bump8(lane[buf]);
+      buf ^= 1;
+    }
+    bump8(lane[buf]);
+  }
+  for (; i < end; ++i) {
+    uint64_t key = static_cast<uint32_t>(cols.codes[0][i]);
+    for (int j = 1; j < A; ++j) {
+      key |= static_cast<uint64_t>(static_cast<uint32_t>(cols.codes[j][i]))
+             << cols.shifts[j];
+    }
+    ++counts[key];
+  }
+}
+
+// Tiny-domain histogram (packed domain <= kTinyDomainMax): one byte-
+// counter vector per group cell, held entirely in registers. Per 32-row
+// block the packed keys are fused, narrowed to bytes (the in-lane
+// permutation packus introduces is harmless — addition commutes), and
+// every cell's counter absorbs a vpcmpeqb/vpsubb pair. No per-row memory
+// RMW at all, which roughly doubles throughput over the spill-and-bump
+// kernel above on this shape. Byte lanes saturate after 255 blocks, so
+// counters flush into 64-bit accumulators (vpsadbw) on that cadence.
+template <int A>
+void DenseAccumulateTinyAvx2(const PackedColumns& cols, int64_t begin,
+                             int64_t end, uint32_t* counts) {
+  constexpr int kCells = static_cast<int>(kTinyDomainMax);
+  __m128i sh[kMaxSpecializedArity];
+  for (int j = 1; j < A; ++j) sh[j] = _mm_cvtsi32_si128(cols.shifts[j]);
+  alignas(32) uint8_t vals[kCells][32];
+  for (int v = 0; v < kCells; ++v) {
+    for (int l = 0; l < 32; ++l) vals[v][l] = static_cast<uint8_t>(v);
+  }
+  __m256i cnt[kCells], acc[kCells];
+  for (int v = 0; v < kCells; ++v) cnt[v] = acc[v] = _mm256_setzero_si256();
+  const __m256i zero = _mm256_setzero_si256();
+  int pending = 0;
+  const auto flush = [&] {
+    for (int v = 0; v < kCells; ++v) {
+      acc[v] = _mm256_add_epi64(acc[v], _mm256_sad_epu8(cnt[v], zero));
+      cnt[v] = _mm256_setzero_si256();
+    }
+    pending = 0;
+  };
+  // Fuses one 8-row vector of packed keys. Kept as four explicit calls
+  // per block (not a loop over a local array) so the keys live in
+  // registers — GCC rolls the array form and round-trips every vector
+  // through the stack, costing ~20%.
+  const auto fuse8 = [&](int64_t at) {
+    __m256i key = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(cols.codes[0] + at));
+    for (int j = 1; j < A; ++j) {
+      const __m256i c = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(cols.codes[j] + at));
+      key = _mm256_or_si256(key, _mm256_sll_epi32(c, sh[j]));
+    }
+    return key;
+  };
+  int64_t i = begin;
+  for (; i + 32 <= end; i += 32) {
+    const __m256i k0 = fuse8(i);
+    const __m256i k1 = fuse8(i + 8);
+    const __m256i k2 = fuse8(i + 16);
+    const __m256i k3 = fuse8(i + 24);
+    const __m256i bytes = _mm256_packus_epi16(_mm256_packus_epi32(k0, k1),
+                                              _mm256_packus_epi32(k2, k3));
+    for (int v = 0; v < kCells; ++v) {
+      cnt[v] = _mm256_sub_epi8(
+          cnt[v], _mm256_cmpeq_epi8(
+                      bytes, *reinterpret_cast<const __m256i*>(vals[v])));
+    }
+    if (++pending == 255) flush();
+  }
+  flush();
+  for (int v = 0; v < kCells; ++v) {
+    alignas(32) uint64_t q[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(q), acc[v]);
+    const uint64_t total = q[0] + q[1] + q[2] + q[3];
+    // counts[] is sized to the actual packed domain, which may be below
+    // kCells; those cells can never match a key, so skipping zero totals
+    // keeps the write in bounds.
+    if (total != 0) counts[v] += static_cast<uint32_t>(total);
+  }
+  for (; i < end; ++i) {
+    uint64_t key = static_cast<uint32_t>(cols.codes[0][i]);
+    for (int j = 1; j < A; ++j) {
+      key |= static_cast<uint64_t>(static_cast<uint32_t>(cols.codes[j][i]))
+             << cols.shifts[j];
+    }
+    ++counts[key];
+  }
+}
+
+// 64-bit packed keys for [begin, end), 4 rows per vector (the hash path's
+// packed width may exceed 32 bits).
+template <int A>
+void PackKeysAvx2(const PackedColumns& cols, int64_t begin, int64_t end,
+                  uint64_t* out) {
+  __m128i sh[kMaxSpecializedArity];
+  for (int j = 1; j < A; ++j) sh[j] = _mm_cvtsi32_si128(cols.shifts[j]);
+  int64_t i = begin;
+  for (; i + 4 <= end; i += 4, out += 4) {
+    __m256i key = _mm256_cvtepu32_epi64(_mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(cols.codes[0] + i)));
+    for (int j = 1; j < A; ++j) {
+      const __m256i c = _mm256_cvtepu32_epi64(_mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(cols.codes[j] + i)));
+      key = _mm256_or_si256(key, _mm256_sll_epi64(c, sh[j]));
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out), key);
+  }
+  for (; i < end; ++i, ++out) {
+    uint64_t key = static_cast<uint32_t>(cols.codes[0][i]);
+    for (int j = 1; j < A; ++j) {
+      key |= static_cast<uint64_t>(static_cast<uint32_t>(cols.codes[j][i]))
+             << cols.shifts[j];
+    }
+    *out = key;
+  }
+}
+
+// Constant-initialized (no runtime static constructor): this TU is built
+// with -mavx2, so any code that runs unconditionally at startup — which
+// a dynamic initializer would — could fault on a CPU without AVX2.
+constexpr GroupBySimdKernels kAvx2Kernels = {
+    {nullptr, &DenseAccumulateAvx2<1>, &DenseAccumulateAvx2<2>,
+     &DenseAccumulateAvx2<3>, &DenseAccumulateAvx2<4>},
+    {nullptr, &PackKeysAvx2<1>, &PackKeysAvx2<2>, &PackKeysAvx2<3>,
+     &PackKeysAvx2<4>},
+    {nullptr, &DenseAccumulateTinyAvx2<1>, &DenseAccumulateTinyAvx2<2>,
+     &DenseAccumulateTinyAvx2<3>, &DenseAccumulateTinyAvx2<4>},
+};
+
+}  // namespace
+
+const GroupBySimdKernels* Avx2KernelTable() { return &kAvx2Kernels; }
+
+}  // namespace hypdb
+
+#else  // !HYPDB_SIMD_AVX2
+
+namespace hypdb {
+
+const GroupBySimdKernels* Avx2KernelTable() { return nullptr; }
+
+}  // namespace hypdb
+
+#endif

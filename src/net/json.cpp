@@ -858,6 +858,10 @@ Status ApplyOptionOverrides(const JsonValue& overrides,
       options->seed = static_cast<uint64_t>(value.int_value());
     } else if (key == "scan_threads" && value.is_int()) {
       options->engine.scan_threads = static_cast<int>(value.int_value());
+    } else if (key == "scan_morsel_rows" && value.is_int()) {
+      options->engine.scan_morsel_rows = value.int_value();
+    } else if (key == "scan_simd" && value.is_bool()) {
+      options->engine.scan_simd = value.bool_value();
     } else if (key == "direct_reference" && value.is_string()) {
       options->direct_reference = value.string_value();
     } else {

@@ -154,9 +154,9 @@ StatusOr<std::shared_ptr<CountEngine>> DatasetRegistry::ShardEngine(
 }
 
 GroupByKernelOptions DatasetRegistry::KernelOptions() const {
-  GroupByKernelOptions kernel;
-  kernel.num_threads = options_.engine.scan_threads;
-  return kernel;
+  // One translation for the whole stack: the same mapping MiEngine and
+  // session per-context engines use (stats/mi_engine.h).
+  return ScanKernelOptions(options_.engine);
 }
 
 std::shared_ptr<CountEngine> DatasetRegistry::WrapCache(

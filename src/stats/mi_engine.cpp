@@ -27,19 +27,13 @@ std::shared_ptr<CountEngine> WrapEngine(std::shared_ptr<CountEngine> base,
   return std::make_shared<CachingCountEngine>(std::move(base), caching);
 }
 
-GroupByKernelOptions KernelOptions(const MiEngineOptions& options) {
-  GroupByKernelOptions kernel;
-  kernel.num_threads = options.scan_threads;
-  return kernel;
-}
-
 }  // namespace
 
 MiEngine::MiEngine(TableView view, MiEngineOptions options)
     : view_(view),
-      engine_(WrapEngine(
-          std::make_shared<ViewCountProvider>(view, KernelOptions(options)),
-          options)),
+      engine_(WrapEngine(std::make_shared<ViewCountProvider>(
+                             view, ScanKernelOptions(options)),
+                         options)),
       options_(options) {}
 
 MiEngine::MiEngine(TableView view, std::shared_ptr<CountEngine> provider,
