@@ -133,8 +133,9 @@ struct GateCase {
 int main(int argc, char** argv) {
   const double scale = ScaleArg(argc, argv);
   const int reps = std::max(2, static_cast<int>(3 * scale));
-  const int cores =
-      std::max(1u, std::thread::hardware_concurrency());
+  // Affinity/cgroup-aware: the skewed 4-thread gate needs 4 usable
+  // cores, not 4 advertised ones.
+  const int cores = EffectiveCores();
   const bool simd = GroupByKernelSimdActive();
   Header("bench_kernel",
          "Sec. 6 count(*) GROUP BY hot loop — vectorized morsel kernel "
@@ -173,7 +174,6 @@ int main(int argc, char** argv) {
   };
 
   net::JsonValue results = net::JsonValue::MakeObject();
-  results.Set("cores", net::JsonValue::Int(cores));
   results.Set("simd", net::JsonValue::Bool(simd));
   results.Set("scale", net::JsonValue::Double(scale));
 

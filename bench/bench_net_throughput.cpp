@@ -106,7 +106,7 @@ RunResult RunClients(int port, const std::vector<Workload>& workloads,
 
 int main(int argc, char** argv) {
   const double scale = ScaleArg(argc, argv);
-  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+  const unsigned cores = static_cast<unsigned>(EffectiveCores());
 
   Header("bench_net_throughput",
          "wire protocol — queries/sec over real sockets at 1/4/N client "
@@ -193,7 +193,6 @@ int main(int argc, char** argv) {
   net::JsonValue results = net::JsonValue::MakeObject();
   results.Set("scale", net::JsonValue::Double(scale));
   results.Set("rows", net::JsonValue::Int(table->NumRows()));
-  results.Set("cores", net::JsonValue::Int(static_cast<int64_t>(cores)));
   results.Set("workers", net::JsonValue::Int(service.num_workers()));
   results.Set("serial_seconds", net::JsonValue::Double(serial_seconds));
   results.Set("runs", std::move(rows));

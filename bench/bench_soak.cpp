@@ -1,0 +1,322 @@
+// Open-loop soak: the full wire stack (HttpServer -> HypDbHandlers ->
+// HypDbService -> engine) under fixed arrival rates, reporting latency
+// quantiles per route — the paper's interactive-analysis claim as a
+// service-level objective rather than a throughput number.
+//
+// Open-loop means requests are launched on a precomputed arrival
+// schedule and latency is measured from the *scheduled* arrival, not
+// from when a client thread got around to sending — so queueing delay
+// under overload is measured instead of hidden (the coordinated-
+// omission trap of closed-loop generators).
+//
+// The mix per 5 events: 2x POST /v1/analyze, 2x GET /v1/stats,
+// 1x GET /healthz. Three correctness gates, any failure exits non-zero:
+//  1. Every analyze response digest equals the serial cold reference.
+//  2. No transport errors or non-2xx responses.
+//  3. A final GET /metrics?format=json scrape must show
+//     sum(hypdb_http_requests_total) == events issued — exact, because
+//     handler counters are bumped after the scrape body is built, so
+//     the scrape never counts itself.
+//
+// Usage: bench_soak [scale]   — scale multiplies the per-rate duration
+// (default 1 => ~2s per rate). Results land in BENCH_soak.json.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/hypdb.h"
+#include "datagen/flight_data.h"
+#include "net/client.h"
+#include "net/http_server.h"
+#include "net/hypdb_handlers.h"
+#include "net/json.h"
+#include "service/hypdb_service.h"
+#include "service/report_digest.h"
+
+using namespace hypdb;
+using namespace hypdb::bench;
+
+namespace {
+
+enum SoakRoute { kAnalyze, kStats, kHealthz, kNumSoakRoutes };
+const char* const kSoakRouteNames[kNumSoakRoutes] = {"analyze", "stats",
+                                                     "healthz"};
+
+// 2x analyze, 2x stats, 1x healthz per 5 events — deterministic, so the
+// schedule (and the final counter assertion) is exactly reproducible.
+SoakRoute MixAt(int64_t i) {
+  switch (i % 5) {
+    case 0:
+    case 3:
+      return kAnalyze;
+    case 1:
+    case 4:
+      return kStats;
+    default:
+      return kHealthz;
+  }
+}
+
+double Quantile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const size_t rank = static_cast<size_t>(q * (sorted.size() - 1));
+  return sorted[rank];
+}
+
+struct RateResult {
+  double rate = 0.0;
+  int64_t events = 0;
+  int64_t errors = 0;
+  int64_t digest_mismatches = 0;
+  std::vector<double> latency[kNumSoakRoutes];  // seconds, unsorted
+};
+
+RateResult RunRate(int port, double rate, double duration_seconds,
+                   const std::string& analyze_body,
+                   const std::string& expected_digest) {
+  using Clock = std::chrono::steady_clock;
+  RateResult result;
+  result.rate = rate;
+  result.events = std::max<int64_t>(1, static_cast<int64_t>(
+                                           rate * duration_seconds));
+
+  // One slot per event, written by whichever client thread ran it.
+  std::vector<double> latency(result.events, 0.0);
+  std::atomic<int64_t> next{0};
+  std::atomic<int64_t> errors{0};
+  std::atomic<int64_t> mismatches{0};
+
+  const int clients =
+      std::min<int64_t>(std::min(8, 2 * EffectiveCores()), result.events);
+  const auto start = Clock::now() + std::chrono::milliseconds(20);
+  std::vector<std::thread> pool;
+  pool.reserve(clients);
+  for (int c = 0; c < clients; ++c) {
+    pool.emplace_back([&, rate] {
+      net::HttpClient client("127.0.0.1", port);
+      for (;;) {
+        const int64_t i = next.fetch_add(1);
+        if (i >= result.events) break;
+        const auto scheduled =
+            start + std::chrono::nanoseconds(
+                        static_cast<int64_t>(1e9 * i / rate));
+        std::this_thread::sleep_until(scheduled);
+        const SoakRoute route = MixAt(i);
+        StatusOr<net::HttpResult> reply =
+            route == kAnalyze
+                ? client.Request("POST", "/v1/analyze", analyze_body)
+                : client.Request("GET", route == kStats ? "/v1/stats"
+                                                        : "/healthz");
+        // Latency from the scheduled arrival: includes time the event
+        // waited for a connection or a worker — the open-loop point.
+        latency[i] = std::chrono::duration<double>(Clock::now() - scheduled)
+                         .count();
+        if (!reply.ok() || reply->status != 200) {
+          errors.fetch_add(1);
+          continue;
+        }
+        if (route == kAnalyze) {
+          auto parsed = net::ParseJson(reply->body);
+          const net::JsonValue* digest =
+              parsed.ok() ? parsed->Find("digest") : nullptr;
+          if (digest == nullptr || !digest->is_string() ||
+              digest->string_value() != expected_digest) {
+            mismatches.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+
+  result.errors = errors.load();
+  result.digest_mismatches = mismatches.load();
+  for (int64_t i = 0; i < result.events; ++i) {
+    result.latency[MixAt(i)].push_back(latency[i]);
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = ScaleArg(argc, argv);
+  Header("bench_soak",
+         "open-loop soak — per-route latency quantiles at fixed arrival "
+         "rates over the real wire stack");
+
+  FlightDataOptions data;
+  data.num_rows = 8000;
+  data.num_noise_columns = 2;
+  auto generated = GenerateFlightData(data);
+  if (!generated.ok()) {
+    std::printf("datagen failed: %s\n",
+                generated.status().ToString().c_str());
+    return 1;
+  }
+  TablePtr table = MakeTable(std::move(*generated));
+
+  const std::string sql =
+      "SELECT Carrier, avg(Delayed) FROM flights "
+      "WHERE Airport IN ('COS','MFE','MTJ','ROC') GROUP BY Carrier";
+
+  // Serial cold reference: the digest every service answer must match.
+  std::string expected_digest;
+  {
+    HypDb db(table, HypDbOptions{});
+    auto report = db.AnalyzeSql(sql);
+    if (!report.ok()) {
+      std::printf("serial analyze failed: %s\n",
+                  report.status().ToString().c_str());
+      return 1;
+    }
+    expected_digest = CanonicalReportDigest(*report);
+  }
+
+  HypDbServiceOptions service_options;
+  HypDbService service(service_options);
+  service.RegisterTable("flights", table);
+  net::HypDbHandlers handlers(&service);
+  net::HttpServer server(
+      [&handlers](const net::HttpRequest& r) {
+        return handlers.HandleHttp(r);
+      },
+      [&handlers](const std::string& line) {
+        return handlers.HandleLine(line);
+      });
+  handlers.RegisterMetrics(&service.metrics_registry());
+  server.RegisterMetrics(&service.metrics_registry());
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::printf("server start failed: %s\n", started.ToString().c_str());
+    return 1;
+  }
+
+  net::JsonValue analyze = net::JsonValue::MakeObject();
+  analyze.Set("dataset", net::JsonValue::Str("flights"));
+  analyze.Set("sql", net::JsonValue::Str(sql));
+  const std::string analyze_body = net::SerializeJson(analyze);
+
+  // Warm the discovery and contingency caches through the service API —
+  // not over HTTP, so the exact-counter gate still accounts for every
+  // wire event. The soak measures steady state, not the first cold
+  // dependency discovery.
+  {
+    AnalyzeRequest warmup;
+    warmup.dataset = "flights";
+    warmup.sql = sql;
+    auto report = service.Analyze(std::move(warmup));
+    if (!report.ok()) {
+      std::printf("warmup analyze failed: %s\n",
+                  report.status().ToString().c_str());
+      return 1;
+    }
+  }
+
+  std::printf("dataset: %lld rows, %d workers, %d effective cores\n\n",
+              static_cast<long long>(table->NumRows()),
+              service.num_workers(), EffectiveCores());
+
+  const std::vector<double> rates = {50.0, 200.0};
+  const double duration = 2.0 * scale;
+  int64_t total_events = 0;
+  int64_t total_errors = 0;
+  int64_t total_mismatches = 0;
+
+  Row({"rate/s", "route", "count", "p50 ms", "p95 ms", "p99 ms"}, 10);
+  net::JsonValue rate_rows = net::JsonValue::MakeArray();
+  for (double rate : rates) {
+    RateResult result =
+        RunRate(server.port(), rate, duration, analyze_body,
+                expected_digest);
+    total_events += result.events;
+    total_errors += result.errors;
+    total_mismatches += result.digest_mismatches;
+    net::JsonValue row = net::JsonValue::MakeObject();
+    row.Set("rate", net::JsonValue::Double(rate));
+    row.Set("events", net::JsonValue::Int(result.events));
+    row.Set("errors", net::JsonValue::Int(result.errors));
+    row.Set("digest_mismatches",
+            net::JsonValue::Int(result.digest_mismatches));
+    net::JsonValue routes = net::JsonValue::MakeObject();
+    for (int r = 0; r < kNumSoakRoutes; ++r) {
+      std::vector<double>& lat = result.latency[r];
+      std::sort(lat.begin(), lat.end());
+      const double p50 = Quantile(lat, 0.50);
+      const double p95 = Quantile(lat, 0.95);
+      const double p99 = Quantile(lat, 0.99);
+      Row({Fmt("%.0f", rate), kSoakRouteNames[r],
+           std::to_string(lat.size()), Fmt("%.2f", p50 * 1e3),
+           Fmt("%.2f", p95 * 1e3), Fmt("%.2f", p99 * 1e3)},
+          10);
+      net::JsonValue rj = net::JsonValue::MakeObject();
+      rj.Set("count", net::JsonValue::Int(static_cast<int64_t>(lat.size())));
+      rj.Set("p50_seconds", net::JsonValue::Double(p50));
+      rj.Set("p95_seconds", net::JsonValue::Double(p95));
+      rj.Set("p99_seconds", net::JsonValue::Double(p99));
+      routes.Set(kSoakRouteNames[r], std::move(rj));
+    }
+    row.Set("routes", std::move(routes));
+    rate_rows.Append(std::move(row));
+  }
+
+  // Gate 3: the scrape must account for exactly the events issued.
+  int64_t counted = -1;
+  {
+    net::HttpClient client("127.0.0.1", server.port());
+    auto scrape = client.Get("/metrics?format=json");
+    if (scrape.ok()) {
+      const net::JsonValue* families = scrape->Find("families");
+      if (families != nullptr && families->is_array()) {
+        counted = 0;
+        for (const net::JsonValue& family : families->array()) {
+          const net::JsonValue* name = family.Find("name");
+          if (name == nullptr ||
+              name->string_value() != "hypdb_http_requests_total") {
+            continue;
+          }
+          for (const net::JsonValue& sample :
+               family.Find("samples")->array()) {
+            counted += sample.Find("value")->int_value();
+          }
+        }
+      }
+    }
+  }
+  server.Stop();
+  const bool metrics_consistent = counted == total_events;
+  std::printf("\nmetrics scrape: hypdb_http_requests_total sums to %lld "
+              "for %lld issued events (%s)\n",
+              static_cast<long long>(counted),
+              static_cast<long long>(total_events),
+              metrics_consistent ? "consistent" : "INCONSISTENT");
+
+  net::JsonValue results = net::JsonValue::MakeObject();
+  results.Set("scale", net::JsonValue::Double(scale));
+  results.Set("rows", net::JsonValue::Int(table->NumRows()));
+  results.Set("workers", net::JsonValue::Int(service.num_workers()));
+  results.Set("duration_seconds", net::JsonValue::Double(duration));
+  results.Set("rates", std::move(rate_rows));
+  results.Set("events", net::JsonValue::Int(total_events));
+  results.Set("errors", net::JsonValue::Int(total_errors));
+  results.Set("digest_mismatches", net::JsonValue::Int(total_mismatches));
+  results.Set("metrics_consistent", net::JsonValue::Bool(metrics_consistent));
+  WriteBenchJson("soak", std::move(results));
+
+  if (total_errors > 0 || total_mismatches > 0 || !metrics_consistent) {
+    std::printf("FAIL: errors=%lld digest_mismatches=%lld metrics=%s\n",
+                static_cast<long long>(total_errors),
+                static_cast<long long>(total_mismatches),
+                metrics_consistent ? "ok" : "inconsistent");
+    return 1;
+  }
+  std::printf("PASS: digests identical, no errors, counters exact\n");
+  return 0;
+}

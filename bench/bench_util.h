@@ -8,14 +8,48 @@
 #ifndef HYPDB_BENCH_BENCH_UTIL_H_
 #define HYPDB_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
+
+#ifdef __linux__
+#include <sched.h>
+#endif
 
 #include "net/json.h"
 
 namespace hypdb::bench {
+
+/// Cores this process can actually use: hardware_concurrency clipped by
+/// the CPU affinity mask and the cgroup v2 quota (both routinely smaller
+/// on CI runners, where hardware_concurrency alone misleads scaling
+/// gates into demanding parallel speedups the host cannot deliver).
+inline int EffectiveCores() {
+  int cores = static_cast<int>(std::thread::hardware_concurrency());
+  if (cores < 1) cores = 1;
+#ifdef __linux__
+  cpu_set_t mask;
+  if (sched_getaffinity(0, sizeof(mask), &mask) == 0) {
+    const int allowed = CPU_COUNT(&mask);
+    if (allowed >= 1 && allowed < cores) cores = allowed;
+  }
+  // cgroup v2: "cpu.max" is "<quota> <period>" or "max <period>".
+  if (FILE* f = std::fopen("/sys/fs/cgroup/cpu.max", "r")) {
+    long long quota = 0;
+    long long period = 0;
+    if (std::fscanf(f, "%lld %lld", &quota, &period) == 2 && quota > 0 &&
+        period > 0) {
+      const int limit = static_cast<int>((quota + period - 1) / period);
+      if (limit >= 1 && limit < cores) cores = limit;
+    }
+    std::fclose(f);
+  }
+#endif
+  return cores;
+}
 
 /// Parses the optional scale factor (argv[1], default 1).
 inline double ScaleArg(int argc, char** argv, double fallback = 1.0) {
@@ -49,6 +83,12 @@ inline std::string Fmt(const char* fmt, double v) {
 /// perf trajectory of every bench is comparable across commits.
 inline void WriteBenchJson(const std::string& name, net::JsonValue results) {
   results.Set("bench", net::JsonValue::Str(name));
+  // Every trail records the host it ran on: scaling numbers are
+  // meaningless without the core budget that produced them.
+  results.Set("cores", net::JsonValue::Int(EffectiveCores()));
+  results.Set("hardware_concurrency",
+              net::JsonValue::Int(static_cast<int64_t>(
+                  std::max(1u, std::thread::hardware_concurrency()))));
   const std::string path = "BENCH_" + name + ".json";
   FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {

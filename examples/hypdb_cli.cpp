@@ -45,8 +45,14 @@
 // (HTTP/1.1 + line-JSON on one port; see net/hypdb_handlers.h for the
 // endpoint reference):
 //
-//   $ ./examples/hypdb_cli --listen=8080 [--host=0.0.0.0] [--workers=N]
+//   $ ./examples/hypdb_cli --listen=8080 [--host=0.0.0.0] [--workers=N] \
+//       [--stats-log=requests.jsonl]
 //   $ curl -s localhost:8080/healthz
+//   $ curl -s localhost:8080/metrics          # Prometheus; ?format=json
+//
+// --stats-log appends one JSON line per completed request (including
+// cancels, deadline misses and failures) with its status code and the
+// full RequestStats trace — the service-side flight recorder.
 //
 // Each report footer shows the per-request service stats as the same
 // JSON the wire protocol serves (one rendering path — the REPL can never
@@ -59,6 +65,7 @@
 #include <cstring>
 #include <ctime>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -71,6 +78,8 @@
 #include "net/hypdb_handlers.h"
 #include "net/json.h"
 #include "service/hypdb_service.h"
+#include "util/metrics.h"
+#include "util/stats_log.h"
 #include "util/string_util.h"
 
 using namespace hypdb;
@@ -98,7 +107,7 @@ int RunServe(const HypDbServiceOptions& options) {
   HypDbService service(options);
   std::printf("HypDB service REPL — %d workers. Commands: load, gen, "
               "analyze, submit, poll, wait, cancel, session, step, "
-              "sessions, close, datasets, stats, quit\n",
+              "sessions, close, datasets, stats, metrics, quit\n",
               service.num_workers());
 
   std::string line;
@@ -287,6 +296,14 @@ int RunServe(const HypDbServiceOptions& options) {
       continue;
     }
 
+    if (cmd == "metrics") {
+      // Same exposition GET /metrics serves.
+      std::printf("%s", RenderPrometheusText(
+                            service.metrics_registry().Snapshot())
+                            .c_str());
+      continue;
+    }
+
     std::printf("unknown command '%s'\n", cmd.c_str());
   }
   return 0;
@@ -314,6 +331,11 @@ int RunListen(const HypDbServiceOptions& options, const std::string& host,
         return handlers.HandleLine(line);
       },
       server_options);
+  // One scrape surface for all layers: handlers (per-route counters) and
+  // transport (connections/bytes) join the service registry, so
+  // GET /metrics covers engine -> scheduler -> HTTP in a single pass.
+  handlers.RegisterMetrics(&service.metrics_registry());
+  server.RegisterMetrics(&service.metrics_registry());
   Status started = server.Start();
   if (!started.ok()) return Fail(started);
   std::printf("hypdb listening on %s:%d — HTTP/1.1 + line-JSON, %d "
@@ -340,6 +362,7 @@ int main(int argc, char** argv) {
   bool serve = false;
   int listen_port = -1;  // >= 0 once --listen given (0 = ephemeral)
   std::string host = "127.0.0.1";
+  std::string stats_log_path;
   int workers = 0;
 
   // Flags may appear anywhere; positionals are collected in order.
@@ -366,6 +389,8 @@ int main(int argc, char** argv) {
       listen_port = std::atoi(flag.c_str() + 9);
     } else if (flag.rfind("--host=", 0) == 0) {
       host = flag.c_str() + 7;
+    } else if (flag.rfind("--stats-log=", 0) == 0) {
+      stats_log_path = flag.c_str() + 12;
     } else if (flag.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
       return 1;
@@ -394,6 +419,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--workers requires --serve or --listen\n");
     return 1;
   }
+  if (!serve && !listen && !stats_log_path.empty()) {
+    std::fprintf(stderr, "--stats-log requires --serve or --listen\n");
+    return 1;
+  }
   if (!listen && host != "127.0.0.1") {
     std::fprintf(stderr, "--host requires --listen\n");
     return 1;
@@ -407,6 +436,30 @@ int main(int argc, char** argv) {
     HypDbServiceOptions service_options;
     service_options.num_workers = workers;
     service_options.analysis = options;
+    // Declared before the service (inside Run*) so the scheduler's
+    // on_complete callback never outlives the log it writes to.
+    std::unique_ptr<StatsLog> stats_log;
+    if (!stats_log_path.empty()) {
+      auto opened = StatsLog::Open(stats_log_path);
+      if (!opened.ok()) return Fail(opened.status());
+      stats_log = std::move(*opened);
+      // One JSONL record per completed request (success, error, cancel,
+      // deadline), carrying the same RequestStats JSON the wire serves.
+      service_options.on_complete = [log = stats_log.get()](
+                                        const RequestStats& stats,
+                                        const Status& status) {
+        net::JsonValue record = net::JsonValue::MakeObject();
+        record.Set("ts", net::JsonValue::Int(
+                             static_cast<int64_t>(std::time(nullptr))));
+        record.Set("code",
+                   net::JsonValue::Str(StatusCodeName(status.code())));
+        if (!status.ok()) {
+          record.Set("message", net::JsonValue::Str(status.message()));
+        }
+        record.Set("stats", net::ToJson(stats));
+        log->WriteLine(net::SerializeJson(record));
+      };
+    }
     return serve ? RunServe(service_options)
                  : RunListen(service_options, host, listen_port);
   }
@@ -417,9 +470,10 @@ int main(int argc, char** argv) {
     std::printf("usage: %s <data.csv> \"<SELECT ...>\" [--alpha=A] "
                 "[--no-mediators] [--bounds] [--threads=N] [--morsel=N] "
                 "[--no-simd]\n"
-                "       %s --serve [--workers=N] [--threads=N] [--alpha=A]\n"
+                "       %s --serve [--workers=N] [--threads=N] [--alpha=A] "
+                "[--stats-log=PATH]\n"
                 "       %s --listen=PORT [--host=ADDR] [--workers=N] "
-                "[--threads=N] [--alpha=A]\n"
+                "[--threads=N] [--alpha=A] [--stats-log=PATH]\n"
                 "\n",
                 argv[0], argv[0], argv[0]);
     std::printf("no arguments given — running the built-in Berkeley demo\n\n");

@@ -510,6 +510,11 @@ void HashAccumulateMorsel(const ScanShape& s, const GroupBySimdKernels* simd,
   }
 }
 
+// Process-wide morsel dispatch count, surfaced as
+// hypdb_engine_morsels_total. Per-morsel relaxed add: the cursor
+// fetch_add on the same cache-line cadence already dominates.
+std::atomic<int64_t> g_morsels_dispatched{0};
+
 // Morsel-driven scheduling: an atomic cursor hands out contiguous row
 // ranges; `work(worker, begin, end)` runs on `threads` workers (worker 0
 // is the calling thread). Skewed per-row costs (filtered views, cold
@@ -522,6 +527,7 @@ void RunMorsels(int64_t n, int64_t morsel, int threads, Work&& work) {
       const int64_t begin = cursor.fetch_add(morsel,
                                              std::memory_order_relaxed);
       if (begin >= n) break;
+      g_morsels_dispatched.fetch_add(1, std::memory_order_relaxed);
       work(t, begin, std::min(begin + morsel, n));
     }
   };
@@ -588,6 +594,10 @@ void DrainDense(const TupleCodec& codec, const CountVec& totals,
 }  // namespace
 
 bool GroupByKernelSimdActive() { return RuntimeSimdTable() != nullptr; }
+
+int64_t GroupByMorselsDispatched() {
+  return g_morsels_dispatched.load(std::memory_order_relaxed);
+}
 
 StatusOr<GroupCounts> ScanCounts(const TableView& view,
                                  const std::vector<int>& cols,

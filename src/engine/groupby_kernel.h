@@ -72,6 +72,11 @@ StatusOr<GroupCounts> ScanCounts(const TableView& view,
 /// loop. Benchmarks gate SIMD speedup assertions on this.
 bool GroupByKernelSimdActive();
 
+/// Process-wide count of morsels dispatched by parallel scans since
+/// startup (monotone; serial scans dispatch none). Observability only —
+/// surfaced as hypdb_engine_morsels_total.
+int64_t GroupByMorselsDispatched();
+
 }  // namespace hypdb
 
 #endif  // HYPDB_ENGINE_GROUPBY_KERNEL_H_

@@ -46,7 +46,8 @@ const char* ReasonPhrase(int status) {
   }
 }
 
-bool SendResponse(int fd, const HttpResponse& response, bool keep_alive) {
+bool SendResponse(int fd, const HttpResponse& response, bool keep_alive,
+                  HttpServerMetrics* metrics) {
   std::string head = StrFormat(
       "HTTP/1.1 %d %s\r\n"
       "Content-Type: %s\r\n"
@@ -56,7 +57,9 @@ bool SendResponse(int fd, const HttpResponse& response, bool keep_alive) {
       response.content_type.c_str(), response.body.size(),
       keep_alive ? "keep-alive" : "close");
   head += response.body;
-  return SendAll(fd, head);
+  const bool ok = SendAll(fd, head);
+  if (ok) metrics->bytes_written.Add(static_cast<int64_t>(head.size()));
+  return ok;
 }
 
 bool IsHttpMethodToken(const std::string& method) {
@@ -169,10 +172,11 @@ void HttpServer::AcceptLoop() {
     }
     if (static_cast<int>(connections_.size()) >= options_.max_connections) {
       lock.unlock();
+      metrics_.connections_rejected.Add();
       SendResponse(fd, {503, "application/json",
                         "{\"code\":\"unavailable\",\"message\":"
                         "\"connection limit reached\"}"},
-                   /*keep_alive=*/false);
+                   /*keep_alive=*/false, &metrics_);
       ::close(fd);
       continue;
     }
@@ -182,6 +186,7 @@ void HttpServer::AcceptLoop() {
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 
+    metrics_.connections_accepted.Add();
     connections_.insert(fd);
     threads_.emplace_back();
     const auto slot = std::prev(threads_.end());
@@ -225,12 +230,16 @@ void HttpServer::ServeLines(int fd, std::string* buffer) {
     if (newline == std::string::npos) {
       scanned = buffer->size();  // only new bytes need searching
       if (static_cast<int64_t>(buffer->size()) > options_.max_body_bytes) {
-        SendAll(fd,
-                "{\"ok\":false,\"error\":{\"code\":\"invalid_argument\","
-                "\"message\":\"line exceeds the size limit\"}}\n");
+        metrics_.parse_rejects.Add();
+        const std::string error =
+            "{\"ok\":false,\"error\":{\"code\":\"invalid_argument\","
+            "\"message\":\"line exceeds the size limit\"}}\n";
+        if (SendAll(fd, error)) {
+          metrics_.bytes_written.Add(static_cast<int64_t>(error.size()));
+        }
         return;
       }
-      if (!ReadMore(fd, buffer)) return;  // EOF, error, or idle timeout
+      if (!ReadMoreCounted(fd, buffer)) return;  // EOF/error/idle timeout
       continue;
     }
     std::string request = buffer->substr(0, newline);
@@ -238,7 +247,10 @@ void HttpServer::ServeLines(int fd, std::string* buffer) {
     scanned = 0;
     if (!request.empty() && request.back() == '\r') request.pop_back();
     if (Trim(request).empty()) continue;  // blank lines are keep-alives
-    if (!SendAll(fd, line_(request) + "\n")) return;
+    metrics_.line_requests.Add();
+    const std::string response = line_(request) + "\n";
+    if (!SendAll(fd, response)) return;
+    metrics_.bytes_written.Add(static_cast<int64_t>(response.size()));
   }
 }
 
@@ -253,13 +265,14 @@ void HttpServer::ServeHttp(int fd, std::string* buffer) {
            std::string::npos) {
       scanned = buffer->size() < 3 ? 0 : buffer->size() - 3;
       if (static_cast<int64_t>(buffer->size()) > options_.max_header_bytes) {
+        metrics_.parse_rejects.Add();
         SendResponse(fd, {400, "application/json",
                           "{\"code\":\"invalid_argument\",\"message\":"
                           "\"request head exceeds the size limit\"}"},
-                     false);
+                     false, &metrics_);
         return;
       }
-      if (!ReadMore(fd, buffer)) return;  // EOF, error, or idle timeout
+      if (!ReadMoreCounted(fd, buffer)) return;  // EOF/error/idle timeout
     }
 
     HttpRequest request;
@@ -276,10 +289,11 @@ void HttpServer::ServeHttp(int fd, std::string* buffer) {
       if (parts.size() != 3 || !IsHttpMethodToken(parts[0]) ||
           parts[1].empty() || parts[1][0] != '/' ||
           (parts[2] != "HTTP/1.1" && parts[2] != "HTTP/1.0")) {
+        metrics_.parse_rejects.Add();
         SendResponse(fd, {400, "application/json",
                           "{\"code\":\"invalid_argument\",\"message\":"
                           "\"malformed request line\"}"},
-                     false);
+                     false, &metrics_);
         return;
       }
       request.method = parts[0];
@@ -289,10 +303,11 @@ void HttpServer::ServeHttp(int fd, std::string* buffer) {
       for (size_t i = 1; i < lines.size(); ++i) {
         const size_t colon = lines[i].find(':');
         if (colon == std::string::npos || colon == 0) {
+          metrics_.parse_rejects.Add();
           SendResponse(fd, {400, "application/json",
                             "{\"code\":\"invalid_argument\",\"message\":"
                             "\"malformed header line\"}"},
-                       false);
+                       false, &metrics_);
           return;
         }
         request.headers.emplace_back(
@@ -307,10 +322,12 @@ void HttpServer::ServeHttp(int fd, std::string* buffer) {
       if (value == "keep-alive") keep_alive = true;
     }
     if (request.Header("transfer-encoding") != nullptr) {
+      // A well-formed request for an unsupported feature — not counted
+      // as a parse reject.
       SendResponse(fd, {501, "application/json",
                         "{\"code\":\"unimplemented\",\"message\":"
                         "\"chunked transfer encoding not supported\"}"},
-                   false);
+                   false, &metrics_);
       return;
     }
 
@@ -319,39 +336,85 @@ void HttpServer::ServeHttp(int fd, std::string* buffer) {
     if (const std::string* header = request.Header("content-length")) {
       if (header->empty() ||
           header->find_first_not_of("0123456789") != std::string::npos) {
+        metrics_.parse_rejects.Add();
         SendResponse(fd, {400, "application/json",
                           "{\"code\":\"invalid_argument\",\"message\":"
                           "\"malformed content-length\"}"},
-                     false);
+                     false, &metrics_);
         return;
       }
       errno = 0;
       content_length = std::strtoll(header->c_str(), nullptr, 10);
       if (errno != 0 || content_length > options_.max_body_bytes) {
+        metrics_.parse_rejects.Add();
         SendResponse(fd, {413, "application/json",
                           "{\"code\":\"invalid_argument\",\"message\":"
                           "\"body exceeds the size limit\"}"},
-                     false);
+                     false, &metrics_);
         return;
       }
     } else if (request.method == "POST" || request.method == "PUT") {
+      metrics_.parse_rejects.Add();
       SendResponse(fd, {411, "application/json",
                         "{\"code\":\"invalid_argument\",\"message\":"
                         "\"content-length required\"}"},
-                   false);
+                   false, &metrics_);
       return;
     }
 
     buffer->erase(0, head_end + 4);
     while (static_cast<int64_t>(buffer->size()) < content_length) {
-      if (!ReadMore(fd, buffer)) return;
+      if (!ReadMoreCounted(fd, buffer)) return;
     }
     request.body = buffer->substr(0, static_cast<size_t>(content_length));
     buffer->erase(0, static_cast<size_t>(content_length));
 
-    if (!SendResponse(fd, http_(request), keep_alive)) return;
+    metrics_.http_requests.Add();
+    if (!SendResponse(fd, http_(request), keep_alive, &metrics_)) return;
     if (!keep_alive) return;
   }
+}
+
+bool HttpServer::ReadMoreCounted(int fd, std::string* buffer) {
+  const size_t before = buffer->size();
+  if (!ReadMore(fd, buffer)) return false;
+  metrics_.bytes_read.Add(static_cast<int64_t>(buffer->size() - before));
+  return true;
+}
+
+int64_t HttpServer::active_connections() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(connections_.size());
+}
+
+void HttpServer::RegisterMetrics(MetricsRegistry* registry) const {
+  registry->RegisterCounter("hypdb_http_connections_accepted_total",
+                            "TCP connections accepted and served.", {},
+                            &metrics_.connections_accepted);
+  registry->RegisterCounter(
+      "hypdb_http_connections_rejected_total",
+      "Connections answered 503 over the connection limit.", {},
+      &metrics_.connections_rejected);
+  registry->RegisterGaugeFn(
+      "hypdb_http_connections_active",
+      "Connections currently being served.", {},
+      [this] { return static_cast<double>(active_connections()); });
+  registry->RegisterCounter("hypdb_http_requests_parsed_total",
+                            "HTTP requests fully parsed and dispatched.",
+                            {}, &metrics_.http_requests);
+  registry->RegisterCounter("hypdb_line_requests_total",
+                            "Line-JSON requests dispatched.", {},
+                            &metrics_.line_requests);
+  registry->RegisterCounter(
+      "hypdb_http_parse_rejects_total",
+      "Requests rejected for malformed framing (4xx before routing).", {},
+      &metrics_.parse_rejects);
+  registry->RegisterCounter("hypdb_http_bytes_read_total",
+                            "Bytes received from clients.", {},
+                            &metrics_.bytes_read);
+  registry->RegisterCounter("hypdb_http_bytes_written_total",
+                            "Bytes sent to clients.", {},
+                            &metrics_.bytes_written);
 }
 
 }  // namespace net

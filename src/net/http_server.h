@@ -29,10 +29,24 @@
 #include <utility>
 #include <vector>
 
+#include "util/metrics.h"
 #include "util/status.h"
 
 namespace hypdb {
 namespace net {
+
+/// Transport-level counters (the SQLStats idiom). Route/status breakdown
+/// lives in the handler layer (HypDbHandlers) — the server only sees raw
+/// connections, framing and bytes.
+struct HttpServerMetrics {
+  Counter connections_accepted;
+  Counter connections_rejected;  // over max_connections -> immediate 503
+  Counter http_requests;         // fully parsed and dispatched
+  Counter line_requests;         // line-JSON requests dispatched
+  Counter parse_rejects;         // malformed framing answered with a 4xx
+  Counter bytes_read;
+  Counter bytes_written;
+};
 
 struct HttpRequest {
   std::string method;  // uppercase token, e.g. "POST"
@@ -95,21 +109,32 @@ class HttpServer {
   int port() const { return port_; }
   const HttpServerOptions& options() const { return options_; }
 
+  /// Live transport counters (see HttpServerMetrics).
+  const HttpServerMetrics& metrics() const { return metrics_; }
+  /// Connections currently being served.
+  int64_t active_connections() const;
+  /// Registers the transport metrics under hypdb_http_* / hypdb_line_*
+  /// names. The server must outlive every scrape of `registry`.
+  void RegisterMetrics(MetricsRegistry* registry) const;
+
  private:
   void AcceptLoop();
   void ServeConnection(int fd);
   void ServeHttp(int fd, std::string* buffer);
   void ServeLines(int fd, std::string* buffer);
+  /// ReadMore with the received bytes counted into metrics_.
+  bool ReadMoreCounted(int fd, std::string* buffer);
 
   HttpHandler http_;
   LineHandler line_;
   HttpServerOptions options_;
+  mutable HttpServerMetrics metrics_;
 
   int listen_fd_ = -1;
   int port_ = 0;
   std::thread acceptor_;
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   bool stopping_ = false;
   /// Live connection fds, for Stop() to shut down mid-read.
   std::set<int> connections_;

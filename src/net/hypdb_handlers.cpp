@@ -7,6 +7,8 @@
 #include "datagen/cancer_data.h"
 #include "datagen/flight_data.h"
 #include "datagen/staples_data.h"
+#include "engine/groupby_kernel.h"
+#include "util/stopwatch.h"
 #include "util/string_util.h"
 
 namespace hypdb {
@@ -42,23 +44,6 @@ StatusOr<Table> GenerateNamedDataset(const std::string& kind) {
 
 namespace {
 
-HttpResponse JsonResponse(int status, const JsonValue& body) {
-  HttpResponse response;
-  response.status = status;
-  response.body = SerializeJson(body);
-  return response;
-}
-
-HttpResponse ErrorResponse(const Status& status) {
-  return JsonResponse(HttpStatusForCode(status.code()),
-                      ErrorToJson(status));
-}
-
-HttpResponse ResultResponse(const StatusOr<JsonValue>& result) {
-  if (!result.ok()) return ErrorResponse(result.status());
-  return JsonResponse(200, *result);
-}
-
 /// Splits "/v1/requests/7?wait=1" into path and a query-parameter check.
 struct Target {
   std::string path;
@@ -74,6 +59,17 @@ struct Target {
       if (key == name && value != "0" && value != "false") return true;
     }
     return false;
+  }
+
+  /// Value of the first `name=value` parameter; "" when absent.
+  std::string ParamValue(const std::string& name) const {
+    for (const std::string& param : Split(query, '&')) {
+      const size_t eq = param.find('=');
+      if (eq != std::string::npos && param.substr(0, eq) == name) {
+        return param.substr(eq + 1);
+      }
+    }
+    return "";
   }
 };
 
@@ -120,6 +116,40 @@ StatusOr<uint64_t> TicketFromJson(const JsonValue& body) {
 }
 
 }  // namespace
+
+HttpResponse HypDbHandlers::JsonResponse(int status,
+                                         const JsonValue& body) const {
+  HttpResponse response;
+  response.status = status;
+  Stopwatch watch;
+  response.body = SerializeJson(body);
+  serialize_.Observe(watch.ElapsedSeconds());
+  return response;
+}
+
+HttpResponse HypDbHandlers::ErrorResponse(const Status& status) const {
+  return JsonResponse(HttpStatusForCode(status.code()), ErrorToJson(status));
+}
+
+HttpResponse HypDbHandlers::ResultResponse(
+    const StatusOr<JsonValue>& result) const {
+  if (!result.ok()) return ErrorResponse(result.status());
+  return JsonResponse(200, *result);
+}
+
+JsonValue HypDbHandlers::Healthz() const {
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("ok", JsonValue::Bool(true));
+  out.Set("workers", JsonValue::Int(service_->num_workers()));
+  out.Set("uptime_seconds", JsonValue::Double(service_->uptime_seconds()));
+  out.Set("datasets",
+          JsonValue::Int(static_cast<int64_t>(service_->Datasets().size())));
+  out.Set("queue_depth", JsonValue::Int(service_->queue_depth()));
+  out.Set("sessions", JsonValue::Int(service_->num_sessions()));
+  out.Set("simd",
+          JsonValue::Str(GroupByKernelSimdActive() ? "avx2" : "scalar"));
+  return out;
+}
 
 StatusOr<JsonValue> HypDbHandlers::Register(const JsonValue& body) {
   HYPDB_ASSIGN_OR_RETURN(RegisterCommand command,
@@ -263,17 +293,61 @@ StatusOr<JsonValue> HypDbHandlers::Cancel(uint64_t ticket) {
   return out;
 }
 
+HypDbHandlers::Route HypDbHandlers::ClassifyRoute(const std::string& target) {
+  const std::string path = target.substr(0, target.find('?'));
+  if (path == "/healthz") return kRouteHealthz;
+  if (path == "/metrics") return kRouteMetrics;
+  if (path == "/v1/stats") return kRouteStats;
+  if (path == "/v1/datasets") return kRouteDatasets;
+  if (path == "/v1/analyze") return kRouteAnalyze;
+  if (path == "/v1/submit") return kRouteSubmit;
+  if (path.rfind("/v1/requests/", 0) == 0) return kRouteRequests;
+  if (path == "/v1/sessions" || path.rfind("/v1/sessions/", 0) == 0) {
+    return kRouteSessions;
+  }
+  return kRouteOther;
+}
+
 HttpResponse HypDbHandlers::HandleHttp(const HttpRequest& request) {
+  Stopwatch watch;
+  const Route route = ClassifyRoute(request.target);
+  HttpResponse response = RouteHttp(request);
+  // Count after the body is built: a /metrics scrape never includes
+  // itself, so a client can assert exact counts against what it sent.
+  RouteMetrics& m = routes_[route];
+  (response.status >= 500   ? m.server_error
+   : response.status >= 400 ? m.client_error
+                            : m.ok)
+      .Add();
+  m.latency.Observe(watch.ElapsedSeconds());
+  return response;
+}
+
+HttpResponse HypDbHandlers::RouteHttp(const HttpRequest& request) {
   const Target target = SplitTarget(request.target);
 
   if (target.path == "/healthz") {
     if (request.method != "GET") {
       return ErrorResponse(Status::InvalidArgument("use GET /healthz"));
     }
-    JsonValue out = JsonValue::MakeObject();
-    out.Set("ok", JsonValue::Bool(true));
-    out.Set("workers", JsonValue::Int(service_->num_workers()));
-    return JsonResponse(200, out);
+    return JsonResponse(200, Healthz());
+  }
+
+  if (target.path == "/metrics") {
+    if (request.method != "GET") {
+      return ErrorResponse(Status::InvalidArgument("use GET /metrics"));
+    }
+    const MetricsSnapshot snapshot = service_->metrics_registry().Snapshot();
+    if (target.ParamValue("format") == "json") {
+      return JsonResponse(200, MetricsToJson(snapshot));
+    }
+    HttpResponse response;
+    response.status = 200;
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    Stopwatch render;
+    response.body = RenderPrometheusText(snapshot);
+    serialize_.Observe(render.ElapsedSeconds());
+    return response;
   }
 
   if (target.path == "/v1/stats") {
@@ -380,16 +454,26 @@ HttpResponse HypDbHandlers::HandleHttp(const HttpRequest& request) {
 }
 
 std::string HypDbHandlers::HandleLine(const std::string& line) {
-  const auto envelope = [](StatusOr<JsonValue> result) {
+  Stopwatch watch;
+  const auto envelope = [this, &watch](StatusOr<JsonValue> result) {
     JsonValue out = JsonValue::MakeObject();
+    RouteMetrics& m = routes_[kRouteLine];
     if (result.ok()) {
       out.Set("ok", JsonValue::Bool(true));
       out.Set("result", std::move(*result));
+      m.ok.Add();
     } else {
       out.Set("ok", JsonValue::Bool(false));
       out.Set("error", ErrorToJson(result.status()));
+      (HttpStatusForCode(result.status().code()) >= 500 ? m.server_error
+                                                        : m.client_error)
+          .Add();
     }
-    return SerializeJson(out);
+    m.latency.Observe(watch.ElapsedSeconds());
+    Stopwatch serialize;
+    std::string text = SerializeJson(out);
+    serialize_.Observe(serialize.ElapsedSeconds());
+    return text;
   };
 
   auto parsed = ParseJson(line);
@@ -400,7 +484,7 @@ std::string HypDbHandlers::HandleLine(const std::string& line) {
     return envelope(Status::InvalidArgument(
         "expected a string \"cmd\" member (register|datasets|analyze|"
         "submit|poll|wait|cancel|session|step|sessions|session_info|"
-        "session_close|stats|health)"));
+        "session_close|stats|health|metrics)"));
   }
   const std::string& verb = cmd->string_value();
 
@@ -414,11 +498,9 @@ std::string HypDbHandlers::HandleLine(const std::string& line) {
     return static_cast<uint64_t>(session->int_value());
   };
 
-  if (verb == "health") {
-    JsonValue out = JsonValue::MakeObject();
-    out.Set("ok", JsonValue::Bool(true));
-    out.Set("workers", JsonValue::Int(service_->num_workers()));
-    return envelope(std::move(out));
+  if (verb == "health") return envelope(Healthz());
+  if (verb == "metrics") {
+    return envelope(MetricsToJson(service_->metrics_registry().Snapshot()));
   }
   if (verb == "stats") return envelope(ServiceStatsToJson(*service_));
   if (verb == "datasets") {
@@ -465,6 +547,35 @@ std::string HypDbHandlers::HandleLine(const std::string& line) {
                                            : SessionClose(*session));
   }
   return envelope(Status::InvalidArgument("unknown cmd \"" + verb + "\""));
+}
+
+void HypDbHandlers::RegisterMetrics(MetricsRegistry* registry) const {
+  static const char* const kRouteNames[kNumRoutes] = {
+      "healthz", "metrics",  "stats",    "datasets", "analyze",
+      "submit",  "requests", "sessions", "line",     "other"};
+  for (int r = 0; r < kNumRoutes; ++r) {
+    const std::string route = kRouteNames[r];
+    registry->RegisterCounter(
+        "hypdb_http_requests_total",
+        "Requests handled, by route and status class.",
+        {{"route", route}, {"status", "2xx"}}, &routes_[r].ok);
+    registry->RegisterCounter("hypdb_http_requests_total",
+                              "Requests handled, by route and status class.",
+                              {{"route", route}, {"status", "4xx"}},
+                              &routes_[r].client_error);
+    registry->RegisterCounter("hypdb_http_requests_total",
+                              "Requests handled, by route and status class.",
+                              {{"route", route}, {"status", "5xx"}},
+                              &routes_[r].server_error);
+    registry->RegisterHistogram("hypdb_http_request_seconds",
+                                "Handler wall time, by route.",
+                                {{"route", route}}, &routes_[r].latency);
+  }
+  registry->RegisterHistogram(
+      "hypdb_http_serialize_seconds",
+      "Response serialization time (not part of the request trace: "
+      "serialization cannot appear inside its own output).",
+      {}, &serialize_);
 }
 
 }  // namespace net

@@ -22,7 +22,10 @@
 //                              session is complete)
 //   DELETE /v1/sessions/{id}   close the session
 //   GET    /v1/stats           cache/engine/worker/session introspection
-//   GET    /healthz            liveness
+//   GET    /healthz            readiness: ok/workers/uptime/datasets/
+//                              queue_depth/sessions/simd
+//   GET    /metrics            Prometheus text exposition; ?format=json
+//                              for the structured flavor (with p50/95/99)
 //
 // Errors are ErrorToJson bodies ({"code","message"}) with the HTTP status
 // from HttpStatusForCode; expired/invalidated sessions answer 410 Gone,
@@ -51,20 +54,69 @@ int HttpStatusForCode(StatusCode code);
 /// and the CLI so both accept the same names.
 StatusOr<Table> GenerateNamedDataset(const std::string& kind);
 
-/// Stateless fan-in from both wire protocols onto one HypDbService. All
-/// methods are thread-safe (the service is; the handlers hold no mutable
-/// state).
+/// Fan-in from both wire protocols onto one HypDbService. Thread-safe:
+/// the service is, and the handlers' only mutable state is lock-free
+/// route metrics.
 class HypDbHandlers {
  public:
   explicit HypDbHandlers(HypDbService* service) : service_(service) {}
 
-  /// The HttpServer HTTP callback.
+  /// The HttpServer HTTP callback. Wraps the routing with per-route
+  /// status-class counters and a latency histogram; the counters are
+  /// bumped AFTER the response body is built, so a GET /metrics scrape
+  /// never counts itself in its own body — which is what lets CI assert
+  /// exact counter consistency against the requests it issued.
   HttpResponse HandleHttp(const HttpRequest& request);
   /// The HttpServer line-JSON callback: one request line in, one
-  /// response line out (envelope documented above).
+  /// response line out (envelope documented above). Counted under the
+  /// "line" route.
   std::string HandleLine(const std::string& line);
 
+  /// Registers hypdb_http_requests_total{route,status},
+  /// hypdb_http_request_seconds{route} and hypdb_http_serialize_seconds.
+  /// The handlers must outlive every scrape of `registry`.
+  void RegisterMetrics(MetricsRegistry* registry) const;
+
  private:
+  /// Stable route classes for metric labels — bounded cardinality, so a
+  /// path scanner probing random URLs cannot mint unbounded series
+  /// (everything unknown lands in kRouteOther).
+  enum Route {
+    kRouteHealthz,
+    kRouteMetrics,
+    kRouteStats,
+    kRouteDatasets,
+    kRouteAnalyze,
+    kRouteSubmit,
+    kRouteRequests,
+    kRouteSessions,
+    kRouteLine,
+    kRouteOther,
+    kNumRoutes
+  };
+  /// Per-route status-class counters + latency. Plain C array member:
+  /// the atomics make RouteMetrics immovable.
+  struct RouteMetrics {
+    Counter ok;            // 2xx/3xx
+    Counter client_error;  // 4xx
+    Counter server_error;  // 5xx
+    LatencyHistogram latency;
+  };
+
+  static Route ClassifyRoute(const std::string& target);
+  /// The actual routing (the pre-metrics HandleHttp body).
+  HttpResponse RouteHttp(const HttpRequest& request);
+
+  /// Response builders; JsonResponse times SerializeJson into the
+  /// hypdb_http_serialize_seconds histogram (serialization cannot appear
+  /// as a trace span inside its own output).
+  HttpResponse JsonResponse(int status, const JsonValue& body) const;
+  HttpResponse ErrorResponse(const Status& status) const;
+  HttpResponse ResultResponse(const StatusOr<JsonValue>& result) const;
+  /// The readiness body shared by GET /healthz and the line "health"
+  /// verb.
+  JsonValue Healthz() const;
+
   /// Shared verb implementations; both protocols decode into these.
   StatusOr<JsonValue> Register(const JsonValue& body);
   StatusOr<JsonValue> Analyze(const JsonValue& body);
@@ -80,6 +132,8 @@ class HypDbHandlers {
   JsonValue SessionList();
 
   HypDbService* service_;
+  mutable RouteMetrics routes_[kNumRoutes];
+  mutable LatencyHistogram serialize_;
 };
 
 }  // namespace net

@@ -525,6 +525,19 @@ JsonValue ToJson(const RequestStats& stats) {
                          : stats.discovery_reused  ? "cached"
                                                    : "computed"));
   out.Set("engine_delta", ToJson(stats.engine_delta));
+  // Trace timeline: where the latency went, spans in execution order on
+  // the submit-relative axis. Serialization cannot be a span in its own
+  // response; it is measured into the hypdb_http_serialize_seconds
+  // histogram instead.
+  JsonValue trace = JsonValue::MakeArray();
+  for (const TraceSpan& span : stats.trace) {
+    JsonValue s = JsonValue::MakeObject();
+    s.Set("span", JsonValue::Str(span.name));
+    s.Set("start_seconds", JsonValue::Double(span.start_seconds));
+    s.Set("seconds", JsonValue::Double(span.seconds));
+    trace.Append(std::move(s));
+  }
+  out.Set("trace", std::move(trace));
   // Session stage jobs only — absent members keep the analyze-path wire
   // format (and its golden digests) byte-stable.
   if (stats.session_id != 0) {
@@ -825,6 +838,71 @@ JsonValue ServiceStatsToJson(const HypDbService& service) {
     datasets.Append(std::move(entry));
   }
   out.Set("datasets", std::move(datasets));
+  return out;
+}
+
+JsonValue MetricsToJson(const MetricsSnapshot& snapshot) {
+  JsonValue families = JsonValue::MakeArray();
+  for (const auto& family : snapshot.families) {
+    JsonValue f = JsonValue::MakeObject();
+    f.Set("name", JsonValue::Str(family.name));
+    switch (family.type) {
+      case MetricType::kCounter:
+        f.Set("type", JsonValue::Str("counter"));
+        break;
+      case MetricType::kGauge:
+        f.Set("type", JsonValue::Str("gauge"));
+        break;
+      case MetricType::kHistogram:
+        f.Set("type", JsonValue::Str("histogram"));
+        break;
+    }
+    f.Set("help", JsonValue::Str(family.help));
+    JsonValue samples = JsonValue::MakeArray();
+    for (const auto& sample : family.samples) {
+      JsonValue s = JsonValue::MakeObject();
+      if (!sample.labels.empty()) {
+        JsonValue labels = JsonValue::MakeObject();
+        for (const auto& [name, value] : sample.labels) {
+          labels.Set(name, JsonValue::Str(value));
+        }
+        s.Set("labels", std::move(labels));
+      }
+      if (family.type == MetricType::kHistogram) {
+        const HistogramSnapshot& h = sample.histogram;
+        s.Set("count", JsonValue::Int(h.count));
+        s.Set("sum_seconds", JsonValue::Double(h.sum_seconds));
+        s.Set("p50", JsonValue::Double(h.Quantile(0.50)));
+        s.Set("p95", JsonValue::Double(h.Quantile(0.95)));
+        s.Set("p99", JsonValue::Double(h.Quantile(0.99)));
+        // Raw (non-cumulative) buckets; `le` as a string because JSON
+        // has no +Inf. Empty buckets are skipped to keep scrapes small.
+        JsonValue buckets = JsonValue::MakeArray();
+        for (size_t i = 0; i < h.counts.size(); ++i) {
+          if (h.counts[i] == 0) continue;
+          JsonValue b = JsonValue::MakeObject();
+          const double bound = h.upper_bounds[i];
+          b.Set("le", JsonValue::Str(std::isinf(bound)
+                                         ? "+Inf"
+                                         : StrFormat("%.17g", bound)));
+          b.Set("count", JsonValue::Int(h.counts[i]));
+          buckets.Append(std::move(b));
+        }
+        s.Set("buckets", std::move(buckets));
+      } else if (sample.value == std::floor(sample.value) &&
+                 std::fabs(sample.value) < 1e15) {
+        s.Set("value",
+              JsonValue::Int(static_cast<int64_t>(sample.value)));
+      } else {
+        s.Set("value", JsonValue::Double(sample.value));
+      }
+      samples.Append(std::move(s));
+    }
+    f.Set("samples", std::move(samples));
+    families.Append(std::move(f));
+  }
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("families", std::move(families));
   return out;
 }
 

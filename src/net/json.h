@@ -139,6 +139,13 @@ Status StatusFromJson(const JsonValue& v);
 /// engine stats) — the GET /v1/stats and REPL `stats` body.
 JsonValue ServiceStatsToJson(const HypDbService& service);
 
+/// The JSON flavor of GET /metrics (?format=json): one entry per metric
+/// family with name/type/help and its samples; histogram samples carry
+/// the raw bucket table plus extracted p50/p95/p99. The Prometheus text
+/// flavor is RenderPrometheusText (util/metrics.h) — this renderer lives
+/// in net because util cannot depend on the JSON library.
+JsonValue MetricsToJson(const MetricsSnapshot& snapshot);
+
 // ---- wire codecs: JSON -> commands -------------------------------------
 
 /// An AnalyzeRequest plus its scheduler submit options as read off the

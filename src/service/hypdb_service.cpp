@@ -1,6 +1,7 @@
 #include "service/hypdb_service.h"
 
 #include "core/sql_parser.h"
+#include "engine/groupby_kernel.h"
 
 namespace hypdb {
 namespace {
@@ -20,6 +21,7 @@ QuerySchedulerOptions SchedulerOptions(const HypDbServiceOptions& o) {
   out.share_engines = o.share_engines;
   out.share_discovery = o.share_discovery;
   out.defaults = o.analysis;
+  out.on_complete = o.on_complete;
   return out;
 }
 
@@ -38,7 +40,142 @@ HypDbService::HypDbService(HypDbServiceOptions options)
       discovery_(DiscoveryCacheOptions{options_.max_discovery_entries}),
       sessions_(SessionOptions(options_)),
       scheduler_(std::make_unique<QueryScheduler>(
-          &registry_, &discovery_, SchedulerOptions(options_))) {}
+          &registry_, &discovery_, SchedulerOptions(options_))) {
+  RegisterMetrics();
+}
+
+void HypDbService::RegisterMetrics() {
+  // Uptime + dataset inventory.
+  metrics_.RegisterGaugeFn("hypdb_uptime_seconds",
+                           "Seconds since the service was constructed.", {},
+                           [this] { return uptime_.ElapsedSeconds(); });
+  metrics_.RegisterGaugeFn(
+      "hypdb_datasets", "Datasets currently registered.", {},
+      [this] { return static_cast<double>(registry_.List().size()); });
+
+  // Scheduler: counters + queue depth + wait/run histograms.
+  const SchedulerMetrics& sched = scheduler_->metrics();
+  metrics_.RegisterCounter("hypdb_scheduler_submitted_total",
+                           "Requests submitted (sync, async and session "
+                           "stage jobs).",
+                           {}, &sched.submitted);
+  metrics_.RegisterCounter("hypdb_scheduler_completed_total",
+                           "Requests that reached a terminal outcome.", {},
+                           &sched.completed);
+  metrics_.RegisterCounter("hypdb_scheduler_failed_total",
+                           "Requests completed with an error other than "
+                           "cancellation or deadline.",
+                           {}, &sched.failed);
+  metrics_.RegisterCounter("hypdb_scheduler_cancelled_total",
+                           "Requests cancelled while queued or at a "
+                           "cooperative stage boundary.",
+                           {}, &sched.cancelled);
+  metrics_.RegisterCounter("hypdb_scheduler_deadline_exceeded_total",
+                           "Requests rejected at pickup because their "
+                           "queue wait exceeded the deadline.",
+                           {}, &sched.deadline_exceeded);
+  metrics_.RegisterCounter("hypdb_scheduler_batched_twins_total",
+                           "Requests drained as same-batch-key followers "
+                           "of another pickup.",
+                           {}, &sched.batched_twins);
+  metrics_.RegisterGaugeFn(
+      "hypdb_scheduler_queue_depth",
+      "Requests queued but not yet picked up by a worker.", {},
+      [this] { return static_cast<double>(scheduler_->queue_depth()); });
+  metrics_.RegisterHistogram("hypdb_scheduler_queue_wait_seconds",
+                             "Seconds from submit to worker pickup (or to "
+                             "cancellation/deadline rejection).",
+                             {}, &sched.queue_wait);
+  metrics_.RegisterHistogram("hypdb_scheduler_run_seconds",
+                             "Seconds a worker spent executing a request.",
+                             {}, &sched.run_time);
+
+  // DiscoveryCache: its stats struct is mutex-guarded inside the cache,
+  // so the registry reads it through callbacks instead of raw pointers.
+  auto discovery_stat = [this](int64_t DiscoveryCacheStats::* member) {
+    return [this, member] {
+      return static_cast<double>(discovery_.stats().*member);
+    };
+  };
+  metrics_.RegisterCounterFn("hypdb_discovery_hits_total",
+                             "Discoveries served from a completed cache "
+                             "entry.",
+                             {}, discovery_stat(&DiscoveryCacheStats::hits));
+  metrics_.RegisterCounterFn(
+      "hypdb_discovery_misses_total",
+      "Discoveries computed because no entry existed.", {},
+      discovery_stat(&DiscoveryCacheStats::misses));
+  metrics_.RegisterCounterFn(
+      "hypdb_discovery_coalesced_total",
+      "Discoveries that waited on an in-flight twin computation.", {},
+      discovery_stat(&DiscoveryCacheStats::coalesced));
+  metrics_.RegisterCounterFn(
+      "hypdb_discovery_invalidations_total",
+      "Cached discoveries dropped by dataset re-registration.", {},
+      discovery_stat(&DiscoveryCacheStats::invalidations));
+  metrics_.RegisterCounterFn(
+      "hypdb_discovery_evictions_total",
+      "Cached discoveries dropped by the size bound.", {},
+      discovery_stat(&DiscoveryCacheStats::evictions));
+
+  // Sessions: lifecycle counters + the live level derived from them.
+  const SessionManagerMetrics& sess = sessions_.metrics();
+  metrics_.RegisterCounter("hypdb_sessions_created_total",
+                           "Analysis sessions created.", {}, &sess.created);
+  metrics_.RegisterCounter("hypdb_sessions_expired_total",
+                           "Sessions dropped by the idle TTL.", {},
+                           &sess.expired);
+  metrics_.RegisterCounter("hypdb_sessions_evicted_total",
+                           "Sessions dropped by the LRU cap.", {},
+                           &sess.evicted);
+  metrics_.RegisterCounter("hypdb_sessions_invalidated_total",
+                           "Sessions dropped by dataset re-registration.",
+                           {}, &sess.invalidated);
+  metrics_.RegisterCounter("hypdb_sessions_closed_total",
+                           "Sessions closed explicitly.", {}, &sess.closed);
+  metrics_.RegisterGaugeFn(
+      "hypdb_sessions_live", "Sessions currently live.", {},
+      [this] { return static_cast<double>(sessions_.size()); });
+
+  // Engine: shard-engine work aggregated over every registered dataset
+  // at scrape time (monotone per dataset; datasets unregister only by
+  // replacement, which resets their pools — acceptable counter resets).
+  auto engine_stat = [this](int64_t CountEngineStats::* member) {
+    return [this, member] {
+      int64_t total = 0;
+      for (const DatasetInfo& info : registry_.List()) {
+        StatusOr<CountEngineStats> stats = registry_.EngineStats(info.name);
+        if (stats.ok()) total += (*stats).*member;
+      }
+      return static_cast<double>(total);
+    };
+  };
+  metrics_.RegisterCounterFn("hypdb_engine_queries_total",
+                             "Count queries answered by the shared shard "
+                             "engines.",
+                             {}, engine_stat(&CountEngineStats::queries));
+  metrics_.RegisterCounterFn("hypdb_engine_scans_total",
+                             "Full data scans performed by the shared "
+                             "shard engines (the Fig. 6c cost driver).",
+                             {}, engine_stat(&CountEngineStats::scans));
+  metrics_.RegisterCounterFn("hypdb_engine_cache_hits_total",
+                             "Count queries answered from an exact cached "
+                             "summary.",
+                             {}, engine_stat(&CountEngineStats::cache_hits));
+  metrics_.RegisterCounterFn(
+      "hypdb_engine_marginalizations_total",
+      "Count queries derived by marginalizing a cached superset summary.",
+      {}, engine_stat(&CountEngineStats::marginalizations));
+  metrics_.RegisterCounterFn(
+      "hypdb_engine_predicate_slices_total",
+      "Count queries answered by slicing a shared full-table summary at "
+      "the shard's predicate values.",
+      {}, engine_stat(&CountEngineStats::predicate_slices));
+  metrics_.RegisterCounterFn(
+      "hypdb_engine_morsels_total",
+      "Morsels dispatched by parallel group-by scans (process-wide).", {},
+      [] { return static_cast<double>(GroupByMorselsDispatched()); });
+}
 
 int64_t HypDbService::RegisterTable(const std::string& name,
                                     TablePtr table) {

@@ -39,6 +39,8 @@
 #include "service/query_scheduler.h"
 #include "service/request.h"
 #include "service/session_manager.h"
+#include "util/metrics.h"
+#include "util/stopwatch.h"
 
 namespace hypdb {
 
@@ -65,6 +67,10 @@ struct HypDbServiceOptions {
   int64_t max_sessions = 64;
   /// Idle seconds before a session expires; <= 0 disables expiry.
   double session_ttl_seconds = 600.0;
+  /// Per-request completion observer forwarded to the scheduler (see
+  /// QuerySchedulerOptions::on_complete) — how `--stats-log` hooks in
+  /// without the service depending on any serialization layer.
+  std::function<void(const RequestStats&, const Status&)> on_complete;
 };
 
 /// Thread-safe: any number of client threads may register datasets and
@@ -139,7 +145,28 @@ class HypDbService {
   int num_workers() const { return scheduler_->num_workers(); }
   const HypDbServiceOptions& options() const { return options_; }
 
+  /// --- observability -------------------------------------------------
+  /// The service-wide registry behind GET /metrics: every subsystem's
+  /// counters/histograms registered under stable hypdb_* names (see the
+  /// README metric reference). Front-end objects (HttpServer, handlers)
+  /// add their own metrics here post-construction. Scrapes are safe from
+  /// any thread for the service's lifetime.
+  MetricsRegistry& metrics_registry() { return metrics_; }
+  double uptime_seconds() const { return uptime_.ElapsedSeconds(); }
+  int64_t queue_depth() const { return scheduler_->queue_depth(); }
+  const SchedulerMetrics& scheduler_metrics() const {
+    return scheduler_->metrics();
+  }
+  const SessionManagerMetrics& session_metrics() const {
+    return sessions_.metrics();
+  }
+
  private:
+  /// Registers every subsystem's metrics under the service registry.
+  /// Called last in the constructor; all registered pointers are members
+  /// of *this (or of subsystems *this owns), and metrics_ is declared
+  /// first so it is destroyed last — nothing scrapes during teardown.
+  void RegisterMetrics();
   /// The body of a session stage job (runs on a scheduler worker).
   StatusOr<ServiceReport> RunSessionStage(
       uint64_t session_id, const std::string& stage,
@@ -147,6 +174,9 @@ class HypDbService {
       const std::shared_ptr<std::atomic<bool>>& cancel_flag,
       RequestStats* stats);
 
+  // First member: registered metric pointers all outlive the registry.
+  MetricsRegistry metrics_;
+  Stopwatch uptime_;
   HypDbServiceOptions options_;
   DatasetRegistry registry_;
   DiscoveryCache discovery_;

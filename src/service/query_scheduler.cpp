@@ -51,6 +51,7 @@ uint64_t QueryScheduler::Submit(AnalyzeRequest request,
   job.request = std::move(request);
   job.submit = submit;
 
+  metrics_.submitted.Add();
   StatusOr<AggQuery> parsed = ParseAggQuery(job.request.sql);
   std::unique_lock<std::mutex> lock(mu_);
   const uint64_t ticket = next_ticket_++;
@@ -60,6 +61,14 @@ uint64_t QueryScheduler::Submit(AnalyzeRequest request,
     // Malformed SQL never reaches a worker; the ticket completes
     // immediately with the parser error — through the same accounting as
     // worker completions, so it counts against the retention bound.
+    // Observe() runs first (and outside mu_, it fires on_complete): the
+    // counters must land before the completion is publishable, so a
+    // returned Wait() always sees them.
+    lock.unlock();
+    RequestStats stats;
+    stats.ticket = ticket;
+    Observe(stats, parsed.status(), /*queued=*/false, /*ran=*/false);
+    lock.lock();
     CompleteLocked(ticket, StatusOr<ServiceReport>(parsed.status()));
     lock.unlock();
     done_cv_.notify_all();
@@ -82,6 +91,7 @@ uint64_t QueryScheduler::SubmitTask(
   job.batch_key = std::move(batch_key);
   job.run = std::move(run);
   job.cancel_flag = std::move(cancel_flag);
+  metrics_.submitted.Add();
   std::unique_lock<std::mutex> lock(mu_);
   const uint64_t ticket = next_ticket_++;
   job.ticket = ticket;
@@ -125,6 +135,9 @@ bool QueryScheduler::Done(uint64_t ticket) const {
 
 bool QueryScheduler::Cancel(uint64_t ticket) {
   std::shared_ptr<std::atomic<bool>> running_flag;
+  // Built under the lock (the job dies there), observed after unlock.
+  std::optional<RequestStats> cancelled_stats;
+  Status cancelled_status = Status::Ok();
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto job = std::find_if(queue_.begin(), queue_.end(),
@@ -136,15 +149,29 @@ bool QueryScheduler::Cancel(uint64_t ticket) {
       if (running == running_cancels_.end()) return false;
       running_flag = running->second;
     } else {
+      RequestStats stats;
+      stats.ticket = ticket;
+      stats.queue_seconds = job->queued.ElapsedSeconds();
+      stats.trace.push_back({"queue", 0.0, stats.queue_seconds});
+      cancelled_status = Status::Cancelled("request " +
+                                           std::to_string(ticket) +
+                                           " cancelled before it ran");
+      cancelled_stats = std::move(stats);
+      // Erased from the queue but not completed yet: the slot flips to
+      // done only after Observe() below, so a returned Wait() always
+      // sees the cancelled counter and the on_complete record.
       queue_.erase(job);
-      CompleteLocked(ticket, StatusOr<ServiceReport>(Status::Cancelled(
-                                 "request " + std::to_string(ticket) +
-                                 " cancelled before it ran")));
     }
   }
   if (running_flag != nullptr) {
     running_flag->store(true);
     return true;
+  }
+  Observe(*cancelled_stats, cancelled_status, /*queued=*/true,
+          /*ran=*/false);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CompleteLocked(ticket, StatusOr<ServiceReport>(cancelled_status));
   }
   done_cv_.notify_all();
   return true;
@@ -175,6 +202,9 @@ void QueryScheduler::WorkerLoop(int worker_id) {
         }
       }
     }
+    if (batch.size() > 1) {
+      metrics_.batched_twins.Add(static_cast<int64_t>(batch.size()) - 1);
+    }
     for (Job& job : batch) RunJob(std::move(job), worker_id);
   }
 }
@@ -184,14 +214,16 @@ void QueryScheduler::RunJob(Job job, int worker_id) {
   stats.ticket = job.ticket;
   stats.worker_id = worker_id;
   stats.queue_seconds = job.queued.ElapsedSeconds();
+  stats.trace.push_back({"queue", 0.0, stats.queue_seconds});
   // Deadline check at pickup — it also covers batched twins, whose wait
   // keeps growing while earlier batch members run.
   if (job.submit.deadline_seconds > 0.0 &&
       stats.queue_seconds > job.submit.deadline_seconds) {
-    Complete(job.ticket,
-             StatusOr<ServiceReport>(Status::DeadlineExceeded(StrFormat(
-                 "request waited %.3fs, past its %.3fs deadline",
-                 stats.queue_seconds, job.submit.deadline_seconds))));
+    const Status status = Status::DeadlineExceeded(StrFormat(
+        "request waited %.3fs, past its %.3fs deadline",
+        stats.queue_seconds, job.submit.deadline_seconds));
+    Observe(stats, status, /*queued=*/true, /*ran=*/false);
+    Complete(job.ticket, StatusOr<ServiceReport>(status));
     return;
   }
   if (job.cancel_flag != nullptr) {
@@ -205,7 +237,20 @@ void QueryScheduler::RunJob(Job job, int worker_id) {
     std::lock_guard<std::mutex> lock(mu_);
     running_cancels_.erase(job.ticket);
   }
+  if (job.run) {
+    // Custom work (session stage jobs): one span covering the stage the
+    // closure reported it ran. The analyze pipeline gets finer-grained
+    // spans inside Execute().
+    stats.trace.push_back({stats.stage.empty() ? "run" : stats.stage,
+                           stats.queue_seconds, stats.run_seconds});
+  }
+  // Copied before the move: Observe() needs the terminal status, and an
+  // OK StatusOr's status() is just Ok. Observe() runs before Complete()
+  // publishes the result: the counters and the on_complete hook must
+  // land before any waiter can observe the terminal state.
+  const Status status = result.status();
   if (result.ok()) result->stats = stats;
+  Observe(stats, status, /*queued=*/true, /*ran=*/true);
   Complete(job.ticket, std::move(result));
 }
 
@@ -254,27 +299,69 @@ StatusOr<ServiceReport> QueryScheduler::Execute(const Job& job,
     // unreachable) snapshot epoch.
   }
 
+  // Trace cursor: spans are laid out on the submit-relative axis, the
+  // queue span (already recorded by RunJob) ends at queue_seconds.
+  double cursor = stats->queue_seconds;
+
   DiscoveryReport discovery;
+  double discovery_span = -1.0;  // <0: take it from the report below
   if (options_.share_discovery) {
     const std::string key = DiscoveryKey(job.request.dataset,
                                          snapshot.epoch, job.query, options);
+    Stopwatch discovery_watch;
     HYPDB_ASSIGN_OR_RETURN(
         discovery,
         discovery_->LookupOrCompute(
             key,
             [&] { return db.Discover(job.query, hooks.population_engine); },
             &stats->discovery_reused, &stats->discovery_coalesced));
+    // Wall time THIS request spent (near-zero on a cache hit, the full
+    // compute when it was the single flight) — not the cached report's
+    // original compute time.
+    discovery_span = discovery_watch.ElapsedSeconds();
     hooks.reuse_discovery = &discovery;
   }
 
   ServiceReport out;
   HYPDB_ASSIGN_OR_RETURN(out.report, db.Analyze(job.query, hooks));
+  if (discovery_span < 0.0) discovery_span = out.report.discovery.seconds;
+  stats->trace.push_back({"discovery", cursor, discovery_span});
+  cursor += discovery_span;
+  stats->trace.push_back({"detect", cursor, out.report.detect_seconds});
+  cursor += out.report.detect_seconds;
+  stats->trace.push_back({"explain", cursor, out.report.explain_seconds});
+  cursor += out.report.explain_seconds;
+  stats->trace.push_back({"rewrite", cursor, out.report.resolve_seconds});
   // RunJob stamps the finished stats (including this delta) onto the
   // report after timing completes.
   if (engine != nullptr) {
     stats->engine_delta = engine->stats() - engine_before;
   }
   return out;
+}
+
+int64_t QueryScheduler::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(queue_.size());
+}
+
+void QueryScheduler::Observe(const RequestStats& stats, const Status& status,
+                             bool queued, bool ran) {
+  metrics_.completed.Add();
+  switch (status.code()) {
+    case StatusCode::kCancelled:
+      metrics_.cancelled.Add();
+      break;
+    case StatusCode::kDeadlineExceeded:
+      metrics_.deadline_exceeded.Add();
+      break;
+    default:
+      if (!status.ok()) metrics_.failed.Add();
+      break;
+  }
+  if (queued) metrics_.queue_wait.Observe(stats.queue_seconds);
+  if (ran) metrics_.run_time.Observe(stats.run_seconds);
+  if (options_.on_complete) options_.on_complete(stats, status);
 }
 
 void QueryScheduler::CompleteLocked(uint64_t ticket,

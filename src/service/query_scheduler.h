@@ -36,9 +36,26 @@
 #include "service/dataset_registry.h"
 #include "service/discovery_cache.h"
 #include "service/request.h"
+#include "util/metrics.h"
 #include "util/stopwatch.h"
 
 namespace hypdb {
+
+/// Scheduler-level observability counters, owned by the scheduler and
+/// bumped lock-free on completion paths (the SQLStats idiom). `completed`
+/// counts every terminal outcome, success or not; the error counters
+/// partition the failures. Shutdown-discarded queued jobs are not
+/// observed — no worker ever touched them.
+struct SchedulerMetrics {
+  Counter submitted;
+  Counter completed;
+  Counter failed;             // errors other than cancel/deadline
+  Counter cancelled;          // kCancelled (queued or cooperative)
+  Counter deadline_exceeded;  // kDeadlineExceeded at pickup
+  Counter batched_twins;      // jobs drained as same-batch-key followers
+  LatencyHistogram queue_wait;  // submit -> pickup (or cancel/deadline)
+  LatencyHistogram run_time;    // pickup -> completion, jobs that ran
+};
 
 struct QuerySchedulerOptions {
   /// Worker threads; 0 resolves to hardware_concurrency.
@@ -55,6 +72,12 @@ struct QuerySchedulerOptions {
   bool share_discovery = true;
   /// Analysis options for requests that do not carry their own.
   HypDbOptions defaults;
+  /// Observer fired once per terminal outcome (success, error, cancel,
+  /// deadline) with the final stats and status — the hook behind
+  /// `--stats-log`. Called outside scheduler locks on whichever thread
+  /// completed the request; must be thread-safe and must not call back
+  /// into the scheduler. Not fired for jobs discarded by shutdown.
+  std::function<void(const RequestStats&, const Status&)> on_complete;
 };
 
 /// Per-submission controls (deadline today; priorities would live here).
@@ -113,6 +136,12 @@ class QueryScheduler {
 
   int num_workers() const { return static_cast<int>(workers_.size()); }
 
+  /// Live observability counters/histograms (see SchedulerMetrics).
+  const SchedulerMetrics& metrics() const { return metrics_; }
+
+  /// Requests queued but not yet picked up by a worker.
+  int64_t queue_depth() const;
+
  private:
   struct Job {
     uint64_t ticket = 0;
@@ -141,10 +170,17 @@ class QueryScheduler {
   /// Marks the ticket done and bounds retained unclaimed results.
   /// Requires mu_ held; caller notifies done_cv_ after unlocking.
   void CompleteLocked(uint64_t ticket, StatusOr<ServiceReport> result);
+  /// Records one terminal outcome into metrics_ and fires on_complete.
+  /// `queued`/`ran` gate the wait/run histograms (a parse failure never
+  /// queued; a deadline rejection never ran). Call WITHOUT mu_ held —
+  /// on_complete is user code.
+  void Observe(const RequestStats& stats, const Status& status, bool queued,
+               bool ran);
 
   DatasetRegistry* registry_;
   DiscoveryCache* discovery_;
   QuerySchedulerOptions options_;
+  mutable SchedulerMetrics metrics_;
 
   mutable std::mutex mu_;
   std::condition_variable queue_cv_;  // workers: queue non-empty / stop

@@ -38,6 +38,19 @@ struct AnalyzeRequest {
   std::optional<HypDbOptions> options;
 };
 
+/// One stage of a request's trace timeline. `start_seconds` is measured
+/// from request submission on the same monotonic clock as
+/// queue_seconds/run_seconds, so spans can be laid out on one axis.
+struct TraceSpan {
+  /// "queue", "discovery", "detect", "explain", "rewrite", or a session
+  /// stage name. Serialization is not a span here: the response cannot
+  /// contain its own serialization time (it is measured into the
+  /// hypdb_http_serialize_seconds histogram instead).
+  std::string name;
+  double start_seconds = 0.0;
+  double seconds = 0.0;
+};
+
 /// Service-side accounting for one request — what the pipeline itself
 /// cannot know (queue wait, cross-query reuse, shared-engine work).
 struct RequestStats {
@@ -58,6 +71,12 @@ struct RequestStats {
   /// deltas). Attribution is approximate under concurrency: overlapping
   /// requests on the same shard see each other's work.
   CountEngineStats engine_delta;
+  /// Where the latency went: stage spans in execution order ("queue"
+  /// first, then the pipeline stages that actually ran). Populated on
+  /// success AND on cancel/deadline/error paths (then typically just
+  /// "queue"). Purely observational — excluded from the report digest by
+  /// construction, so metrics stay digest-neutral.
+  std::vector<TraceSpan> trace;
 
   // --- session stage jobs only (session_id == 0 otherwise) ------------
   /// The AnalysisSession this request advanced.

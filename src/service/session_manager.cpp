@@ -11,6 +11,7 @@ void SessionManager::SweepLocked() {
   if (options_.ttl_seconds <= 0.0) return;
   for (auto it = sessions_.begin(); it != sessions_.end();) {
     if (it->second->touched.ElapsedSeconds() > options_.ttl_seconds) {
+      metrics_.expired.Add();
       it = sessions_.erase(it);
     } else {
       ++it;
@@ -47,10 +48,12 @@ std::shared_ptr<SessionManager::Entry> SessionManager::Insert(
         victim = it;
       }
     }
+    metrics_.evicted.Add();
     sessions_.erase(victim);
   }
   entry->id = next_id_++;
   sessions_.emplace(entry->id, entry);
+  metrics_.created.Add();
   return entry;
 }
 
@@ -82,6 +85,7 @@ Status SessionManager::Erase(uint64_t id) {
     return Status::NotFound("unknown session " + std::to_string(id));
   }
   sessions_.erase(it);
+  metrics_.closed.Add();
   return Status::Ok();
 }
 
@@ -96,6 +100,7 @@ int64_t SessionManager::InvalidateDataset(const std::string& dataset) {
       ++it;
     }
   }
+  metrics_.invalidated.Add(dropped);
   return dropped;
 }
 

@@ -31,9 +31,21 @@
 #include <vector>
 
 #include "core/analysis_session.h"
+#include "util/metrics.h"
 #include "util/stopwatch.h"
 
 namespace hypdb {
+
+/// Session lifecycle counters (the SQLStats idiom): every way a session
+/// can leave the table gets its own monotone counter, so
+/// live = created - expired - evicted - invalidated - closed.
+struct SessionManagerMetrics {
+  Counter created;
+  Counter expired;      // TTL sweep
+  Counter evicted;      // LRU cap at Insert
+  Counter invalidated;  // dataset re-registration
+  Counter closed;       // explicit Erase
+};
 
 struct SessionManagerOptions {
   /// Live sessions kept; creating beyond this evicts the longest-idle.
@@ -124,11 +136,15 @@ class SessionManager {
 
   int64_t size() const;
 
+  /// Live lifecycle counters (see SessionManagerMetrics).
+  const SessionManagerMetrics& metrics() const { return metrics_; }
+
  private:
   /// Drops expired entries. Requires mu_.
   void SweepLocked();
 
   SessionManagerOptions options_;
+  mutable SessionManagerMetrics metrics_;
   mutable std::mutex mu_;
   std::map<uint64_t, std::shared_ptr<Entry>> sessions_;
   uint64_t next_id_ = 1;

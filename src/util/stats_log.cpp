@@ -1,0 +1,31 @@
+#include "util/stats_log.h"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace hypdb {
+
+StatusOr<std::unique_ptr<StatsLog>> StatsLog::Open(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "a");
+  if (file == nullptr) {
+    return Status(StatusCode::kInvalidArgument,
+                  "cannot open stats log '" + path +
+                      "': " + std::strerror(errno));
+  }
+  return std::unique_ptr<StatsLog>(new StatsLog(file));
+}
+
+StatsLog::~StatsLog() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fclose(file_);
+}
+
+void StatsLog::WriteLine(const std::string& line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fputc('\n', file_);
+  std::fflush(file_);
+}
+
+}  // namespace hypdb

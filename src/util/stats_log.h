@@ -1,0 +1,42 @@
+// Append-only JSONL request log. The log knows nothing about JSON — it
+// appends caller-built lines atomically (one mutex-guarded fwrite +
+// flush per line), which keeps util free of the net-layer codecs. The
+// CLI wires it to HypDbServiceOptions::on_complete and serializes each
+// RequestStats with the net JSON codecs before handing the line over.
+
+#ifndef HYPDB_UTIL_STATS_LOG_H_
+#define HYPDB_UTIL_STATS_LOG_H_
+
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace hypdb {
+
+class StatsLog {
+ public:
+  /// Opens `path` for appending (created if absent).
+  static StatusOr<std::unique_ptr<StatsLog>> Open(const std::string& path);
+
+  ~StatsLog();
+  StatsLog(const StatsLog&) = delete;
+  StatsLog& operator=(const StatsLog&) = delete;
+
+  /// Appends `line` plus a trailing newline and flushes, atomically with
+  /// respect to other writers. `line` must not contain newlines.
+  void WriteLine(const std::string& line);
+
+ private:
+  explicit StatsLog(std::FILE* file) : file_(file) {}
+
+  std::mutex mu_;
+  std::FILE* file_;
+};
+
+}  // namespace hypdb
+
+#endif  // HYPDB_UTIL_STATS_LOG_H_
