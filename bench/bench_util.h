@@ -20,6 +20,7 @@
 #endif
 
 #include "net/json.h"
+#include "util/build_info.h"
 
 namespace hypdb::bench {
 
@@ -89,6 +90,11 @@ inline void WriteBenchJson(const std::string& name, net::JsonValue results) {
   results.Set("hardware_concurrency",
               net::JsonValue::Int(static_cast<int64_t>(
                   std::max(1u, std::thread::hardware_concurrency()))));
+  // ... and which binary produced it: a trail from a Debug or stale
+  // build is not comparable to a RelWithDebInfo one.
+  results.Set("version", net::JsonValue::Str(BuildVersion()));
+  results.Set("compiler", net::JsonValue::Str(BuildCompiler()));
+  results.Set("build_type", net::JsonValue::Str(BuildType()));
   const std::string path = "BENCH_" + name + ".json";
   FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {

@@ -54,6 +54,18 @@
 // cancels, deadline misses and failures) with its status code and the
 // full RequestStats trace — the service-side flight recorder.
 //
+// --trace=N sets the engine-deep trace sampling level for requests that
+// do not choose their own (0 off, 1 stage/kernel/cache spans — the
+// default, 2 adds per-CI-test and per-morsel events). Completed traces
+// are retained and served by GET /v1/requests/{id}/trace, the line-JSON
+// "trace" verb, and the REPL `trace <ticket>` command (a Chrome/Perfetto
+// JSON document — load it in chrome://tracing or ui.perfetto.dev).
+//
+// --slow-query-log=PATH,SECONDS is the slow-query flight recorder: only
+// requests whose queue+run time meets the threshold are appended to PATH
+// (same JSONL record as --stats-log, including the engine-deep events),
+// so the log stays small enough to keep on all the time.
+//
 // Each report footer shows the per-request service stats as the same
 // JSON the wire protocol serves (one rendering path — the REPL can never
 // drift from the network API). Re-`load`ing a name invalidates caches.
@@ -106,7 +118,7 @@ void PrintServiceReport(const ServiceReport& report) {
 int RunServe(const HypDbServiceOptions& options) {
   HypDbService service(options);
   std::printf("HypDB service REPL — %d workers. Commands: load, gen, "
-              "analyze, submit, poll, wait, cancel, session, step, "
+              "analyze, submit, poll, wait, cancel, trace, session, step, "
               "sessions, close, datasets, stats, metrics, quit\n",
               service.num_workers());
 
@@ -197,6 +209,25 @@ int RunServe(const HypDbServiceOptions& options) {
         continue;
       }
       PrintServiceReport(*report);
+      continue;
+    }
+
+    if (cmd == "trace") {
+      uint64_t ticket = 0;
+      in >> ticket;
+      if (ticket == 0) {
+        std::printf("usage: trace <ticket>\n");
+        continue;
+      }
+      // Same Chrome-trace document GET /v1/requests/{id}/trace serves;
+      // pipe it to a file and open it in chrome://tracing.
+      auto stats = service.RequestTrace(ticket);
+      if (!stats.ok()) {
+        std::printf("error: %s\n", stats.status().ToString().c_str());
+        continue;
+      }
+      std::printf("%s\n",
+                  net::SerializeJson(net::ChromeTraceJson(*stats)).c_str());
       continue;
     }
 
@@ -363,6 +394,9 @@ int main(int argc, char** argv) {
   int listen_port = -1;  // >= 0 once --listen given (0 = ephemeral)
   std::string host = "127.0.0.1";
   std::string stats_log_path;
+  std::string slow_log_spec;
+  int trace_level = 1;
+  bool trace_flag_given = false;
   int workers = 0;
 
   // Flags may appear anywhere; positionals are collected in order.
@@ -391,6 +425,15 @@ int main(int argc, char** argv) {
       host = flag.c_str() + 7;
     } else if (flag.rfind("--stats-log=", 0) == 0) {
       stats_log_path = flag.c_str() + 12;
+    } else if (flag.rfind("--slow-query-log=", 0) == 0) {
+      slow_log_spec = flag.c_str() + 17;
+    } else if (flag.rfind("--trace=", 0) == 0) {
+      trace_level = std::atoi(flag.c_str() + 8);
+      trace_flag_given = true;
+      if (trace_level < 0 || trace_level > 2) {
+        std::fprintf(stderr, "--trace must be 0, 1, or 2\n");
+        return 1;
+      }
     } else if (flag.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
       return 1;
@@ -423,6 +466,14 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--stats-log requires --serve or --listen\n");
     return 1;
   }
+  if (!serve && !listen && !slow_log_spec.empty()) {
+    std::fprintf(stderr, "--slow-query-log requires --serve or --listen\n");
+    return 1;
+  }
+  if (!serve && !listen && trace_flag_given) {
+    std::fprintf(stderr, "--trace requires --serve or --listen\n");
+    return 1;
+  }
   if (!listen && host != "127.0.0.1") {
     std::fprintf(stderr, "--host requires --listen\n");
     return 1;
@@ -436,29 +487,61 @@ int main(int argc, char** argv) {
     HypDbServiceOptions service_options;
     service_options.num_workers = workers;
     service_options.analysis = options;
+    service_options.trace_level = trace_level;
     // Declared before the service (inside Run*) so the scheduler's
-    // on_complete callback never outlives the log it writes to.
+    // on_complete callback never outlives the logs it writes to — and so
+    // their destructors (which flush and close) run after the workers
+    // have joined on a clean SIGTERM shutdown.
     std::unique_ptr<StatsLog> stats_log;
+    std::unique_ptr<StatsLog> slow_log;
+    double slow_threshold = 0.0;
     if (!stats_log_path.empty()) {
       auto opened = StatsLog::Open(stats_log_path);
       if (!opened.ok()) return Fail(opened.status());
       stats_log = std::move(*opened);
+    }
+    if (!slow_log_spec.empty()) {
+      const size_t comma = slow_log_spec.rfind(',');
+      if (comma == std::string::npos || comma == 0) {
+        std::fprintf(stderr,
+                     "--slow-query-log wants PATH,SECONDS "
+                     "(e.g. --slow-query-log=slow.jsonl,0.5)\n");
+        return 1;
+      }
+      slow_threshold = std::atof(slow_log_spec.c_str() + comma + 1);
+      if (slow_threshold <= 0.0) {
+        std::fprintf(stderr, "--slow-query-log threshold must be a "
+                     "positive number of seconds\n");
+        return 1;
+      }
+      auto opened = StatsLog::Open(slow_log_spec.substr(0, comma));
+      if (!opened.ok()) return Fail(opened.status());
+      slow_log = std::move(*opened);
+    }
+    if (stats_log != nullptr || slow_log != nullptr) {
       // One JSONL record per completed request (success, error, cancel,
-      // deadline), carrying the same RequestStats JSON the wire serves.
-      service_options.on_complete = [log = stats_log.get()](
-                                        const RequestStats& stats,
-                                        const Status& status) {
-        net::JsonValue record = net::JsonValue::MakeObject();
-        record.Set("ts", net::JsonValue::Int(
-                             static_cast<int64_t>(std::time(nullptr))));
-        record.Set("code",
-                   net::JsonValue::Str(StatusCodeName(status.code())));
-        if (!status.ok()) {
-          record.Set("message", net::JsonValue::Str(status.message()));
-        }
-        record.Set("stats", net::ToJson(stats));
-        log->WriteLine(net::SerializeJson(record));
-      };
+      // deadline), carrying the same RequestStats JSON the wire serves —
+      // including the engine-deep trace events when the request ran
+      // traced. The slow-query log gets only the over-threshold subset.
+      service_options.on_complete =
+          [log = stats_log.get(), slow = slow_log.get(), slow_threshold](
+              const RequestStats& stats, const Status& status) {
+            net::JsonValue record = net::JsonValue::MakeObject();
+            record.Set("ts", net::JsonValue::Int(
+                                 static_cast<int64_t>(std::time(nullptr))));
+            record.Set("code",
+                       net::JsonValue::Str(StatusCodeName(status.code())));
+            if (!status.ok()) {
+              record.Set("message", net::JsonValue::Str(status.message()));
+            }
+            record.Set("stats", net::ToJson(stats));
+            const std::string line = net::SerializeJson(record);
+            if (log != nullptr) log->WriteLine(line);
+            if (slow != nullptr &&
+                stats.queue_seconds + stats.run_seconds >= slow_threshold) {
+              slow->WriteLine(line);
+            }
+          };
     }
     return serve ? RunServe(service_options)
                  : RunListen(service_options, host, listen_port);
@@ -471,9 +554,11 @@ int main(int argc, char** argv) {
                 "[--no-mediators] [--bounds] [--threads=N] [--morsel=N] "
                 "[--no-simd]\n"
                 "       %s --serve [--workers=N] [--threads=N] [--alpha=A] "
-                "[--stats-log=PATH]\n"
+                "[--stats-log=PATH] [--trace=0|1|2] "
+                "[--slow-query-log=PATH,SECONDS]\n"
                 "       %s --listen=PORT [--host=ADDR] [--workers=N] "
-                "[--threads=N] [--alpha=A] [--stats-log=PATH]\n"
+                "[--threads=N] [--alpha=A] [--stats-log=PATH] "
+                "[--trace=0|1|2] [--slow-query-log=PATH,SECONDS]\n"
                 "\n",
                 argv[0], argv[0], argv[0]);
     std::printf("no arguments given — running the built-in Berkeley demo\n\n");

@@ -8,6 +8,7 @@
 #include "stats/mi_engine.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
+#include "util/trace.h"
 
 namespace hypdb {
 namespace {
@@ -80,8 +81,14 @@ StatusOr<std::unique_ptr<AnalysisSession>> AnalysisSession::Create(
   std::unique_ptr<AnalysisSession> session(new AnalysisSession(
       std::move(table), std::move(query), std::move(options),
       std::move(hooks)));
-  HYPDB_ASSIGN_OR_RETURN(session->bound_,
-                         BindQuery(session->table_, session->query_));
+  {
+    // Binding scans (treatment-label enumeration) are engine work too;
+    // the kBind span keeps them nested under a stage in the trace.
+    TraceSpanScope span(TraceEventKind::kStage, 1,
+                        static_cast<uint64_t>(TraceStage::kBind));
+    HYPDB_ASSIGN_OR_RETURN(session->bound_,
+                           BindQuery(session->table_, session->query_));
+  }
   session->direct_reference_ =
       ResolveDirectReference(session->options_, session->bound_);
   session->sql_plain_ = session->query_.ToSql();
@@ -98,6 +105,11 @@ Status AnalysisSession::CheckCancel(const char* stage) {
 
 Status AnalysisSession::EnsureContexts() {
   if (contexts_split_) return Status::Ok();
+  // Context splitting runs ahead of whichever stage needed it, outside
+  // that stage's span; the treatment-inventory scans below are engine
+  // work, so the bind span gives them a stage parent in the trace.
+  TraceSpanScope span(TraceEventKind::kStage, 1,
+                      static_cast<uint64_t>(TraceStage::kBind));
   HYPDB_ASSIGN_OR_RETURN(contexts_, SplitContexts(table_, bound_));
   const size_t n = contexts_.size();
 
@@ -176,6 +188,8 @@ StatusOr<const QueryAnswers*> AnalysisSession::Answers() {
   }
   HYPDB_RETURN_IF_ERROR(CheckCancel("answers"));
   Stopwatch timer;
+  TraceSpanScope span(TraceEventKind::kStage, 1,
+                      static_cast<uint64_t>(TraceStage::kAnswers));
   HYPDB_ASSIGN_OR_RETURN(answers_, EvaluatePlainQuery(table_, query_));
   st.done = true;
   ++st.runs;
@@ -289,6 +303,11 @@ StatusOr<const DiscoveryReport*> AnalysisSession::Discover() {
   }
   HYPDB_RETURN_IF_ERROR(CheckCancel("discover"));
   Stopwatch timer;
+  // The stage span wraps whichever path runs — cache hit, coalesced
+  // wait, or the full computation — so discovery-cache and CI-test
+  // events nest inside it.
+  TraceSpanScope span(TraceEventKind::kStage, 1,
+                      static_cast<uint64_t>(TraceStage::kDiscover));
   if (hooks_.reuse_discovery.has_value()) {
     discovery_ = *hooks_.reuse_discovery;
   } else if (hooks_.discovery_interceptor) {
@@ -324,6 +343,9 @@ StatusOr<const std::vector<ContextBias>*> AnalysisSession::Detect() {
   HYPDB_RETURN_IF_ERROR(EnsureContexts());
   HYPDB_RETURN_IF_ERROR(CheckCancel("detect"));
   Stopwatch timer;
+  TraceSpanScope span(TraceEventKind::kStage, 1,
+                      static_cast<uint64_t>(TraceStage::kDetect),
+                      contexts_.size());
   for (size_t i = 0; i < contexts_.size(); ++i) {
     HYPDB_RETURN_IF_ERROR(ContextEngine(static_cast<int>(i)).status());
   }
@@ -348,6 +370,9 @@ Status AnalysisSession::ExplainOne(int i) {
   if (explain_done_[i]) return Status::Ok();
   StageState& st = stages_[static_cast<int>(AnalysisStage::kExplain)];
   Stopwatch timer;
+  TraceSpanScope span(TraceEventKind::kStage, 1,
+                      static_cast<uint64_t>(TraceStage::kExplain),
+                      static_cast<uint64_t>(i));
   std::vector<int> v = discovery_.covariate_cols;
   for (int m : discovery_.mediator_cols) {
     if (!Contains(v, m)) v.push_back(m);
@@ -402,6 +427,9 @@ Status AnalysisSession::RewriteOne(int i) {
   if (rewrite_done_[i]) return Status::Ok();
   StageState& st = stages_[static_cast<int>(AnalysisStage::kRewrite)];
   Stopwatch timer;
+  TraceSpanScope span(TraceEventKind::kStage, 1,
+                      static_cast<uint64_t>(TraceStage::kRewrite),
+                      static_cast<uint64_t>(i));
   RewriterOptions rw;
   rw.ci = options_.ci;
   rw.seed = options_.seed ^ 0x9E50;

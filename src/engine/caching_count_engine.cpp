@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/trace.h"
+
 namespace hypdb {
 namespace {
 
@@ -60,6 +62,11 @@ StatusOr<GroupCounts> CachingCountEngine::Counts(
   }
 
   if (source != nullptr) {
+    // Outside the lock: the ring write is lock-free but there is no
+    // reason to hold mu_ across it. arg0 = columns, arg1 = source cells.
+    TraceInstant(derive ? TraceEventKind::kCacheMarginalize
+                        : TraceEventKind::kCacheHit,
+                 1, cols.size(), source->NumGroups());
     GroupCounts result = ProjectOnto(*source, cols);
     if (derive) {
       std::lock_guard<std::mutex> lock(mu_);
@@ -73,6 +80,7 @@ StatusOr<GroupCounts> CachingCountEngine::Counts(
   // Miss: delegate outside the lock so concurrent misses scan in
   // parallel. A racing thread may insert the same key meanwhile; Insert
   // reconciles the duplicate (counts are identical either way).
+  TraceInstant(TraceEventKind::kCacheMiss, 1, cols.size());
   HYPDB_ASSIGN_OR_RETURN(GroupCounts fresh, base_->Counts(cols));
   std::lock_guard<std::mutex> lock(mu_);
   Insert(std::move(sorted), std::make_shared<const GroupCounts>(fresh),
@@ -118,6 +126,8 @@ Status CachingCountEngine::Prefetch(const std::vector<int>& cols) {
   // A concurrent Prefetch may have repointed the focus while we scanned;
   // only pin if this key is still the focus.
   const bool still_focus = pinned_key_ == sorted;
+  TraceInstant(TraceEventKind::kCachePrefetch, 1, counts.NumGroups(),
+               still_focus ? 1 : 0);
   Insert(std::move(sorted),
          std::make_shared<const GroupCounts>(std::move(counts)),
          /*pinned=*/still_focus);
@@ -189,6 +199,8 @@ void CachingCountEngine::EvictToBudget() {
   // large pinned focus cannot starve every derived summary out of the
   // cache (it used to — see the eviction regression test).
   auto it = age_.begin();
+  int64_t evicted_entries = 0;
+  int64_t evicted_cells = 0;
   while (cached_cells_ - pinned_cells_ > options_.max_cached_cells &&
          it != age_.end()) {
     auto found = cache_.find(*it);
@@ -197,9 +209,16 @@ void CachingCountEngine::EvictToBudget() {
       continue;
     }
     cached_cells_ -= found->second.counts->NumGroups();
+    evicted_cells += found->second.counts->NumGroups();
+    ++evicted_entries;
     cache_.erase(found);
     ++stats_.evictions;
     it = age_.erase(it);
+  }
+  if (evicted_entries > 0) {
+    TraceInstant(TraceEventKind::kCacheEvict, 1,
+                 static_cast<uint64_t>(evicted_cells),
+                 static_cast<uint64_t>(evicted_entries));
   }
 }
 

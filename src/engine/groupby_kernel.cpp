@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "engine/groupby_simd.h"
+#include "util/trace.h"
 
 namespace hypdb {
 namespace {
@@ -522,12 +523,22 @@ std::atomic<int64_t> g_morsels_dispatched{0};
 template <typename Work>
 void RunMorsels(int64_t n, int64_t morsel, int threads, Work&& work) {
   std::atomic<int64_t> cursor{0};
-  auto loop = [&](int t) {
+  // Captured by value into the spawned workers: trace attribution (and
+  // the per-morsel deep-level instants) follows the request across the
+  // thread boundary. Worker 0 runs on the calling thread, which already
+  // carries the context; re-installing the same one is harmless.
+  const TraceContext trace_ctx = CurrentTraceContext();
+  auto loop = [&, trace_ctx](int t) {
+    TraceContextScope trace_scope(trace_ctx);
     for (;;) {
       const int64_t begin = cursor.fetch_add(morsel,
                                              std::memory_order_relaxed);
       if (begin >= n) break;
       g_morsels_dispatched.fetch_add(1, std::memory_order_relaxed);
+      TraceInstant(TraceEventKind::kMorselBatch, 2,
+                   static_cast<uint64_t>(begin),
+                   static_cast<uint64_t>(std::min(begin + morsel, n) -
+                                         begin));
       work(t, begin, std::min(begin + morsel, n));
     }
   };
@@ -603,6 +614,10 @@ StatusOr<GroupCounts> ScanCounts(const TableView& view,
                                  const std::vector<int>& cols,
                                  const GroupByKernelOptions& options) {
   if (options.mode == GroupByKernelMode::kReference) {
+    TraceSpanScope span(
+        TraceEventKind::kKernelScan, 1,
+        static_cast<uint64_t>(TraceKernelTier::kReference),
+        static_cast<uint64_t>(view.NumRows()));
     return ReferenceScanCounts(view, cols, options);
   }
 
@@ -622,6 +637,13 @@ StatusOr<GroupCounts> ScanCounts(const TableView& view,
   const ScanShape shape = ResolveShape(view, cols, out.codec);
   const GroupBySimdKernels* simd =
       options.use_simd ? RuntimeSimdTable() : nullptr;
+  // One span per scan, tagged with the tier that actually ran (arg0) and
+  // the rows aggregated (arg1); deep-level morsel instants nest inside.
+  TraceSpanScope scan_span(
+      TraceEventKind::kKernelScan, 1,
+      static_cast<uint64_t>(simd != nullptr ? TraceKernelTier::kSimd
+                                            : TraceKernelTier::kScalar),
+      static_cast<uint64_t>(n));
   const int threads = ResolveThreads(options, n);
   const int64_t morsel = options.morsel_rows > 0
                              ? std::max<int64_t>(64, options.morsel_rows)

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "util/trace.h"
+
 namespace hypdb {
 
 PredicateSlicingCountEngine::PredicateSlicingCountEngine(
@@ -105,18 +107,27 @@ StatusOr<GroupCounts> PredicateSlicingCountEngine::Counts(
   if (sorted.size() != cols.size()) {
     // Duplicate columns — never issued by the stats layer; scan the
     // filtered view rather than reason about repeated digits.
+    TraceInstant(TraceEventKind::kSliceFallback, 1, cols.size());
     return fallback_->Counts(cols);
   }
   const std::vector<int> superset = SupersetFor(sorted);
-  if (OverParentBudget(superset)) return fallback_->Counts(cols);
+  if (OverParentBudget(superset)) {
+    TraceInstant(TraceEventKind::kSliceFallback, 1, cols.size(),
+                 superset.size());
+    return fallback_->Counts(cols);
+  }
   StatusOr<GroupCounts> parent_counts = parent_->Counts(superset);
   if (!parent_counts.ok()) {
     // Typically domain overflow on S ∪ P over the full table; the plain
     // S scan of the filtered view may still fit (or report its own
     // error, exactly as the isolated stack would).
+    TraceInstant(TraceEventKind::kSliceFallback, 1, cols.size(),
+                 superset.size());
     return fallback_->Counts(cols);
   }
   GroupCounts sliced = Slice(*parent_counts, cols);
+  TraceInstant(TraceEventKind::kSliceServe, 1, cols.size(),
+               sliced.NumGroups());
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.predicate_slices;
   return sliced;

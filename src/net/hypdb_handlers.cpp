@@ -8,6 +8,7 @@
 #include "datagen/flight_data.h"
 #include "datagen/staples_data.h"
 #include "engine/groupby_kernel.h"
+#include "util/build_info.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
 
@@ -91,11 +92,6 @@ StatusOr<uint64_t> ParseId(const std::string& id) {
   return ticket;
 }
 
-StatusOr<uint64_t> ParseTicketPath(const std::string& path,
-                                   const std::string& prefix) {
-  return ParseId(path.substr(prefix.size()));
-}
-
 /// ASSIGN_OR_RETURN for HttpResponse-returning routing code: failures
 /// become the mapped 4xx/5xx error response instead of a Status.
 #define HYPDB_ASSIGN_OR_RETURN_HTTP(lhs, rexpr)                    \
@@ -148,6 +144,11 @@ JsonValue HypDbHandlers::Healthz() const {
   out.Set("sessions", JsonValue::Int(service_->num_sessions()));
   out.Set("simd",
           JsonValue::Str(GroupByKernelSimdActive() ? "avx2" : "scalar"));
+  // Build identity, mirroring the hypdb_build_info metric: lets a probe
+  // (or an operator's curl) confirm which binary is actually serving.
+  out.Set("version", JsonValue::Str(BuildVersion()));
+  out.Set("compiler", JsonValue::Str(BuildCompiler()));
+  out.Set("build_type", JsonValue::Str(BuildType()));
   return out;
 }
 
@@ -293,6 +294,13 @@ StatusOr<JsonValue> HypDbHandlers::Cancel(uint64_t ticket) {
   return out;
 }
 
+StatusOr<JsonValue> HypDbHandlers::RequestTrace(uint64_t ticket,
+                                                bool chrome) {
+  HYPDB_ASSIGN_OR_RETURN(RequestStats stats,
+                         service_->RequestTrace(ticket));
+  return chrome ? ChromeTraceJson(stats) : ToJson(stats);
+}
+
 HypDbHandlers::Route HypDbHandlers::ClassifyRoute(const std::string& target) {
   const std::string path = target.substr(0, target.find('?'));
   if (path == "/healthz") return kRouteHealthz;
@@ -430,8 +438,29 @@ HttpResponse HypDbHandlers::RouteHttp(const HttpRequest& request) {
 
   const std::string kRequests = "/v1/requests/";
   if (target.path.rfind(kRequests, 0) == 0) {
-    HYPDB_ASSIGN_OR_RETURN_HTTP(uint64_t ticket,
-                                ParseTicketPath(target.path, kRequests));
+    std::string rest = target.path.substr(kRequests.size());
+    const size_t slash = rest.find('/');
+    if (slash != std::string::npos) {
+      // The only sub-resource is the execution trace.
+      if (rest.substr(slash + 1) != "trace") {
+        return ErrorResponse(Status::NotFound(
+            "no route for " + request.method + " " + target.path));
+      }
+      HYPDB_ASSIGN_OR_RETURN_HTTP(uint64_t ticket,
+                                  ParseId(rest.substr(0, slash)));
+      if (request.method != "GET") {
+        return ErrorResponse(
+            Status::InvalidArgument("use GET " + target.path));
+      }
+      const std::string format = target.ParamValue("format");
+      if (!format.empty() && format != "chrome" && format != "raw") {
+        return ErrorResponse(Status::InvalidArgument(
+            "unknown trace format '" + format +
+            "' (expected chrome|raw)"));
+      }
+      return ResultResponse(RequestTrace(ticket, format != "raw"));
+    }
+    HYPDB_ASSIGN_OR_RETURN_HTTP(uint64_t ticket, ParseId(rest));
     if (request.method == "DELETE") return ResultResponse(Cancel(ticket));
     if (request.method == "GET") {
       // Poll unless told to block. The GET that sees done=true (or
@@ -483,8 +512,8 @@ std::string HypDbHandlers::HandleLine(const std::string& line) {
   if (cmd == nullptr || !cmd->is_string()) {
     return envelope(Status::InvalidArgument(
         "expected a string \"cmd\" member (register|datasets|analyze|"
-        "submit|poll|wait|cancel|session|step|sessions|session_info|"
-        "session_close|stats|health|metrics)"));
+        "submit|poll|wait|cancel|trace|session|step|sessions|"
+        "session_info|session_close|stats|health|metrics)"));
   }
   const std::string& verb = cmd->string_value();
 
@@ -513,11 +542,25 @@ std::string HypDbHandlers::HandleLine(const std::string& line) {
   if (verb == "register") return envelope(Register(body));
   if (verb == "analyze") return envelope(Analyze(body));
   if (verb == "submit") return envelope(Submit(body));
-  if (verb == "poll" || verb == "wait" || verb == "cancel") {
+  if (verb == "poll" || verb == "wait" || verb == "cancel" ||
+      verb == "trace") {
     auto ticket = TicketFromJson(body);
     if (!ticket.ok()) return envelope(ticket.status());
     if (verb == "poll") return envelope(Poll(*ticket));
     if (verb == "wait") return envelope(WaitFor(*ticket));
+    if (verb == "trace") {
+      const JsonValue* format = body.Find("format");
+      if (format != nullptr &&
+          (!format->is_string() ||
+           (format->string_value() != "chrome" &&
+            format->string_value() != "raw"))) {
+        return envelope(Status::InvalidArgument(
+            "\"format\" must be \"chrome\" or \"raw\""));
+      }
+      const bool chrome = format == nullptr ||
+                          format->string_value() == "chrome";
+      return envelope(RequestTrace(*ticket, chrome));
+    }
     return envelope(Cancel(*ticket));
   }
   if (verb == "session") return envelope(SessionCreate(body));

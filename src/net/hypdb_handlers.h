@@ -13,6 +13,12 @@
 //   DELETE /v1/requests/{id}   cancel a still-queued request (or request
 //                              cooperative cancellation of a running
 //                              session stage job)
+//   GET    /v1/requests/{id}/trace
+//                              engine-deep execution trace of a completed
+//                              request; ?format=chrome (default) is a
+//                              chrome://tracing / Perfetto JSON document,
+//                              ?format=raw the RequestStats rendering.
+//                              404 unknown/expired, 409 ran untraced
 //   POST   /v1/sessions        (analyze body)  create a staged session
 //   POST   /v1/sessions/{id}/{answers|discover|detect|explain|rewrite|
 //          report}             advance one stage; body optional
@@ -23,7 +29,8 @@
 //   DELETE /v1/sessions/{id}   close the session
 //   GET    /v1/stats           cache/engine/worker/session introspection
 //   GET    /healthz            readiness: ok/workers/uptime/datasets/
-//                              queue_depth/sessions/simd
+//                              queue_depth/sessions/simd + build identity
+//                              (version/compiler/build_type)
 //   GET    /metrics            Prometheus text exposition; ?format=json
 //                              for the structured flavor (with p50/95/99)
 //
@@ -32,7 +39,7 @@
 // never-issued session ids 404. The line-JSON protocol carries the same
 // payloads in an {"ok":bool, "result"|"error": ...} envelope, selected by
 // a "cmd" member (register/datasets/analyze/submit/poll/wait/cancel/
-// session/step/sessions/session_info/session_close/stats/health).
+// trace/session/step/sessions/session_info/session_close/stats/health).
 
 #ifndef HYPDB_NET_HYPDB_HANDLERS_H_
 #define HYPDB_NET_HYPDB_HANDLERS_H_
@@ -124,6 +131,9 @@ class HypDbHandlers {
   StatusOr<JsonValue> Poll(uint64_t ticket);
   StatusOr<JsonValue> WaitFor(uint64_t ticket);
   StatusOr<JsonValue> Cancel(uint64_t ticket);
+  /// The retained trace of a completed request, rendered as a Chrome
+  /// trace document (`chrome` true) or the raw RequestStats body.
+  StatusOr<JsonValue> RequestTrace(uint64_t ticket, bool chrome);
   StatusOr<JsonValue> SessionCreate(const JsonValue& body);
   StatusOr<JsonValue> SessionStep(uint64_t session, const std::string& stage,
                                   const JsonValue& body);

@@ -514,6 +514,138 @@ JsonValue ToJson(const CountEngineStats& stats) {
   return out;
 }
 
+namespace {
+
+// Chrome-trace category per event kind: groups the timeline rows and
+// lets Perfetto filter by family.
+const char* TraceEventCategory(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kStage: return "stage";
+    case TraceEventKind::kKernelScan:
+    case TraceEventKind::kMorselBatch: return "kernel";
+    case TraceEventKind::kCiTest:
+    case TraceEventKind::kDiscoveryWait:
+    case TraceEventKind::kDiscoveryHit:
+    case TraceEventKind::kDiscoveryCompute: return "discovery";
+    case TraceEventKind::kCacheHit:
+    case TraceEventKind::kCacheMiss:
+    case TraceEventKind::kCacheMarginalize:
+    case TraceEventKind::kCacheEvict:
+    case TraceEventKind::kCachePrefetch: return "cache";
+    case TraceEventKind::kSliceServe:
+    case TraceEventKind::kSliceFallback: return "slice";
+    case TraceEventKind::kNone: break;
+  }
+  return "other";
+}
+
+bool TraceEventIsSpan(TraceEventKind kind) {
+  return kind == TraceEventKind::kStage ||
+         kind == TraceEventKind::kKernelScan ||
+         kind == TraceEventKind::kCiTest ||
+         kind == TraceEventKind::kDiscoveryWait;
+}
+
+}  // namespace
+
+JsonValue TraceEventToJson(const TraceEventRecord& e) {
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("event", JsonValue::Str(TraceEventKindName(e.kind)));
+  out.Set("thread", JsonValue::Int(static_cast<int64_t>(e.thread_id)));
+  out.Set("start_seconds", JsonValue::Double(e.start_seconds));
+  out.Set("seconds", JsonValue::Double(e.dur_seconds));
+  switch (e.kind) {
+    case TraceEventKind::kStage:
+      out.Set("name", JsonValue::Str(e.arg0 < kNumTraceStages
+                                         ? TraceStageName(
+                                               static_cast<TraceStage>(e.arg0))
+                                         : "unknown"));
+      out.Set("arg", JsonValue::Int(static_cast<int64_t>(e.arg1)));
+      break;
+    case TraceEventKind::kKernelScan:
+      out.Set("tier",
+              JsonValue::Str(e.arg0 < 3 ? TraceKernelTierName(
+                                              static_cast<TraceKernelTier>(
+                                                  e.arg0))
+                                        : "unknown"));
+      out.Set("rows", JsonValue::Int(static_cast<int64_t>(e.arg1)));
+      break;
+    default:
+      out.Set("arg0", JsonValue::Int(static_cast<int64_t>(e.arg0)));
+      out.Set("arg1", JsonValue::Int(static_cast<int64_t>(e.arg1)));
+      break;
+  }
+  return out;
+}
+
+JsonValue ChromeTraceJson(const RequestStats& stats) {
+  JsonValue events = JsonValue::MakeArray();
+  // The scheduler-side timeline (queue + stage tiling) renders as
+  // pid 1 / tid 0 "X" spans, so the synthetic and engine-deep views sit
+  // side by side on one clock (both axes are submit-relative seconds).
+  for (const TraceSpan& span : stats.trace) {
+    JsonValue e = JsonValue::MakeObject();
+    e.Set("name", JsonValue::Str(span.name));
+    e.Set("cat", JsonValue::Str("timeline"));
+    e.Set("ph", JsonValue::Str("X"));
+    e.Set("ts", JsonValue::Double(span.start_seconds * 1e6));
+    e.Set("dur", JsonValue::Double(span.seconds * 1e6));
+    e.Set("pid", JsonValue::Int(1));
+    e.Set("tid", JsonValue::Int(0));
+    events.Append(std::move(e));
+  }
+  for (const TraceEventRecord& rec : stats.events) {
+    JsonValue e = JsonValue::MakeObject();
+    std::string name = TraceEventKindName(rec.kind);
+    JsonValue args = JsonValue::MakeObject();
+    switch (rec.kind) {
+      case TraceEventKind::kStage:
+        name = rec.arg0 < kNumTraceStages
+                   ? TraceStageName(static_cast<TraceStage>(rec.arg0))
+                   : "unknown_stage";
+        args.Set("arg", JsonValue::Int(static_cast<int64_t>(rec.arg1)));
+        break;
+      case TraceEventKind::kKernelScan:
+        args.Set("tier", JsonValue::Str(
+                             rec.arg0 < 3
+                                 ? TraceKernelTierName(
+                                       static_cast<TraceKernelTier>(rec.arg0))
+                                 : "unknown"));
+        args.Set("rows", JsonValue::Int(static_cast<int64_t>(rec.arg1)));
+        break;
+      default:
+        args.Set("arg0", JsonValue::Int(static_cast<int64_t>(rec.arg0)));
+        args.Set("arg1", JsonValue::Int(static_cast<int64_t>(rec.arg1)));
+        break;
+    }
+    e.Set("name", JsonValue::Str(std::move(name)));
+    e.Set("cat", JsonValue::Str(TraceEventCategory(rec.kind)));
+    if (TraceEventIsSpan(rec.kind)) {
+      e.Set("ph", JsonValue::Str("X"));
+      e.Set("ts", JsonValue::Double(rec.start_seconds * 1e6));
+      e.Set("dur", JsonValue::Double(rec.dur_seconds * 1e6));
+    } else {
+      e.Set("ph", JsonValue::Str("i"));
+      e.Set("ts", JsonValue::Double(rec.start_seconds * 1e6));
+      e.Set("s", JsonValue::Str("t"));
+    }
+    e.Set("pid", JsonValue::Int(1));
+    e.Set("tid", JsonValue::Int(static_cast<int64_t>(rec.thread_id)));
+    e.Set("args", std::move(args));
+    events.Append(std::move(e));
+  }
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("traceEvents", std::move(events));
+  out.Set("displayTimeUnit", JsonValue::Str("ms"));
+  JsonValue other = JsonValue::MakeObject();
+  other.Set("ticket", JsonValue::Int(static_cast<int64_t>(stats.ticket)));
+  other.Set("trace_level", JsonValue::Int(stats.trace_level));
+  other.Set("queue_seconds", JsonValue::Double(stats.queue_seconds));
+  other.Set("run_seconds", JsonValue::Double(stats.run_seconds));
+  out.Set("otherData", std::move(other));
+  return out;
+}
+
 JsonValue ToJson(const RequestStats& stats) {
   JsonValue out = JsonValue::MakeObject();
   out.Set("ticket", JsonValue::Int(static_cast<int64_t>(stats.ticket)));
@@ -538,6 +670,17 @@ JsonValue ToJson(const RequestStats& stats) {
     trace.Append(std::move(s));
   }
   out.Set("trace", std::move(trace));
+  // Engine-deep ring events — only for traced requests, so the wire
+  // format of untraced (trace_level 0) requests stays byte-stable with
+  // the pre-tracing protocol.
+  if (stats.trace_level > 0) {
+    out.Set("trace_level", JsonValue::Int(stats.trace_level));
+    JsonValue events = JsonValue::MakeArray();
+    for (const TraceEventRecord& e : stats.events) {
+      events.Append(TraceEventToJson(e));
+    }
+    out.Set("events", std::move(events));
+  }
   // Session stage jobs only — absent members keep the analyze-path wire
   // format (and its golden digests) byte-stable.
   if (stats.session_id != 0) {
@@ -972,6 +1115,14 @@ StatusOr<WireAnalyzeRequest> AnalyzeRequestFromJson(
       out.request.options = options;
     } else if (key == "deadline_seconds" && value.is_number()) {
       out.submit.deadline_seconds = value.number_value();
+    } else if (key == "trace_level" && value.is_int()) {
+      const int64_t level = value.int_value();
+      if (level < 0 || level > 2) {
+        return Status::InvalidArgument(
+            "trace_level must be 0 (off), 1 (stages/kernel/cache) or 2 "
+            "(deep)");
+      }
+      out.submit.trace_level = static_cast<int>(level);
     } else {
       return Status::InvalidArgument(
           "unknown or mistyped analyze-request member \"" + key + "\"");

@@ -139,6 +139,19 @@ Status StatusFromJson(const JsonValue& v);
 /// engine stats) — the GET /v1/stats and REPL `stats` body.
 JsonValue ServiceStatsToJson(const HypDbService& service);
 
+/// One engine-deep trace event (util/trace.h TraceEventRecord) as the raw
+/// line-JSON rendering used inside RequestStats "events": kind-specific
+/// members (stage name / kernel tier) decoded from the packed args.
+JsonValue TraceEventToJson(const TraceEventRecord& e);
+
+/// The Chrome/Perfetto trace ("chrome://tracing") export of one request:
+/// {"traceEvents": [...], "displayTimeUnit": "ms", "otherData": {...}}.
+/// The scheduler's synthetic stage tiling renders at tid 0 and the
+/// engine-deep ring-buffer events at their recording thread's tid, both
+/// on the submit-relative microsecond axis, so nested kernel/cache/CI
+/// events sit visually inside their parent stage span.
+JsonValue ChromeTraceJson(const RequestStats& stats);
+
 /// The JSON flavor of GET /metrics (?format=json): one entry per metric
 /// family with name/type/help and its samples; histogram samples carry
 /// the raw bucket table plus extracted p50/p95/p99. The Prometheus text

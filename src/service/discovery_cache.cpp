@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/trace.h"
+
 namespace hypdb {
 
 DiscoveryCache::DiscoveryCache(DiscoveryCacheOptions options)
@@ -19,6 +21,7 @@ StatusOr<DiscoveryReport> DiscoveryCache::LookupOrCompute(
   if (hit != cache_.end()) {
     ++stats_.hits;
     if (reused != nullptr) *reused = true;
+    TraceInstant(TraceEventKind::kDiscoveryHit, 1);
     return hit->second;
   }
 
@@ -26,10 +29,15 @@ StatusOr<DiscoveryReport> DiscoveryCache::LookupOrCompute(
   if (flight != inflight_.end()) {
     // Coalesce: another worker is computing this exact discovery right
     // now. Wait for it instead of duplicating the work — this is the
-    // same-(table, treatment) request batching.
+    // same-(table, treatment) request batching. The wait span makes
+    // coalesced requests' "discovery time" legible in their trace: it
+    // was a wait, not a computation.
     std::shared_ptr<InFlight> state = flight->second;
     ++stats_.coalesced;
-    state->cv.wait(lock, [&] { return state->done; });
+    {
+      TraceSpanScope wait_span(TraceEventKind::kDiscoveryWait, 1);
+      state->cv.wait(lock, [&] { return state->done; });
+    }
     if (!state->status.ok()) return state->status;
     if (reused != nullptr) *reused = true;
     if (coalesced != nullptr) *coalesced = true;
@@ -37,6 +45,7 @@ StatusOr<DiscoveryReport> DiscoveryCache::LookupOrCompute(
   }
 
   ++stats_.misses;
+  TraceInstant(TraceEventKind::kDiscoveryCompute, 1);
   auto state = std::make_shared<InFlight>();
   inflight_.emplace(key, state);
   lock.unlock();

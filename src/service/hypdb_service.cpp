@@ -2,6 +2,8 @@
 
 #include "core/sql_parser.h"
 #include "engine/groupby_kernel.h"
+#include "util/build_info.h"
+#include "util/trace.h"
 
 namespace hypdb {
 namespace {
@@ -21,6 +23,7 @@ QuerySchedulerOptions SchedulerOptions(const HypDbServiceOptions& o) {
   out.share_engines = o.share_engines;
   out.share_discovery = o.share_discovery;
   out.defaults = o.analysis;
+  out.default_trace_level = o.trace_level;
   out.on_complete = o.on_complete;
   return out;
 }
@@ -36,12 +39,55 @@ SessionManagerOptions SessionOptions(const HypDbServiceOptions& o) {
 
 HypDbService::HypDbService(HypDbServiceOptions options)
     : options_(std::move(options)),
+      traces_(options_.trace_retention),
       registry_(RegistryOptions(options_)),
       discovery_(DiscoveryCacheOptions{options_.max_discovery_entries}),
-      sessions_(SessionOptions(options_)),
-      scheduler_(std::make_unique<QueryScheduler>(
-          &registry_, &discovery_, SchedulerOptions(options_))) {
+      sessions_(SessionOptions(options_)) {
+  QuerySchedulerOptions sched = SchedulerOptions(options_);
+  // Interpose on completion: retain the harvested trace (so the trace
+  // endpoint can serve it after the claim-once result is gone), then
+  // forward to the user's observer (stats log / flight recorder).
+  sched.on_complete = [this](const RequestStats& stats,
+                             const Status& status) {
+    traces_.Record(stats);
+    if (options_.on_complete) options_.on_complete(stats, status);
+  };
+  scheduler_ = std::make_unique<QueryScheduler>(&registry_, &discovery_,
+                                                std::move(sched));
   RegisterMetrics();
+}
+
+void HypDbService::TraceStore::Record(const RequestStats& stats) {
+  if (cap_ <= 0 || stats.ticket == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = by_ticket_.insert_or_assign(stats.ticket, stats);
+  (void)it;
+  if (inserted) order_.push_back(stats.ticket);
+  while (static_cast<int64_t>(order_.size()) > cap_) {
+    by_ticket_.erase(order_.front());
+    order_.pop_front();
+  }
+}
+
+StatusOr<RequestStats> HypDbService::TraceStore::Get(uint64_t ticket) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_ticket_.find(ticket);
+  if (it == by_ticket_.end()) {
+    return Status::NotFound("no retained trace for ticket " +
+                            std::to_string(ticket) +
+                            " (unknown, still running, or expired)");
+  }
+  if (it->second.trace_level <= 0) {
+    return Status::FailedPrecondition(
+        "request " + std::to_string(ticket) +
+        " ran with tracing off (trace_level 0); resubmit with "
+        "trace_level >= 1");
+  }
+  return it->second;
+}
+
+StatusOr<RequestStats> HypDbService::RequestTrace(uint64_t ticket) const {
+  return traces_.Get(ticket);
 }
 
 void HypDbService::RegisterMetrics() {
@@ -175,6 +221,87 @@ void HypDbService::RegisterMetrics() {
       "hypdb_engine_morsels_total",
       "Morsels dispatched by parallel group-by scans (process-wide).", {},
       [] { return static_cast<double>(GroupByMorselsDispatched()); });
+
+  // Build identity: the Prometheus info-metric idiom (constant 1, the
+  // payload lives in the labels) so scrapes say which binary they hit.
+  metrics_.RegisterGaugeFn(
+      "hypdb_build_info",
+      "Build identity of the running binary (constant 1; see labels).",
+      {{"version", BuildVersion()},
+       {"compiler", BuildCompiler()},
+       {"build_type", BuildType()},
+       {"simd", GroupByKernelSimdActive() ? "avx2" : "scalar"}},
+      [] { return 1.0; });
+
+  // Trace rollups: per-event-family aggregates bumped as ring events are
+  // recorded (process-wide, like the morsel counter). They answer "how
+  // often do slices fall back / where do kernel scans land per tier"
+  // without fetching any per-request trace.
+  TraceRollup& trace = GlobalTraceRollup();
+  const struct {
+    const char* decision;
+    Counter* counter;
+  } kCacheDecisions[] = {
+      {"hit", &trace.cache_hits},
+      {"miss", &trace.cache_misses},
+      {"marginalize", &trace.cache_marginalizations},
+      {"evict", &trace.cache_evictions},
+      {"prefetch", &trace.cache_prefetches},
+  };
+  for (const auto& d : kCacheDecisions) {
+    metrics_.RegisterCounter(
+        "hypdb_trace_cache_decisions_total",
+        "Traced CachingCountEngine decisions by kind.",
+        {{"decision", d.decision}}, d.counter);
+  }
+  metrics_.RegisterCounter("hypdb_trace_slice_total",
+                           "Traced predicate-slicing outcomes.",
+                           {{"outcome", "slice"}}, &trace.slice_serves);
+  metrics_.RegisterCounter("hypdb_trace_slice_total",
+                           "Traced predicate-slicing outcomes.",
+                           {{"outcome", "fallback"}},
+                           &trace.slice_fallbacks);
+  metrics_.RegisterCounter("hypdb_trace_discovery_total",
+                           "Traced discovery-cache outcomes.",
+                           {{"outcome", "hit"}}, &trace.discovery_hits);
+  metrics_.RegisterCounter("hypdb_trace_discovery_total",
+                           "Traced discovery-cache outcomes.",
+                           {{"outcome", "compute"}},
+                           &trace.discovery_computes);
+  metrics_.RegisterCounter("hypdb_trace_ci_tests_total",
+                           "Traced conditional-independence tests (deep "
+                           "trace level only).",
+                           {}, &trace.ci_tests);
+  metrics_.RegisterCounter("hypdb_trace_morsel_batches_total",
+                           "Traced morsel dispatches (deep trace level "
+                           "only).",
+                           {}, &trace.morsel_batches);
+  metrics_.RegisterCounter("hypdb_trace_dropped_events_total",
+                           "Trace events dropped because the ring pool "
+                           "was exhausted.",
+                           {}, &trace.dropped_events);
+  for (int s = 0; s < kNumTraceStages; ++s) {
+    metrics_.RegisterHistogram(
+        "hypdb_trace_stage_seconds",
+        "Traced analysis-stage latencies by stage.",
+        {{"stage", TraceStageName(static_cast<TraceStage>(s))}},
+        &trace.stage_seconds[s]);
+  }
+  for (int t = 0; t < 3; ++t) {
+    metrics_.RegisterHistogram(
+        "hypdb_trace_kernel_scan_seconds",
+        "Traced group-by kernel scan latencies by tier.",
+        {{"tier", TraceKernelTierName(static_cast<TraceKernelTier>(t))}},
+        &trace.kernel_scan_seconds[t]);
+  }
+  metrics_.RegisterHistogram("hypdb_trace_ci_test_seconds",
+                             "Traced per-CI-test latencies (deep trace "
+                             "level only).",
+                             {}, &trace.ci_test_seconds);
+  metrics_.RegisterHistogram("hypdb_trace_discovery_wait_seconds",
+                             "Traced waits on in-flight twin discoveries "
+                             "(coalescing).",
+                             {}, &trace.discovery_wait_seconds);
 }
 
 int64_t HypDbService::RegisterTable(const std::string& name,
@@ -246,7 +373,10 @@ StatusOr<SessionInfo> HypDbService::CreateSession(
   if (options_.share_engines) {
     // The whole-population shard (discovery counts), exactly as the
     // analyze path wires it. A re-registration between snapshot and here
-    // degrades to unshared — still correct, just not pooled.
+    // degrades to unshared — still correct, just not pooled. The bind
+    // span keeps this setup scan nested under a stage in the trace.
+    TraceSpanScope bind_span(TraceEventKind::kStage, 1,
+                             static_cast<uint64_t>(TraceStage::kBind));
     HYPDB_ASSIGN_OR_RETURN(BoundQuery bound,
                            BindQuery(snapshot.table, query));
     StatusOr<std::shared_ptr<CountEngine>> shard = registry_.ShardEngine(

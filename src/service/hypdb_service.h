@@ -29,7 +29,10 @@
 #define HYPDB_SERVICE_HYPDB_SERVICE_H_
 
 #include <atomic>
+#include <deque>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -41,6 +44,7 @@
 #include "service/session_manager.h"
 #include "util/metrics.h"
 #include "util/stopwatch.h"
+#include "util/trace.h"
 
 namespace hypdb {
 
@@ -67,9 +71,21 @@ struct HypDbServiceOptions {
   int64_t max_sessions = 64;
   /// Idle seconds before a session expires; <= 0 disables expiry.
   double session_ttl_seconds = 600.0;
+  /// Default trace sampling level for requests without a per-request
+  /// `trace_level` (SubmitOptions / wire key / CLI --trace): 0 off,
+  /// 1 stage spans + kernel scans + cache decisions (the default; gated
+  /// ≤3% qps by bench_trace_overhead), 2 adds per-CI-test and
+  /// per-morsel events.
+  int trace_level = 1;
+  /// Completed request traces retained for GET /v1/requests/{id}/trace
+  /// (results are claim-once, so the trace outlives the claim here).
+  /// Oldest dropped beyond the cap; 0 disables retention.
+  int64_t trace_retention = 256;
   /// Per-request completion observer forwarded to the scheduler (see
-  /// QuerySchedulerOptions::on_complete) — how `--stats-log` hooks in
-  /// without the service depending on any serialization layer.
+  /// QuerySchedulerOptions::on_complete) — how `--stats-log` and the
+  /// slow-query flight recorder hook in without the service depending on
+  /// any serialization layer. The stats already carry the harvested
+  /// trace events when the request ran at trace_level > 0.
   std::function<void(const RequestStats&, const Status&)> on_complete;
 };
 
@@ -137,6 +153,13 @@ class HypDbService {
   Status CloseSession(uint64_t session_id);
   int64_t num_sessions() const { return sessions_.size(); }
 
+  /// The retained trace of a completed request: final stats including
+  /// the harvested sub-stage events. Available after completion (even
+  /// after Wait() claimed the result) until trace_retention pushes it
+  /// out. kNotFound for unknown/expired tickets; kFailedPrecondition
+  /// when the request ran with tracing off.
+  StatusOr<RequestStats> RequestTrace(uint64_t ticket) const;
+
   /// Introspection.
   DiscoveryCacheStats discovery_stats() const { return discovery_.stats(); }
   StatusOr<CountEngineStats> engine_stats(const std::string& dataset) const {
@@ -174,10 +197,28 @@ class HypDbService {
       const std::shared_ptr<std::atomic<bool>>& cancel_flag,
       RequestStats* stats);
 
+  /// Bounded retention of completed requests' final stats (with their
+  /// harvested trace events), keyed by ticket — what the trace export
+  /// endpoint reads after the claim-once result is gone.
+  class TraceStore {
+   public:
+    explicit TraceStore(int64_t cap) : cap_(cap) {}
+    void Record(const RequestStats& stats);
+    StatusOr<RequestStats> Get(uint64_t ticket) const;
+
+   private:
+    const int64_t cap_;
+    mutable std::mutex mu_;
+    std::map<uint64_t, RequestStats> by_ticket_;
+    std::deque<uint64_t> order_;
+  };
+
   // First member: registered metric pointers all outlive the registry.
   MetricsRegistry metrics_;
   Stopwatch uptime_;
   HypDbServiceOptions options_;
+  // Outlives the scheduler: workers publish into it via on_complete.
+  TraceStore traces_;
   DatasetRegistry registry_;
   DiscoveryCache discovery_;
   mutable SessionManager sessions_;

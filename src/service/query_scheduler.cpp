@@ -230,9 +230,28 @@ void QueryScheduler::RunJob(Job job, int worker_id) {
     std::lock_guard<std::mutex> lock(mu_);
     running_cancels_.emplace(job.ticket, job.cancel_flag);
   }
+  // Engine-deep tracing: attribute everything the worker (and any helper
+  // thread that inherits the context) records to this ticket, on the
+  // submit-relative axis the queue span already started.
+  TraceContext trace_ctx;
+  trace_ctx.ticket = job.ticket;
+  trace_ctx.level = std::min(
+      2, std::max(0, job.submit.trace_level >= 0
+                         ? job.submit.trace_level
+                         : options_.default_trace_level));
+  trace_ctx.t0_nanos = job.queued.StartNanos();
+  stats.trace_level = trace_ctx.level;
   Stopwatch run;
-  StatusOr<ServiceReport> result = Execute(job, worker_id, &stats);
+  StatusOr<ServiceReport> result = [&] {
+    TraceContextScope trace_scope(trace_ctx);
+    return Execute(job, worker_id, &stats);
+  }();
   stats.run_seconds = run.ElapsedSeconds();
+  if (trace_ctx.level > 0) {
+    // Harvested before Observe() fires on_complete, so the slow-query
+    // flight recorder sees the full sub-stage trace.
+    stats.events = HarvestTrace(job.ticket, trace_ctx.t0_nanos);
+  }
   if (job.cancel_flag != nullptr) {
     std::lock_guard<std::mutex> lock(mu_);
     running_cancels_.erase(job.ticket);
@@ -280,7 +299,11 @@ StatusOr<ServiceReport> QueryScheduler::Execute(const Job& job,
   if (options_.share_engines) {
     // Bind once here to materialize the WHERE view the shard engine
     // aggregates. Analyze() re-binds internally; both binds produce the
-    // same row set, which is all count equality needs.
+    // same row set, which is all count equality needs. The bind span
+    // covers this setup scan so every traced kernel event has a stage
+    // parent.
+    TraceSpanScope bind_span(TraceEventKind::kStage, 1,
+                             static_cast<uint64_t>(TraceStage::kBind));
     HYPDB_ASSIGN_OR_RETURN(BoundQuery bound,
                            BindQuery(snapshot.table, job.query));
     StatusOr<std::shared_ptr<CountEngine>> shard = registry_->ShardEngine(

@@ -72,6 +72,12 @@ struct QuerySchedulerOptions {
   bool share_discovery = true;
   /// Analysis options for requests that do not carry their own.
   HypDbOptions defaults;
+  /// Trace sampling level for requests that do not carry their own
+  /// (SubmitOptions::trace_level < 0). Level 1 — stage spans, kernel
+  /// scans, cache decisions — is cheap enough to be the default (the
+  /// bench_trace_overhead gate); 0 disables recording, 2 adds
+  /// per-CI-test and per-morsel events.
+  int default_trace_level = 1;
   /// Observer fired once per terminal outcome (success, error, cancel,
   /// deadline) with the final stats and status — the hook behind
   /// `--stats-log`. Called outside scheduler locks on whichever thread
@@ -88,6 +94,11 @@ struct SubmitOptions {
   /// timed out, so the cycles are better spent on live requests. 0 (the
   /// default) means no deadline.
   double deadline_seconds = 0.0;
+  /// Per-request trace sampling level (wire key `trace_level`): 0 off,
+  /// 1 stage/kernel/cache events, 2 adds per-CI-test and per-morsel
+  /// events. Negative (the default) inherits the scheduler-wide
+  /// QuerySchedulerOptions::default_trace_level.
+  int trace_level = -1;
 };
 
 /// Thread-safe. Destruction waits for in-flight work, discarding queued

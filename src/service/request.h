@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/hypdb.h"
+#include "util/trace.h"
 
 namespace hypdb {
 
@@ -77,6 +78,15 @@ struct RequestStats {
   /// "queue"). Purely observational — excluded from the report digest by
   /// construction, so metrics stay digest-neutral.
   std::vector<TraceSpan> trace;
+  /// The sampling level this request ran at (resolved from
+  /// SubmitOptions::trace_level / the service default; 0 = off).
+  int trace_level = 0;
+  /// Engine-deep ring-buffer events harvested for this request (empty at
+  /// trace_level 0): session stage spans, kernel scans, cache decisions,
+  /// CI tests, morsel batches — on the same submit-relative axis as
+  /// `trace`. Rendered only when non-empty, so the analyze-path wire
+  /// format of untraced requests is byte-stable. Observational only.
+  std::vector<TraceEventRecord> events;
 
   // --- session stage jobs only (session_id == 0 otherwise) ------------
   /// The AnalysisSession this request advanced.

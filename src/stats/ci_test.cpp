@@ -5,6 +5,7 @@
 
 #include "stats/patefield.h"
 #include "stats/special_math.h"
+#include "util/trace.h"
 
 namespace hypdb {
 
@@ -73,6 +74,15 @@ StatusOr<CiResult> CiTester::TestSets(const std::vector<int>& xs,
     }
   }
   ++num_tests_;
+  // Deep trace level only: discovery runs hundreds of these. arg0 packs
+  // the side/conditioning-set sizes, arg1 the first tested column pair.
+  TraceSpanScope span(
+      TraceEventKind::kCiTest, 2,
+      (static_cast<uint64_t>(xs.size()) << 32) |
+          (static_cast<uint64_t>(ys.size()) << 16) |
+          static_cast<uint64_t>(z.size() & 0xffff),
+      (static_cast<uint64_t>(static_cast<uint32_t>(xs[0])) << 32) |
+          static_cast<uint64_t>(static_cast<uint32_t>(ys[0])));
   switch (options_.method) {
     case CiMethod::kGTest:
       return RunGTest(xs, ys, z);

@@ -1,0 +1,29 @@
+#include "util/build_info.h"
+
+namespace hypdb {
+
+const char* BuildVersion() {
+#ifdef HYPDB_VERSION
+  return HYPDB_VERSION;
+#else
+  return "untagged";
+#endif
+}
+
+const char* BuildCompiler() {
+#ifdef __VERSION__
+  return __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+const char* BuildType() {
+#ifdef HYPDB_BUILD_TYPE
+  return HYPDB_BUILD_TYPE;
+#else
+  return "unspecified";
+#endif
+}
+
+}  // namespace hypdb

@@ -1,0 +1,22 @@
+// Build identity of the running binary, for the hypdb_build_info metric,
+// /healthz, and BENCH json — so a scrape or a benchmark artifact says
+// which version/compiler/build-type produced it.
+
+#ifndef HYPDB_UTIL_BUILD_INFO_H_
+#define HYPDB_UTIL_BUILD_INFO_H_
+
+namespace hypdb {
+
+/// `git describe` at configure time (CMake), or "untagged" outside a
+/// git checkout.
+const char* BuildVersion();
+
+/// The compiler's own version banner (__VERSION__).
+const char* BuildCompiler();
+
+/// CMAKE_BUILD_TYPE at configure time, or "unspecified".
+const char* BuildType();
+
+}  // namespace hypdb
+
+#endif  // HYPDB_UTIL_BUILD_INFO_H_

@@ -22,9 +22,16 @@ StatsLog::~StatsLog() {
 }
 
 void StatsLog::WriteLine(const std::string& line) {
+  // Line + newline in a single buffered write before the flush: the file
+  // either gains the whole record or none of it, so a reader tailing the
+  // log (or parsing it after an abrupt stop) never sees a record split
+  // from its newline.
+  std::string record;
+  record.reserve(line.size() + 1);
+  record.append(line);
+  record.push_back('\n');
   std::lock_guard<std::mutex> lock(mu_);
-  std::fwrite(line.data(), 1, line.size(), file_);
-  std::fputc('\n', file_);
+  std::fwrite(record.data(), 1, record.size(), file_);
   std::fflush(file_);
 }
 

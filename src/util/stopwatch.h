@@ -19,6 +19,16 @@ class Stopwatch {
   }
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
 
+  /// The start instant as steady-clock nanoseconds since the clock's
+  /// epoch — the origin of a request's submit-relative trace axis
+  /// (TraceContext::t0_nanos shares this clock).
+  uint64_t StartNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            start_.time_since_epoch())
+            .count());
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;

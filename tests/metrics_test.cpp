@@ -113,6 +113,36 @@ TEST(HistogramTest, EdgeObservations) {
   EXPECT_TRUE(std::isfinite(snap.Quantile(0.99)));
 }
 
+TEST(HistogramTest, QuantileEdgeCases) {
+  // Single observation: q=0 and q=1 bracket it with the containing
+  // bucket's bounds, out-of-range q clamps, and quantiles are monotone.
+  LatencyHistogram hist;
+  hist.Observe(0.001);
+  HistogramSnapshot one = hist.Snapshot();
+  const double q0 = one.Quantile(0.0);
+  const double q1 = one.Quantile(1.0);
+  EXPECT_LE(q0, 0.001);
+  EXPECT_GE(q1, 0.001);
+  EXPECT_GT(q1, q0);
+  EXPECT_DOUBLE_EQ(one.Quantile(-5.0), q0);
+  EXPECT_DOUBLE_EQ(one.Quantile(2.0), q1);
+  EXPECT_LE(q0, one.Quantile(0.5));
+  EXPECT_LE(one.Quantile(0.5), q1);
+
+  // Overflow-bucket-only: every quantile reports the finite lower bound
+  // of the +inf bucket, never +inf itself.
+  LatencyHistogram over;
+  over.Observe(1e9);
+  over.Observe(2e9);
+  HistogramSnapshot snap = over.Snapshot();
+  const double lower =
+      LatencyHistogram::BucketUpperBound(LatencyHistogram::kNumBuckets - 2);
+  for (double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_TRUE(std::isfinite(snap.Quantile(q))) << "q=" << q;
+    EXPECT_DOUBLE_EQ(snap.Quantile(q), lower) << "q=" << q;
+  }
+}
+
 TEST(HistogramTest, QuantileWithinBucketResolution) {
   // Buckets are spaced 2x apart, so the estimate must sit within a
   // factor of 2 of the true quantile for any smooth distribution.
@@ -405,6 +435,91 @@ TEST(TraceTest, AnalyzeProducesMonotoneSpans) {
   EXPECT_EQ(spans->array()[0].Find("span")->string_value(), "queue");
   ASSERT_NE(spans->array()[0].Find("start_seconds"), nullptr);
   ASSERT_NE(spans->array()[0].Find("seconds"), nullptr);
+}
+
+// The timeline invariant every completion path must satisfy: spans start
+// at "queue" on the submit-relative axis, tile monotonically without
+// overlap, and their total never exceeds the measured queue + run time.
+void ExpectTraceTiling(const RequestStats& stats) {
+  ASSERT_FALSE(stats.trace.empty());
+  EXPECT_EQ(stats.trace[0].name, "queue");
+  EXPECT_DOUBLE_EQ(stats.trace[0].start_seconds, 0.0);
+  double end = 0.0;
+  double sum = 0.0;
+  for (const TraceSpan& span : stats.trace) {
+    EXPECT_GE(span.seconds, 0.0) << span.name;
+    EXPECT_GE(span.start_seconds, end - 1e-9) << span.name;
+    end = span.start_seconds + span.seconds;
+    sum += span.seconds;
+  }
+  EXPECT_LE(sum, stats.queue_seconds + stats.run_seconds + 1e-6);
+}
+
+TEST(TraceTilingPropertyTest, HoldsAcrossCompletionPaths) {
+  // Success and session-stage paths, via the full service.
+  CompletionLog service_log;
+  HypDbServiceOptions service_options;
+  service_options.num_workers = 1;
+  service_options.on_complete = service_log.Hook();
+  HypDbService service(service_options);
+  service.RegisterTable("b", Berkeley());
+
+  AnalyzeRequest request;
+  request.dataset = "b";
+  request.sql = kBerkeleySql;
+  auto report = service.Analyze(std::move(request));
+  ASSERT_TRUE(report.ok());
+  ExpectTraceTiling(report->stats);
+
+  AnalyzeRequest session_request;
+  session_request.dataset = "b";
+  session_request.sql = kBerkeleySql;
+  auto session = service.CreateSession(session_request);
+  ASSERT_TRUE(session.ok());
+  auto step = service.AdvanceSession(session->id, "detect", std::nullopt);
+  ASSERT_TRUE(step.ok());
+  ExpectTraceTiling(step->stats);
+
+  // Cancelled and deadline-exceeded paths, via a raw scheduler (the same
+  // RunJob/Observe code the service uses).
+  DatasetRegistry registry;
+  DiscoveryCache discovery;
+  CompletionLog log;
+  QuerySchedulerOptions options;
+  options.num_workers = 1;
+  options.on_complete = log.Hook();
+  QueryScheduler scheduler(&registry, &discovery, options);
+
+  uint64_t blocker = scheduler.SubmitTask("blocker", [](RequestStats*) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    return StatusOr<ServiceReport>(ServiceReport{});
+  });
+  uint64_t victim = scheduler.SubmitTask("victim", [](RequestStats*) {
+    return StatusOr<ServiceReport>(ServiceReport{});
+  });
+  EXPECT_TRUE(scheduler.Cancel(victim));
+  SubmitOptions deadline;
+  deadline.deadline_seconds = 0.02;
+  uint64_t doomed = scheduler.SubmitTask(
+      "doomed",
+      [](RequestStats*) { return StatusOr<ServiceReport>(ServiceReport{}); },
+      deadline);
+
+  EXPECT_FALSE(scheduler.Wait(victim).ok());
+  EXPECT_FALSE(scheduler.Wait(doomed).ok());
+  EXPECT_TRUE(scheduler.Wait(blocker).ok());
+
+  std::lock_guard<std::mutex> lock(log.mu);
+  ASSERT_EQ(log.entries.size(), 3u);
+  bool saw_cancelled = false;
+  bool saw_deadline = false;
+  for (const Completion& c : log.entries) {
+    ExpectTraceTiling(c.stats);
+    saw_cancelled |= c.code == StatusCode::kCancelled;
+    saw_deadline |= c.code == StatusCode::kDeadlineExceeded;
+  }
+  EXPECT_TRUE(saw_cancelled);
+  EXPECT_TRUE(saw_deadline);
 }
 
 // --------------------------------------------------- digest neutrality
