@@ -22,6 +22,9 @@
 //   $ ./examples/hypdb_cli --serve [--workers=N] [--threads=N] [--alpha=A]
 //   hypdb> load flights /data/flights.csv      # register a CSV
 //   hypdb> gen berkeley berkeley               # or a built-in generator
+//   hypdb> append flights UA,COS,1 DL,ROC,0    # ingest rows (one comma-
+//          separated token per row, schema column order; no epoch bump —
+//          caches are delta-patched, not invalidated)
 //   hypdb> analyze flights SELECT Carrier, avg(Delayed) FROM flights
 //          WHERE Airport IN ('COS','ROC') GROUP BY Carrier
 //   hypdb> submit flights SELECT ...           # async: prints a ticket
@@ -118,8 +121,8 @@ void PrintServiceReport(const ServiceReport& report) {
 int RunServe(const HypDbServiceOptions& options) {
   HypDbService service(options);
   std::printf("HypDB service REPL — %d workers. Commands: load, gen, "
-              "analyze, submit, poll, wait, cancel, trace, session, step, "
-              "sessions, close, datasets, stats, metrics, quit\n",
+              "append, analyze, submit, poll, wait, cancel, trace, session, "
+              "step, sessions, close, datasets, stats, metrics, quit\n",
               service.num_workers());
 
   std::string line;
@@ -157,6 +160,29 @@ int RunServe(const HypDbServiceOptions& options) {
                   name.c_str(), static_cast<long long>(*epoch),
                   static_cast<long long>((*table)->NumRows()),
                   (*table)->NumColumns());
+      continue;
+    }
+
+    if (cmd == "append") {
+      std::string name;
+      in >> name;
+      std::vector<std::vector<std::string>> rows;
+      std::string token;
+      while (in >> token) rows.push_back(Split(token, ','));
+      if (name.empty() || rows.empty()) {
+        std::printf("usage: append <dataset> <label,label,...> "
+                    "[<label,...> ...]  (one token per row, schema column "
+                    "order)\n");
+        continue;
+      }
+      auto watermark = service.AppendRows(name, rows);
+      if (!watermark.ok()) {
+        std::printf("error: %s\n", watermark.status().ToString().c_str());
+        continue;
+      }
+      std::printf("appended %zu rows to '%s' (watermark %lld)\n",
+                  rows.size(), name.c_str(),
+                  static_cast<long long>(*watermark));
       continue;
     }
 
@@ -312,9 +338,12 @@ int RunServe(const HypDbServiceOptions& options) {
 
     if (cmd == "datasets") {
       for (const DatasetInfo& d : service.Datasets()) {
-        std::printf("%-16s epoch %lld  %lld rows  %d columns  %d shards\n",
+        std::printf("%-16s epoch %lld  %lld rows  %d columns  %d shards  "
+                    "%lld chunks  watermark %lld\n",
                     d.name.c_str(), static_cast<long long>(d.epoch),
-                    static_cast<long long>(d.rows), d.columns, d.shards);
+                    static_cast<long long>(d.rows), d.columns, d.shards,
+                    static_cast<long long>(d.chunks),
+                    static_cast<long long>(d.watermark));
       }
       continue;
     }

@@ -115,6 +115,57 @@ void SortCountsByKey(std::vector<uint64_t>* keys,
   SortByKey(keys, counts);
 }
 
+namespace {
+
+// Re-encodes `in`'s keys under `target` (same column list; cardinalities
+// possibly larger, never smaller). Sortedness survives: mixed-radix key
+// comparison is lexicographic on the digit tuple (most-significant digit
+// last), and the digits themselves are unchanged.
+std::vector<uint64_t> ReKeyOnto(const GroupCounts& in,
+                                const TupleCodec& target) {
+  if (in.codec.cardinalities() == target.cardinalities()) return in.keys;
+  std::vector<uint64_t> out(in.keys.size());
+  std::vector<int32_t> codes(in.codec.cols().size());
+  for (size_t g = 0; g < in.keys.size(); ++g) {
+    for (size_t j = 0; j < codes.size(); ++j) {
+      codes[j] = in.codec.DecodeAt(in.keys[g], static_cast<int>(j));
+    }
+    out[g] = target.EncodeCodes(codes);
+  }
+  return out;
+}
+
+}  // namespace
+
+GroupCounts MergeGroupCounts(const GroupCounts& a, const GroupCounts& b,
+                             const TupleCodec& target) {
+  GroupCounts out;
+  out.codec = target;
+  out.total = a.total + b.total;
+  const std::vector<uint64_t> ka = ReKeyOnto(a, target);
+  const std::vector<uint64_t> kb = ReKeyOnto(b, target);
+  out.keys.reserve(ka.size() + kb.size());
+  out.counts.reserve(ka.size() + kb.size());
+  size_t i = 0, j = 0;
+  while (i < ka.size() || j < kb.size()) {
+    uint64_t key;
+    int64_t count = 0;
+    if (j >= kb.size() || (i < ka.size() && ka[i] < kb[j])) {
+      key = ka[i];
+      count = a.counts[i++];
+    } else if (i >= ka.size() || kb[j] < ka[i]) {
+      key = kb[j];
+      count = b.counts[j++];
+    } else {
+      key = ka[i];
+      count = a.counts[i++] + b.counts[j++];
+    }
+    out.keys.push_back(key);
+    out.counts.push_back(count);
+  }
+  return out;
+}
+
 GroupCounts ProjectOnto(const GroupCounts& counts,
                         const std::vector<int>& cols) {
   if (counts.codec.cols() == cols) return counts;

@@ -82,6 +82,16 @@ GroupCounts ProjectOnto(const GroupCounts& counts,
 void SortCountsByKey(std::vector<uint64_t>* keys,
                      std::vector<int64_t>* counts);
 
+/// Adds two summaries of disjoint row populations grouped on the same
+/// column list, re-keyed onto `target` (same cols, cardinalities >=
+/// either input's). Inputs may carry older codecs: append-only
+/// dictionaries keep codes stable, so decoding a key under its own codec
+/// and re-encoding under `target` is exact. This is the delta-maintenance
+/// primitive — merging a chunk-suffix summary into a cached one yields
+/// exactly the summary a cold scan of the grown table produces.
+GroupCounts MergeGroupCounts(const GroupCounts& a, const GroupCounts& b,
+                             const TupleCodec& target);
+
 }  // namespace hypdb
 
 #endif  // HYPDB_DATAFRAME_GROUP_BY_H_

@@ -38,26 +38,54 @@ StatusOr<GroupCounts> CachingCountEngine::Counts(
     return base_->Counts(cols);
   }
 
+  // A summary is reusable only at the population version it was computed
+  // at; entries behind `version_now` are patched (never served stale).
+  const int64_t version_now = base_->PopulationVersion();
+
   // Under the lock: bookkeeping and a pointer grab only. Projection,
-  // marginalization and scans all run outside it (entries are immutable,
-  // so a grabbed shared_ptr stays valid past eviction).
+  // marginalization, patching and scans all run outside it (entries are
+  // immutable, so a grabbed shared_ptr stays valid past eviction).
   std::shared_ptr<const GroupCounts> source;
   bool derive = false;
+  bool stale = false;
+  int64_t source_version = 0;
+  std::vector<int> source_key;
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.queries;
 
     auto exact = cache_.find(sorted);
     if (exact != cache_.end()) {
-      ++stats_.cache_hits;
       source = exact->second.counts;
+      source_key = sorted;
+      source_version = exact->second.version;
+      stale = source_version != version_now;
+      if (!stale) ++stats_.cache_hits;
     } else if (options_.marginalize_supersets) {
       auto best = BestSupersetLocked(sorted);
       if (best != cache_.end()) {
-        ++stats_.marginalizations;
         source = best->second.counts;
+        source_key = best->first;
+        source_version = best->second.version;
         derive = true;
+        stale = source_version != version_now;
+        if (!stale) ++stats_.marginalizations;
       }
+    }
+  }
+
+  if (source != nullptr && stale) {
+    source = PatchEntry(source_key, std::move(source), source_version,
+                        version_now);
+    if (source != nullptr) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (derive) {
+        ++stats_.marginalizations;
+      } else {
+        ++stats_.cache_hits;
+      }
+    } else {
+      derive = false;  // patch impossible — recompute cold below
     }
   }
 
@@ -72,7 +100,7 @@ StatusOr<GroupCounts> CachingCountEngine::Counts(
       std::lock_guard<std::mutex> lock(mu_);
       Insert(std::move(sorted),
              std::make_shared<const GroupCounts>(result),
-             /*pinned=*/false);
+             /*pinned=*/false, version_now);
     }
     return result;
   }
@@ -84,12 +112,50 @@ StatusOr<GroupCounts> CachingCountEngine::Counts(
   HYPDB_ASSIGN_OR_RETURN(GroupCounts fresh, base_->Counts(cols));
   std::lock_guard<std::mutex> lock(mu_);
   Insert(std::move(sorted), std::make_shared<const GroupCounts>(fresh),
-         /*pinned=*/false);
+         /*pinned=*/false, version_now);
   return fresh;
+}
+
+std::shared_ptr<const GroupCounts> CachingCountEngine::PatchEntry(
+    const std::vector<int>& key,
+    std::shared_ptr<const GroupCounts> stale_counts, int64_t entry_version,
+    int64_t version_now) {
+  TraceSpanScope span(TraceEventKind::kDeltaPatch, 1,
+                      static_cast<uint64_t>(version_now - entry_version),
+                      key.size());
+  StatusOr<GroupCounts> delta =
+      base_->CountsDelta(key, entry_version, version_now);
+  if (!delta.ok()) {
+    // No delta source (static base — Unimplemented) or the suffix scan
+    // failed: the stale summary is useless, drop it so the recompute's
+    // insert starts clean. Not an eviction — nothing was under pressure.
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(key);
+    if (it != cache_.end() && it->second.version == entry_version) {
+      cached_cells_ -= it->second.counts->NumGroups();
+      if (it->second.pinned) {
+        pinned_cells_ -= it->second.counts->NumGroups();
+      }
+      cache_.erase(it);
+    }
+    return nullptr;
+  }
+  // The delta's codec carries the current dictionary cardinalities, so
+  // merging onto it re-keys the older summary exactly — bit-identical to
+  // a cold scan of the grown population.
+  auto patched = std::make_shared<const GroupCounts>(
+      MergeGroupCounts(*stale_counts, *delta, delta->codec));
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.delta_patches;
+  Insert(key, patched, /*pinned=*/false, version_now);
+  return patched;
 }
 
 Status CachingCountEngine::Prefetch(const std::vector<int>& cols) {
   std::vector<int> sorted = SortedUniqueColumns(cols);
+  const int64_t version_now = base_->PopulationVersion();
+  std::shared_ptr<const GroupCounts> stale_counts;
+  int64_t stale_version = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     // One pinned focus at a time: release the previous one so repeated
@@ -105,13 +171,37 @@ Status CachingCountEngine::Prefetch(const std::vector<int>& cols) {
     pinned_key_ = sorted;
     auto it = cache_.find(sorted);
     if (it != cache_.end()) {
-      if (!it->second.pinned) {
+      if (it->second.version == version_now) {
+        if (!it->second.pinned) {
+          it->second.pinned = true;
+          pinned_cells_ += it->second.counts->NumGroups();
+        }
+        EvictToBudget();  // the focus just left the budgeted set
+        return Status::Ok();
+      }
+      // Stale focus: patch it outside the lock rather than rescanning —
+      // the focus superset is the largest summary in the cache, exactly
+      // the one delta maintenance is for.
+      stale_counts = it->second.counts;
+      stale_version = it->second.version;
+    }
+  }
+  if (stale_counts != nullptr) {
+    std::shared_ptr<const GroupCounts> patched =
+        PatchEntry(sorted, std::move(stale_counts), stale_version,
+                   version_now);
+    if (patched != nullptr) {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = cache_.find(sorted);
+      if (it != cache_.end() && pinned_key_ == sorted &&
+          !it->second.pinned) {
         it->second.pinned = true;
         pinned_cells_ += it->second.counts->NumGroups();
       }
-      EvictToBudget();  // the focus just left the budgeted set
+      EvictToBudget();
       return Status::Ok();
     }
+    // Patch impossible — fall through to the cold path.
   }
   // Pass the hint down the stack first (best-effort): a slicing base
   // forwards it to the *shared parent*, which materializes-and-pins the
@@ -130,7 +220,7 @@ Status CachingCountEngine::Prefetch(const std::vector<int>& cols) {
                still_focus ? 1 : 0);
   Insert(std::move(sorted),
          std::make_shared<const GroupCounts>(std::move(counts)),
-         /*pinned=*/still_focus);
+         /*pinned=*/still_focus, version_now);
   return Status::Ok();
 }
 
@@ -172,7 +262,7 @@ std::vector<int> CachingCountEngine::MarginalizationSource(
 
 void CachingCountEngine::Insert(std::vector<int> sorted,
                                 std::shared_ptr<const GroupCounts> counts,
-                                bool pinned) {
+                                bool pinned, int64_t version) {
   auto existing = cache_.find(sorted);
   if (existing != cache_.end()) {
     // Concurrent double-miss (or Prefetch racing Counts): replace the
@@ -190,6 +280,7 @@ void CachingCountEngine::Insert(std::vector<int> sorted,
   Entry entry;
   entry.counts = std::move(counts);
   entry.pinned = pinned;
+  entry.version = version;
   cache_.insert_or_assign(std::move(sorted), std::move(entry));
   EvictToBudget();
 }

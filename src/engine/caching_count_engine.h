@@ -63,6 +63,18 @@ class CachingCountEngine : public CountEngine {
 
   int64_t NumRows() const override { return base_->NumRows(); }
 
+  int64_t PopulationVersion() const override {
+    return base_->PopulationVersion();
+  }
+
+  /// Deltas come from storage, not from this cache; forwarded so stacked
+  /// caching layers can patch through.
+  StatusOr<GroupCounts> CountsDelta(const std::vector<int>& cols,
+                                    int64_t from_version,
+                                    int64_t to_version) override {
+    return base_->CountsDelta(cols, from_version, to_version);
+  }
+
   /// This layer's counters plus the base engine's.
   CountEngineStats stats() const override;
   void ResetStats() override;
@@ -90,6 +102,12 @@ class CachingCountEngine : public CountEngine {
     std::shared_ptr<const GroupCounts> counts;  // codec order: any
                                                 // permutation of the key
     bool pinned = false;
+    /// Base PopulationVersion the summary includes rows through. Kept
+    /// explicitly — GroupCounts::total is NOT a valid watermark for
+    /// filtered populations (the matching-row count lags the storage
+    /// watermark). A query at a newer version patches the entry via
+    /// base CountsDelta instead of invalidating it.
+    int64_t version = 0;
   };
 
   /// The best cached strict superset of `sorted` to marginalize from
@@ -103,8 +121,20 @@ class CachingCountEngine : public CountEngine {
   /// accounting is adjusted and an existing pin is preserved. Requires
   /// mu_ held.
   void Insert(std::vector<int> sorted,
-              std::shared_ptr<const GroupCounts> counts, bool pinned);
+              std::shared_ptr<const GroupCounts> counts, bool pinned,
+              int64_t version);
   void EvictToBudget();
+
+  /// Brings a stale entry (grabbed under the lock) current by merging a
+  /// base CountsDelta over [entry_version, version_now) and re-inserting
+  /// the patched summary. On success returns the patched summary; when
+  /// the base cannot produce deltas (Unimplemented — static engines) or
+  /// the delta fails, drops the stale entry and returns null so the
+  /// caller falls back to a cold recompute.
+  std::shared_ptr<const GroupCounts> PatchEntry(
+      const std::vector<int>& key,
+      std::shared_ptr<const GroupCounts> stale_counts, int64_t entry_version,
+      int64_t version_now);
 
   std::shared_ptr<CountEngine> base_;
   CachingCountEngineOptions options_;

@@ -63,6 +63,19 @@ struct CountEngineStats {
   int64_t fallback_calls = 0;
   /// Cache entries dropped under memory pressure.
   int64_t evictions = 0;
+  /// Stale cached summaries brought current by merging a CountsDelta()
+  /// over the appended suffix instead of rescanning from scratch
+  /// (incremented by caching layers).
+  int64_t delta_patches = 0;
+  /// Chunks the chunked store actually scanned (full or partial;
+  /// incremented by chunked scan providers).
+  int64_t chunk_scans = 0;
+  /// Chunks a delta scan skipped because they lie entirely below the
+  /// requested watermark — the rows delta maintenance never re-reads.
+  int64_t chunks_skipped = 0;
+  /// Rows read by chunked scans (full scans and delta suffixes alike);
+  /// with chunks_skipped this quantifies what incremental ingest saves.
+  int64_t rows_scanned = 0;
 
   CountEngineStats& operator+=(const CountEngineStats& o) {
     queries += o.queries;
@@ -73,6 +86,10 @@ struct CountEngineStats {
     cube_hits += o.cube_hits;
     fallback_calls += o.fallback_calls;
     evictions += o.evictions;
+    delta_patches += o.delta_patches;
+    chunk_scans += o.chunk_scans;
+    chunks_skipped += o.chunks_skipped;
+    rows_scanned += o.rows_scanned;
     return *this;
   }
 
@@ -86,6 +103,10 @@ struct CountEngineStats {
     d.cube_hits -= o.cube_hits;
     d.fallback_calls -= o.fallback_calls;
     d.evictions -= o.evictions;
+    d.delta_patches -= o.delta_patches;
+    d.chunk_scans -= o.chunk_scans;
+    d.chunks_skipped -= o.chunks_skipped;
+    d.rows_scanned -= o.rows_scanned;
     return d;
   }
 };
@@ -118,6 +139,28 @@ class CountEngine {
   virtual Status Prefetch(const std::vector<int>& cols) {
     (void)cols;
     return Status::Ok();
+  }
+
+  /// Monotone version of this engine's population: a cached summary
+  /// computed at version v stays exact as long as PopulationVersion()
+  /// == v. Engines over growing storage return the underlying row
+  /// watermark; static engines inherit this default (NumRows() never
+  /// changes, so any constant works).
+  virtual int64_t PopulationVersion() const { return NumRows(); }
+
+  /// count(*) GROUP BY `cols` over only the rows appended between
+  /// population versions `from_version` (exclusive of prior rows) and
+  /// `to_version`. A caching layer patches a stale summary by merging
+  /// this delta instead of rescanning everything. Engines that cannot
+  /// enumerate their suffix return Unimplemented, which callers treat
+  /// as "recompute from scratch".
+  virtual StatusOr<GroupCounts> CountsDelta(const std::vector<int>& cols,
+                                            int64_t from_version,
+                                            int64_t to_version) {
+    (void)cols;
+    (void)from_version;
+    (void)to_version;
+    return Status::Unimplemented("engine does not support delta counts");
   }
 
   /// Accumulated instrumentation, including any wrapped engines'.

@@ -10,12 +10,15 @@ namespace hypdb {
 PredicateSlicingCountEngine::PredicateSlicingCountEngine(
     std::shared_ptr<CountEngine> parent,
     std::vector<SlicePredicate> predicates, TableView filtered_view,
-    GroupByKernelOptions fallback_kernel, int64_t parent_cache_budget)
+    GroupByKernelOptions fallback_kernel, int64_t parent_cache_budget,
+    std::shared_ptr<CountEngine> population)
     : parent_(std::move(parent)),
       predicates_(std::move(predicates)),
       view_(std::move(filtered_view)),
-      fallback_(std::make_shared<ViewCountProvider>(view_,
-                                                    fallback_kernel)),
+      population_(std::move(population)),
+      fallback_(population_ ? population_
+                            : std::make_shared<ViewCountProvider>(
+                                  view_, fallback_kernel)),
       parent_cache_budget_(parent_cache_budget) {
   std::sort(predicates_.begin(), predicates_.end(),
             [](const SlicePredicate& a, const SlicePredicate& b) {
@@ -47,11 +50,12 @@ GroupCounts PredicateSlicingCountEngine::Slice(
   for (int c : cols) keep.push_back(position_of(c));
 
   GroupCounts out;
-  // Cannot fail: cols ⊆ superset and the superset codec exists, so the
-  // subset domain (a divisor of the superset domain) fits too.
-  out.codec = *TupleCodec::Create(view_.table(), cols);
-  // Matches the direct-scan convention (rows aggregated = the view).
-  out.total = view_.NumRows();
+  // Project the *parent's* codec (cols ⊆ superset, so this cannot
+  // overflow): its cardinalities are current as of the parent's
+  // population version, which keeps sliced keys bit-identical to a cold
+  // scan even after appends grow the dictionaries — the frozen view's
+  // codec would go stale.
+  out.codec = parent_counts.codec.Project(keep);
   std::vector<int32_t> codes(keep.size());
   for (size_t g = 0; g < parent_counts.keys.size(); ++g) {
     const uint64_t key = parent_counts.keys[g];
@@ -68,6 +72,9 @@ GroupCounts PredicateSlicingCountEngine::Slice(
     }
     out.keys.push_back(out.codec.EncodeCodes(codes));
     out.counts.push_back(parent_counts.counts[g]);
+    // Every population row lands in exactly one matching group, so the
+    // direct-scan convention (total = rows aggregated) is the sum.
+    out.total += parent_counts.counts[g];
   }
   // Distinct matching groups agree on every predicate column and the
   // superset is cols ∪ pred-cols, so re-encoding over cols is injective —

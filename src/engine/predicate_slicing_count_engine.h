@@ -75,11 +75,20 @@ class PredicateSlicingCountEngine : public CountEngine {
   /// than the isolated stack this engine replaces. The bound is a
   /// conservative heuristic (it cannot see sparsity), so sparse
   /// supersets whose actual summary would fit are refused too.
+  ///
+  /// `population`, when set, is a *live* source for the subpopulation
+  /// over growing storage (a FilteredPopulationProvider): it replaces
+  /// the frozen view for NumRows() and fallback scans, carries the
+  /// delta protocol (PopulationVersion / CountsDelta), and keeps this
+  /// shard current as the dataset ingests — the shared parent's patched
+  /// summaries then slice to current answers automatically. Without it
+  /// the engine behaves exactly as before over the fixed view.
   PredicateSlicingCountEngine(std::shared_ptr<CountEngine> parent,
                               std::vector<SlicePredicate> predicates,
                               TableView filtered_view,
                               GroupByKernelOptions fallback_kernel = {},
-                              int64_t parent_cache_budget = 0);
+                              int64_t parent_cache_budget = 0,
+                              std::shared_ptr<CountEngine> population = nullptr);
 
   StatusOr<GroupCounts> Counts(const std::vector<int>& cols) override;
 
@@ -90,7 +99,27 @@ class PredicateSlicingCountEngine : public CountEngine {
   /// slicer would refuse to use is not materialized (no-op, Ok).
   Status Prefetch(const std::vector<int>& cols) override;
 
-  int64_t NumRows() const override { return view_.NumRows(); }
+  int64_t NumRows() const override {
+    return population_ ? population_->NumRows() : view_.NumRows();
+  }
+
+  /// With a live population: the storage watermark, so caching layers
+  /// above this shard can version their entries. Frozen shards keep the
+  /// default (their population never changes).
+  int64_t PopulationVersion() const override {
+    return population_ ? population_->PopulationVersion() : NumRows();
+  }
+
+  /// Forwarded to the live population (the delta is a plain filtered
+  /// scan of the appended suffix); Unimplemented for frozen shards.
+  StatusOr<GroupCounts> CountsDelta(const std::vector<int>& cols,
+                                    int64_t from_version,
+                                    int64_t to_version) override {
+    if (!population_) {
+      return Status::Unimplemented("frozen shard has no delta source");
+    }
+    return population_->CountsDelta(cols, from_version, to_version);
+  }
 
   /// This layer plus the private fallback scanner. Deliberately excludes
   /// the shared parent — see the header comment.
@@ -117,6 +146,7 @@ class PredicateSlicingCountEngine : public CountEngine {
   std::shared_ptr<CountEngine> parent_;
   std::vector<SlicePredicate> predicates_;  // sorted by col, unique
   TableView view_;
+  std::shared_ptr<CountEngine> population_;  // live source; null = frozen
   std::shared_ptr<CountEngine> fallback_;
   int64_t parent_cache_budget_ = 0;  // 0 = unlimited
 

@@ -149,6 +149,17 @@ JsonValue HypDbHandlers::Healthz() const {
   out.Set("version", JsonValue::Str(BuildVersion()));
   out.Set("compiler", JsonValue::Str(BuildCompiler()));
   out.Set("build_type", JsonValue::Str(BuildType()));
+  // Per-dataset storage shape: a probe watching an ingest pipeline reads
+  // row/chunk/watermark progression here without the full dataset list.
+  JsonValue storage = JsonValue::MakeObject();
+  for (const DatasetInfo& info : service_->Datasets()) {
+    JsonValue shape = JsonValue::MakeObject();
+    shape.Set("rows", JsonValue::Int(info.rows));
+    shape.Set("chunks", JsonValue::Int(info.chunks));
+    shape.Set("watermark", JsonValue::Int(info.watermark));
+    storage.Set(info.name, std::move(shape));
+  }
+  out.Set("storage", std::move(storage));
   return out;
 }
 
@@ -171,6 +182,30 @@ StatusOr<JsonValue> HypDbHandlers::Register(const JsonValue& body) {
   out.Set("epoch", JsonValue::Int(epoch));
   out.Set("rows", JsonValue::Int(table->NumRows()));
   out.Set("columns", JsonValue::Int(table->NumColumns()));
+  return out;
+}
+
+StatusOr<JsonValue> HypDbHandlers::Append(const JsonValue& body,
+                                          const std::string& path_name) {
+  HYPDB_ASSIGN_OR_RETURN(AppendCommand command, AppendCommandFromJson(body));
+  if (!path_name.empty()) {
+    if (!command.name.empty() && command.name != path_name) {
+      return Status::InvalidArgument(
+          "body \"name\" '" + command.name +
+          "' does not match the URL dataset '" + path_name + "'");
+    }
+    command.name = path_name;
+  }
+  if (command.name.empty()) {
+    return Status::InvalidArgument(
+        "append requires a dataset \"name\"");
+  }
+  HYPDB_ASSIGN_OR_RETURN(int64_t watermark,
+                         service_->AppendRows(command.name, command.rows));
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("name", JsonValue::Str(command.name));
+  out.Set("appended", JsonValue::Int(static_cast<int64_t>(command.rows.size())));
+  out.Set("watermark", JsonValue::Int(watermark));
   return out;
 }
 
@@ -307,6 +342,7 @@ HypDbHandlers::Route HypDbHandlers::ClassifyRoute(const std::string& target) {
   if (path == "/metrics") return kRouteMetrics;
   if (path == "/v1/stats") return kRouteStats;
   if (path == "/v1/datasets") return kRouteDatasets;
+  if (path.rfind("/v1/datasets/", 0) == 0) return kRouteIngest;
   if (path == "/v1/analyze") return kRouteAnalyze;
   if (path == "/v1/submit") return kRouteSubmit;
   if (path.rfind("/v1/requests/", 0) == 0) return kRouteRequests;
@@ -379,6 +415,24 @@ HttpResponse HypDbHandlers::RouteHttp(const HttpRequest& request) {
     }
     return ErrorResponse(
         Status::InvalidArgument("use GET or POST /v1/datasets"));
+  }
+
+  const std::string kDatasets = "/v1/datasets/";
+  if (target.path.rfind(kDatasets, 0) == 0) {
+    const std::string rest = target.path.substr(kDatasets.size());
+    const size_t slash = rest.find('/');
+    if (slash == std::string::npos || slash == 0 ||
+        rest.substr(slash + 1) != "rows") {
+      // The only dataset sub-resource is the append endpoint.
+      return ErrorResponse(Status::NotFound(
+          "no route for " + request.method + " " + target.path));
+    }
+    if (request.method != "POST") {
+      return ErrorResponse(
+          Status::InvalidArgument("use POST " + target.path));
+    }
+    HYPDB_ASSIGN_OR_RETURN_HTTP(JsonValue body, ParseJson(request.body));
+    return ResultResponse(Append(body, rest.substr(0, slash)));
   }
 
   if (target.path == "/v1/analyze" || target.path == "/v1/submit") {
@@ -511,8 +565,8 @@ std::string HypDbHandlers::HandleLine(const std::string& line) {
   const JsonValue* cmd = body.Find("cmd");
   if (cmd == nullptr || !cmd->is_string()) {
     return envelope(Status::InvalidArgument(
-        "expected a string \"cmd\" member (register|datasets|analyze|"
-        "submit|poll|wait|cancel|trace|session|step|sessions|"
+        "expected a string \"cmd\" member (register|append|datasets|"
+        "analyze|submit|poll|wait|cancel|trace|session|step|sessions|"
         "session_info|session_close|stats|health|metrics)"));
   }
   const std::string& verb = cmd->string_value();
@@ -540,6 +594,7 @@ std::string HypDbHandlers::HandleLine(const std::string& line) {
     return envelope(std::move(out));
   }
   if (verb == "register") return envelope(Register(body));
+  if (verb == "append") return envelope(Append(body));
   if (verb == "analyze") return envelope(Analyze(body));
   if (verb == "submit") return envelope(Submit(body));
   if (verb == "poll" || verb == "wait" || verb == "cancel" ||
@@ -594,8 +649,8 @@ std::string HypDbHandlers::HandleLine(const std::string& line) {
 
 void HypDbHandlers::RegisterMetrics(MetricsRegistry* registry) const {
   static const char* const kRouteNames[kNumRoutes] = {
-      "healthz", "metrics",  "stats",    "datasets", "analyze",
-      "submit",  "requests", "sessions", "line",     "other"};
+      "healthz",  "metrics", "stats",  "datasets", "analyze", "submit",
+      "requests", "sessions", "ingest", "line",    "other"};
   for (int r = 0; r < kNumRoutes; ++r) {
     const std::string route = kRouteNames[r];
     registry->RegisterCounter(

@@ -6,6 +6,11 @@
 //
 //   POST   /v1/datasets        {"name","csv"|"generator"}  register
 //   GET    /v1/datasets                                    list
+//   POST   /v1/datasets/{name}/rows
+//                              {"rows": [["label",...],...]}  append rows
+//                              (schema column order; no epoch bump — 200
+//                              with the new watermark, 400 on arity/
+//                              schema mismatch, 404 unknown dataset)
 //   POST   /v1/analyze         {"dataset","sql",...}       sync analyze
 //   POST   /v1/submit          (same body)                 async -> ticket
 //   GET    /v1/requests/{id}   poll; ?wait=1 blocks; a finished result is
@@ -30,7 +35,8 @@
 //   GET    /v1/stats           cache/engine/worker/session introspection
 //   GET    /healthz            readiness: ok/workers/uptime/datasets/
 //                              queue_depth/sessions/simd + build identity
-//                              (version/compiler/build_type)
+//                              (version/compiler/build_type) + per-dataset
+//                              storage shape (rows/chunks/watermark)
 //   GET    /metrics            Prometheus text exposition; ?format=json
 //                              for the structured flavor (with p50/95/99)
 //
@@ -38,8 +44,9 @@
 // from HttpStatusForCode; expired/invalidated sessions answer 410 Gone,
 // never-issued session ids 404. The line-JSON protocol carries the same
 // payloads in an {"ok":bool, "result"|"error": ...} envelope, selected by
-// a "cmd" member (register/datasets/analyze/submit/poll/wait/cancel/
-// trace/session/step/sessions/session_info/session_close/stats/health).
+// a "cmd" member (register/append/datasets/analyze/submit/poll/wait/
+// cancel/trace/session/step/sessions/session_info/session_close/stats/
+// health).
 
 #ifndef HYPDB_NET_HYPDB_HANDLERS_H_
 #define HYPDB_NET_HYPDB_HANDLERS_H_
@@ -97,6 +104,7 @@ class HypDbHandlers {
     kRouteSubmit,
     kRouteRequests,
     kRouteSessions,
+    kRouteIngest,
     kRouteLine,
     kRouteOther,
     kNumRoutes
@@ -126,6 +134,11 @@ class HypDbHandlers {
 
   /// Shared verb implementations; both protocols decode into these.
   StatusOr<JsonValue> Register(const JsonValue& body);
+  /// Append rows to a dataset. `path_name` is the dataset from the URL
+  /// path on the HTTP route (empty for the line verb, where the body
+  /// carries "name"); a body name must match the path when both appear.
+  StatusOr<JsonValue> Append(const JsonValue& body,
+                             const std::string& path_name = "");
   StatusOr<JsonValue> Analyze(const JsonValue& body);
   StatusOr<JsonValue> Submit(const JsonValue& body);
   StatusOr<JsonValue> Poll(uint64_t ticket);

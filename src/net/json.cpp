@@ -511,6 +511,10 @@ JsonValue ToJson(const CountEngineStats& stats) {
   out.Set("cube_hits", JsonValue::Int(stats.cube_hits));
   out.Set("fallback_calls", JsonValue::Int(stats.fallback_calls));
   out.Set("evictions", JsonValue::Int(stats.evictions));
+  out.Set("delta_patches", JsonValue::Int(stats.delta_patches));
+  out.Set("chunk_scans", JsonValue::Int(stats.chunk_scans));
+  out.Set("chunks_skipped", JsonValue::Int(stats.chunks_skipped));
+  out.Set("rows_scanned", JsonValue::Int(stats.rows_scanned));
   return out;
 }
 
@@ -534,6 +538,9 @@ const char* TraceEventCategory(TraceEventKind kind) {
     case TraceEventKind::kCachePrefetch: return "cache";
     case TraceEventKind::kSliceServe:
     case TraceEventKind::kSliceFallback: return "slice";
+    case TraceEventKind::kIngestAppend:
+    case TraceEventKind::kDeltaPatch:
+    case TraceEventKind::kChunkScan: return "ingest";
     case TraceEventKind::kNone: break;
   }
   return "other";
@@ -543,7 +550,10 @@ bool TraceEventIsSpan(TraceEventKind kind) {
   return kind == TraceEventKind::kStage ||
          kind == TraceEventKind::kKernelScan ||
          kind == TraceEventKind::kCiTest ||
-         kind == TraceEventKind::kDiscoveryWait;
+         kind == TraceEventKind::kDiscoveryWait ||
+         kind == TraceEventKind::kIngestAppend ||
+         kind == TraceEventKind::kDeltaPatch ||
+         kind == TraceEventKind::kChunkScan;
 }
 
 }  // namespace
@@ -714,6 +724,7 @@ JsonValue ToJson(const DiscoveryCacheStats& stats) {
   out.Set("coalesced", JsonValue::Int(stats.coalesced));
   out.Set("invalidations", JsonValue::Int(stats.invalidations));
   out.Set("evictions", JsonValue::Int(stats.evictions));
+  out.Set("stale_refreshes", JsonValue::Int(stats.stale_refreshes));
   return out;
 }
 
@@ -724,6 +735,8 @@ JsonValue ToJson(const DatasetInfo& info) {
   out.Set("rows", JsonValue::Int(info.rows));
   out.Set("columns", JsonValue::Int(info.columns));
   out.Set("shards", JsonValue::Int(info.shards));
+  out.Set("chunks", JsonValue::Int(info.chunks));
+  out.Set("watermark", JsonValue::Int(info.watermark));
   return out;
 }
 
@@ -1158,6 +1171,47 @@ StatusOr<RegisterCommand> RegisterCommandFromJson(const JsonValue& v) {
   if (out.csv_path.empty() == out.generator.empty()) {
     return Status::InvalidArgument(
         "register request requires exactly one of \"csv\" or \"generator\"");
+  }
+  return out;
+}
+
+StatusOr<AppendCommand> AppendCommandFromJson(const JsonValue& v) {
+  HYPDB_RETURN_IF_ERROR(ExpectObject(v, "append request"));
+  AppendCommand out;
+  bool saw_rows = false;
+  for (const auto& [key, value] : v.members()) {
+    if (key == "cmd") continue;  // line-JSON envelope member
+    if (key == "name" && value.is_string()) {
+      out.name = value.string_value();
+    } else if (key == "rows" && value.is_array()) {
+      saw_rows = true;
+      out.rows.reserve(value.array().size());
+      for (const JsonValue& row : value.array()) {
+        if (!row.is_array()) {
+          return Status::InvalidArgument(
+              "\"rows\" must be an array of rows, each an array of string "
+              "labels in schema column order");
+        }
+        std::vector<std::string> labels;
+        labels.reserve(row.array().size());
+        for (const JsonValue& label : row.array()) {
+          if (!label.is_string()) {
+            return Status::InvalidArgument(
+                "row labels must be strings (dictionary codes are assigned "
+                "server-side)");
+          }
+          labels.push_back(label.string_value());
+        }
+        out.rows.push_back(std::move(labels));
+      }
+    } else {
+      return Status::InvalidArgument(
+          "unknown or mistyped append member \"" + key + "\"");
+    }
+  }
+  if (!saw_rows) {
+    return Status::InvalidArgument(
+        "append request requires a \"rows\" array");
   }
   return out;
 }

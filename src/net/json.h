@@ -186,6 +186,17 @@ struct RegisterCommand {
 };
 StatusOr<RegisterCommand> RegisterCommandFromJson(const JsonValue& v);
 
+/// An ingest batch: {"name": ..., "rows": [["label", ...], ...]} — one
+/// array of string labels per row, in the dataset's schema column order.
+/// On the HTTP route (POST /v1/datasets/{name}/rows) the name comes from
+/// the URL path, so a body "name" is optional there and must match the
+/// path when present; the line-JSON "append" verb requires it.
+struct AppendCommand {
+  std::string name;
+  std::vector<std::vector<std::string>> rows;
+};
+StatusOr<AppendCommand> AppendCommandFromJson(const JsonValue& v);
+
 }  // namespace net
 }  // namespace hypdb
 

@@ -1,11 +1,14 @@
 #include "service/dataset_registry.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "dataframe/csv.h"
 #include "engine/caching_count_engine.h"
 #include "engine/predicate_slicing_count_engine.h"
 #include "service/request.h"
+#include "storage/chunked_count_provider.h"
+#include "storage/filtered_population.h"
 
 namespace hypdb {
 namespace {
@@ -14,9 +17,10 @@ namespace {
 /// `table`, or false when it is not sliceable: not a well-formed
 /// signature, a term with more (or fewer) than one value, an unknown
 /// attribute, a value absent from the column dictionary (such a term
-/// matches no row — BindQuery rejects the empty population before a
-/// shard is ever requested), or a repeated attribute (distinct conjuncts
-/// on one column intersect; not worth slicing machinery).
+/// matches no row *today*, but the label may arrive with a later append,
+/// so the shard must track the store — the live filtered stack does), or
+/// a repeated attribute (distinct conjuncts on one column intersect; not
+/// worth slicing machinery).
 bool ResolveSlicePredicates(const Table& table, const std::string& signature,
                             std::vector<SlicePredicate>* out) {
   StatusOr<std::vector<SubpopulationTerm>> terms =
@@ -43,17 +47,27 @@ DatasetRegistry::DatasetRegistry(DatasetRegistryOptions options)
     : options_(std::move(options)) {}
 
 int64_t DatasetRegistry::Register(const std::string& name, TablePtr table) {
+  ChunkedTablePtr store;
+  if (table != nullptr) {
+    StatusOr<ChunkedTablePtr> built = ChunkedTable::FromTable(
+        table, std::max<int64_t>(1, options_.chunk_rows));
+    if (built.ok()) store = std::move(*built);
+  }
   std::lock_guard<std::mutex> lock(mu_);
   Dataset& ds = datasets_[name];
-  ds.table = std::move(table);
+  ds.store = std::move(store);
   ++ds.epoch;
+  // The lease outlives re-registration: requests holding the old epoch's
+  // read lease must keep excluding writers until they drain.
+  if (ds.lease == nullptr) ds.lease = std::make_shared<std::shared_mutex>();
   // New data invalidates every cached summary: shards (and the parent
   // they slice from) aggregate rows of the replaced table. Live engines
-  // held by in-flight queries stay valid for the old view (shared_ptr),
+  // held by in-flight queries stay valid for the old store (shared_ptr),
   // they just stop being handed out.
   ds.parent.reset();
   ds.shards.clear();
   ds.shard_age.clear();
+  ds.frozen.clear();
   ds.retired_slices = 0;  // the parent's counters went with it
   return ds.epoch;
 }
@@ -64,13 +78,78 @@ StatusOr<int64_t> DatasetRegistry::RegisterCsv(const std::string& name,
   return Register(name, MakeTable(std::move(table)));
 }
 
+StatusOr<int64_t> DatasetRegistry::AppendRows(
+    const std::string& name,
+    const std::vector<std::vector<std::string>>& rows) {
+  // Grab the store and lease under the registry mutex, then release it
+  // before taking the lease exclusively: the lock order is lease →
+  // registry mutex, and readers holding the shared lease re-enter the
+  // registry (ShardEngine), so holding mu_ while waiting on the lease
+  // would deadlock.
+  ChunkedTablePtr store;
+  std::shared_ptr<std::shared_mutex> lease;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = datasets_.find(name);
+    if (it == datasets_.end() || it->second.store == nullptr) {
+      return Status::NotFound("dataset not registered: " + name);
+    }
+    store = it->second.store;
+    lease = it->second.lease;
+  }
+  int64_t watermark = 0;
+  {
+    std::unique_lock<std::shared_mutex> write(*lease);
+    HYPDB_RETURN_IF_ERROR(store->Append(rows));
+    watermark = store->Watermark();
+  }
+  // Frozen shards were built over a caller's materialized view; the view
+  // no longer covers the population, so drop them (they rebuild live on
+  // next use). Skip if the dataset was re-registered concurrently — the
+  // replacement already dropped everything.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = datasets_.find(name);
+    if (it != datasets_.end() && it->second.store == store) {
+      Dataset& ds = it->second;
+      for (const std::string& sig : ds.frozen) {
+        auto shard = ds.shards.find(sig);
+        if (shard != ds.shards.end()) {
+          ds.shards.erase(shard);
+          ds.shard_age.remove(sig);
+        }
+      }
+      ds.frozen.clear();
+    }
+  }
+  return watermark;
+}
+
+StatusOr<DatasetLease> DatasetRegistry::ReadLease(
+    const std::string& name) const {
+  std::shared_ptr<std::shared_mutex> lease;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = datasets_.find(name);
+    if (it == datasets_.end() || it->second.store == nullptr) {
+      return Status::NotFound("dataset not registered: " + name);
+    }
+    lease = it->second.lease;
+  }
+  // Acquire outside mu_ (lock order: lease before registry mutex).
+  DatasetLease out;
+  out.mu = std::move(lease);
+  out.lock = std::shared_lock<std::shared_mutex>(*out.mu);
+  return out;
+}
+
 StatusOr<TablePtr> DatasetRegistry::Get(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = datasets_.find(name);
-  if (it == datasets_.end() || it->second.table == nullptr) {
+  if (it == datasets_.end() || it->second.store == nullptr) {
     return Status::NotFound("dataset not registered: " + name);
   }
-  return it->second.table;
+  return it->second.store->Materialized();
 }
 
 StatusOr<int64_t> DatasetRegistry::Epoch(const std::string& name) const {
@@ -82,14 +161,28 @@ StatusOr<int64_t> DatasetRegistry::Epoch(const std::string& name) const {
   return it->second.epoch;
 }
 
+StatusOr<std::shared_ptr<const ChunkedTable>> DatasetRegistry::Store(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = datasets_.find(name);
+  if (it == datasets_.end() || it->second.store == nullptr) {
+    return Status::NotFound("dataset not registered: " + name);
+  }
+  return std::shared_ptr<const ChunkedTable>(it->second.store);
+}
+
 StatusOr<DatasetRegistry::Snapshot> DatasetRegistry::GetSnapshot(
     const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = datasets_.find(name);
-  if (it == datasets_.end() || it->second.table == nullptr) {
+  if (it == datasets_.end() || it->second.store == nullptr) {
     return Status::NotFound("dataset not registered: " + name);
   }
-  return Snapshot{it->second.table, it->second.epoch};
+  Snapshot out;
+  out.table = it->second.store->Materialized();
+  out.epoch = it->second.epoch;
+  out.watermark = out.table->NumRows();
+  return out;
 }
 
 std::vector<DatasetInfo> DatasetRegistry::List() const {
@@ -100,8 +193,12 @@ std::vector<DatasetInfo> DatasetRegistry::List() const {
     DatasetInfo info;
     info.name = name;
     info.epoch = ds.epoch;
-    info.rows = ds.table ? ds.table->NumRows() : 0;
-    info.columns = ds.table ? ds.table->NumColumns() : 0;
+    if (ds.store != nullptr) {
+      info.rows = ds.store->NumRows();
+      info.columns = ds.store->NumColumns();
+      info.chunks = ds.store->NumChunks();
+      info.watermark = ds.store->Watermark();
+    }
     info.shards =
         static_cast<int>(ds.shards.size()) + (ds.parent != nullptr ? 1 : 0);
     out.push_back(std::move(info));
@@ -111,7 +208,7 @@ std::vector<DatasetInfo> DatasetRegistry::List() const {
 
 StatusOr<std::shared_ptr<CountEngine>> DatasetRegistry::ShardEngine(
     const std::string& name, int64_t epoch, const std::string& signature,
-    const TableView& population) {
+    const TableView& population, int64_t watermark) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = datasets_.find(name);
   if (it == datasets_.end()) {
@@ -125,6 +222,18 @@ StatusOr<std::shared_ptr<CountEngine>> DatasetRegistry::ShardEngine(
         "dataset " + name + " re-registered (snapshot epoch " +
         std::to_string(epoch) + ", current " + std::to_string(ds.epoch) +
         ")");
+  }
+  if (watermark >= 0 && ds.store != nullptr &&
+      ds.store->Watermark() != watermark) {
+    // The caller bound against an older watermark (a session created
+    // before an append, or a rare snapshot/append race outside the read
+    // lease). The live shared engines answer at the current watermark,
+    // which would change the caller's pinned population; callers degrade
+    // to a private engine over their own view instead.
+    return Status::FailedPrecondition(
+        "dataset " + name + " advanced past the caller's watermark (bound " +
+        std::to_string(watermark) + ", current " +
+        std::to_string(ds.store->Watermark()) + ")");
   }
   // The empty signature selects the whole table: that IS the parent
   // engine, so full-table queries and the slicing shards share one cache.
@@ -146,6 +255,7 @@ StatusOr<std::shared_ptr<CountEngine>> DatasetRegistry::ShardEngine(
       // engine may still add a few — the accounting is best-effort under
       // that race, exact otherwise).
       ds.retired_slices += oldest->second->stats().predicate_slices;
+      ds.frozen.erase(oldest->first);
       ds.shards.erase(oldest);
     }
     ds.shard_age.pop_front();
@@ -177,8 +287,9 @@ std::shared_ptr<CountEngine> DatasetRegistry::CachedScanStack(
 
 std::shared_ptr<CountEngine> DatasetRegistry::ParentEngineLocked(
     Dataset& ds) {
-  if (ds.parent == nullptr) {
-    ds.parent = CachedScanStack(TableView(ds.table));
+  if (ds.parent == nullptr && ds.store != nullptr) {
+    ds.parent = WrapCache(
+        std::make_shared<ChunkedCountProvider>(ds.store, KernelOptions()));
   }
   return ds.parent;
 }
@@ -186,25 +297,57 @@ std::shared_ptr<CountEngine> DatasetRegistry::ParentEngineLocked(
 std::shared_ptr<CountEngine> DatasetRegistry::BuildShardLocked(
     Dataset& ds, const std::string& signature,
     const TableView& population) {
+  // A live filtered-population scanner whenever the signature resolves
+  // against the store's schema: it tracks appends (its row set extends
+  // lazily) and carries the delta protocol, so the caching layer above
+  // patches instead of invalidating.
+  std::shared_ptr<CountEngine> live;
+  if (ds.store != nullptr) {
+    StatusOr<std::vector<SubpopulationTerm>> terms =
+        ParseSubpopulationSignature(signature);
+    if (terms.ok() && !terms->empty()) {
+      std::vector<FilteredPopulationProvider::Term> filter;
+      filter.reserve(terms->size());
+      for (SubpopulationTerm& term : *terms) {
+        filter.push_back(FilteredPopulationProvider::Term{
+            std::move(term.attribute), std::move(term.values)});
+      }
+      StatusOr<std::shared_ptr<FilteredPopulationProvider>> provider =
+          FilteredPopulationProvider::Create(ds.store, std::move(filter),
+                                             KernelOptions());
+      if (provider.ok()) live = std::move(*provider);
+    }
+  }
   std::vector<SlicePredicate> predicates;
   // Slicing needs a parent that actually caches: with materialization
   // off OR a zero cell budget (cache nothing), every slice would re-scan
   // the full table, strictly worse than scanning the filtered view. (A
   // zero budget means "unlimited" to the slicer's guard but "cache
   // nothing" to CachingCountEngine — never forward that configuration.)
-  if (options_.cross_shard_slicing && options_.engine.materialize_focus &&
-      options_.engine.max_cached_cells > 0 && ds.table != nullptr &&
-      ResolveSlicePredicates(*ds.table, signature, &predicates)) {
+  if (live != nullptr && options_.cross_shard_slicing &&
+      options_.engine.materialize_focus &&
+      options_.engine.max_cached_cells > 0 &&
+      ResolveSlicePredicates(*ds.store->Materialized(), signature,
+                             &predicates)) {
     // A shard-local cache over the slicer: exact repeats and shard-level
     // marginalizations short-circuit before reaching the parent. The
     // preference order per query is therefore shard hit > shard
     // marginalization > parent slice (hit/marginalize/scan inside the
-    // parent) > private fallback scan.
+    // parent) > private fallback scan. The live population keeps
+    // NumRows/fallbacks/deltas current across appends.
     return WrapCache(std::make_shared<PredicateSlicingCountEngine>(
         ParentEngineLocked(ds), std::move(predicates), population,
-        KernelOptions(), options_.engine.max_cached_cells));
+        KernelOptions(), options_.engine.max_cached_cells, live));
   }
-  // Isolated stack: scanner over the filtered view, plus the cache.
+  if (live != nullptr) {
+    // Live isolated stack: the filtered-population scanner plus the
+    // cache (delta-patched across appends, no cross-shard sharing).
+    return WrapCache(std::move(live));
+  }
+  // Frozen stack: scanner over the caller's view, plus the cache. The
+  // view stops covering the population at the next append, so remember
+  // the signature for drop-on-append.
+  ds.frozen.insert(signature);
   return CachedScanStack(population);
 }
 

@@ -1,4 +1,5 @@
-// DatasetRegistry: named tables plus their shared, sharded count engines.
+// DatasetRegistry: named chunked tables plus their shared, sharded count
+// engines and the append/ingest path.
 //
 // The one-shot pipeline re-loads data and re-scans counts per Analyze()
 // call. The registry is the service's antidote: a table is registered
@@ -8,21 +9,33 @@
 // queries on the same (dataset, subpopulation) therefore share one
 // thread-safe contingency cache instead of each owning a private one.
 //
+// Storage: each dataset is backed by a ChunkedTable (src/storage/) —
+// fixed-size row chunks of dictionary codes behind a published row
+// watermark. AppendRows() ingests new rows WITHOUT bumping the epoch:
+// dictionaries grow append-only so existing codes stay stable, and the
+// caching layers patch their summaries by scanning only the appended
+// chunks (CountsDelta) instead of invalidating. Re-registering a name
+// still replaces the store wholesale, bumps the epoch and drops every
+// shard; appending never does.
+//
 // Shards of one dataset also share *across* subpopulations: every dataset
-// owns one parent CachingCountEngine over the full table (the engine the
-// empty signature gets), and a shard whose signature parses to a pure
+// owns one parent CachingCountEngine over the chunked store (the engine
+// the empty signature gets), and a shard whose signature parses to a pure
 // equality conjunction P = v is built as a CachingCountEngine over a
 // PredicateSlicingCountEngine — its counts over S are derived by slicing
 // the parent's shared S ∪ P summary at P = v instead of scanning the
-// filtered view (src/engine/predicate_slicing_count_engine.h). Signatures
-// with multi-value IN terms, unknown attributes, values absent from the
-// dictionary, or repeated attributes keep the classic isolated stack
-// (scanner + cache over the filtered view); either way counts are
-// bit-identical, only the work accounting differs.
+// filtered view (src/engine/predicate_slicing_count_engine.h). Such
+// shards carry a live FilteredPopulationProvider so they track appends.
+// Signatures with multi-value IN terms or values absent from the
+// dictionary get a live isolated stack (cache over a filtered-population
+// scanner). Only signatures the parser cannot resolve at all (unknown
+// attributes) keep the classic frozen stack over the caller's view —
+// those are dropped on the next append, since their view goes stale.
 //
-// Re-registering a name replaces the table, bumps its epoch and drops its
-// shards (parent included); the service layer uses the epoch in
-// discovery-cache keys so stale discoveries can never serve the new data.
+// Concurrency: readers take the dataset's shared lease (ReadLease) for a
+// request's whole lifetime, so the watermark cannot advance mid-request;
+// AppendRows takes the same lease exclusively. Lock order is always
+// lease → registry mutex → store mutex.
 
 #ifndef HYPDB_SERVICE_DATASET_REGISTRY_H_
 #define HYPDB_SERVICE_DATASET_REGISTRY_H_
@@ -31,11 +44,14 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "engine/count_engine.h"
 #include "stats/mi_engine.h"
+#include "storage/chunked_table.h"
 #include "util/statusor.h"
 
 namespace hypdb {
@@ -54,6 +70,8 @@ struct DatasetRegistryOptions {
   /// parent would re-scan the full table per slice, strictly worse than
   /// scanning the filtered view).
   bool cross_shard_slicing = true;
+  /// Rows per storage chunk (delta-scan granularity for appends).
+  int64_t chunk_rows = ChunkedTable::kDefaultChunkRows;
 };
 
 /// One row of List(): a registered dataset's shape and pool state.
@@ -63,6 +81,21 @@ struct DatasetInfo {
   int64_t rows = 0;
   int columns = 0;
   int shards = 0;
+  /// Storage shape: chunks holding published rows, and the published row
+  /// watermark (== rows; reported separately so ingest monitoring reads
+  /// the storage-level value, not a derived one).
+  int64_t chunks = 0;
+  int64_t watermark = 0;
+};
+
+/// A held shared (reader) lease on one dataset: while alive, AppendRows
+/// on that dataset blocks, so the watermark a request observed stays the
+/// watermark for the request's whole body. Movable; releases on destroy.
+/// Member order matters: the lock must be destroyed before the mutex
+/// reference it holds.
+struct DatasetLease {
+  std::shared_ptr<std::shared_mutex> mu;
+  std::shared_lock<std::shared_mutex> lock;
 };
 
 /// Thread-safe. All methods may be called concurrently with each other.
@@ -78,16 +111,36 @@ class DatasetRegistry {
   StatusOr<int64_t> RegisterCsv(const std::string& name,
                                 const std::string& path);
 
+  /// Appends rows (one label per column, schema order) to `name`'s
+  /// store. Serialized against readers via the dataset's lease; does NOT
+  /// bump the epoch — shards, sessions and discovery entries survive and
+  /// are delta-patched. Frozen shards (stale-view stacks) are dropped.
+  /// Returns the new watermark. NotFound for an unknown dataset,
+  /// InvalidArgument on arity mismatch (the store is left unchanged).
+  StatusOr<int64_t> AppendRows(
+      const std::string& name,
+      const std::vector<std::vector<std::string>>& rows);
+
+  /// The dataset's shared read lease, held for a request's lifetime.
+  StatusOr<DatasetLease> ReadLease(const std::string& name) const;
+
   StatusOr<TablePtr> Get(const std::string& name) const;
   StatusOr<int64_t> Epoch(const std::string& name) const;
   std::vector<DatasetInfo> List() const;
 
-  /// A consistent (table, epoch) pair read under one lock — the handle a
-  /// request works against for its whole lifetime, so a concurrent
-  /// re-registration can never mix the old table with the new epoch.
+  /// The dataset's chunked store (for ingest benches and storage tests).
+  StatusOr<std::shared_ptr<const ChunkedTable>> Store(
+      const std::string& name) const;
+
+  /// A consistent (table, epoch, watermark) triple — the handle a request
+  /// works against for its whole lifetime, so a concurrent
+  /// re-registration can never mix the old table with the new epoch. The
+  /// table is the store materialized at `watermark`; hold the read lease
+  /// across the request so the watermark stays current.
   struct Snapshot {
     TablePtr table;
     int64_t epoch = 0;
+    int64_t watermark = 0;
   };
   StatusOr<Snapshot> GetSnapshot(const std::string& name) const;
 
@@ -98,15 +151,19 @@ class DatasetRegistry {
   /// identical) view. `epoch` must match the dataset's current epoch —
   /// FailedPrecondition otherwise (the dataset was re-registered since
   /// the caller's snapshot; a stale population must not seed the new
-  /// epoch's pool). The empty signature names the dataset's full-table
-  /// parent engine; equality-conjunction signatures get slicing shards
-  /// backed by that parent (see the header comment). Oldest filtered
-  /// shards are dropped beyond max_shards_per_dataset; an evicted
-  /// parent reference held by live slicing shards stays valid
-  /// (shared_ptr), it just stops being handed out.
+  /// epoch's pool). `watermark`, when >= 0, must match the store's
+  /// current watermark — FailedPrecondition otherwise (the caller bound
+  /// against a row count the live shared engines no longer answer for;
+  /// callers degrade to a private engine over their pinned view). The
+  /// empty signature names the dataset's full-table parent engine;
+  /// equality-conjunction signatures get slicing shards backed by that
+  /// parent (see the header comment). Oldest filtered shards are dropped
+  /// beyond max_shards_per_dataset; an evicted parent reference held by
+  /// live slicing shards stays valid (shared_ptr), it just stops being
+  /// handed out.
   StatusOr<std::shared_ptr<CountEngine>> ShardEngine(
       const std::string& name, int64_t epoch, const std::string& signature,
-      const TableView& population);
+      const TableView& population, int64_t watermark = -1);
 
   /// Aggregate count-engine stats across a dataset's live shards plus
   /// its parent engine. Well-defined without double counting: slicing
@@ -116,15 +173,25 @@ class DatasetRegistry {
 
  private:
   struct Dataset {
-    TablePtr table;
+    /// The chunked store (append target; all reads derive from it).
+    ChunkedTablePtr store;
     int64_t epoch = 0;
+    /// Reader/writer lease serializing appends against in-flight
+    /// requests. Created at first registration and NEVER replaced —
+    /// leases held across a re-registration must keep excluding writers.
+    std::shared_ptr<std::shared_mutex> lease;
     /// Full-table engine: serves empty-signature queries directly and
     /// superset summaries to the slicing shards. Created on first use,
     /// never LRU-evicted (it is the working set every slice derives
-    /// from), dropped on re-registration like everything else.
+    /// from), dropped on re-registration — but NOT on append (it reads
+    /// the live store and patches its cache by delta).
     std::shared_ptr<CountEngine> parent;
     std::map<std::string, std::shared_ptr<CountEngine>> shards;
     std::list<std::string> shard_age;  // creation order, oldest first
+    /// Signatures whose shard is a frozen stack over the caller's view
+    /// (the signature did not resolve against the store). Appends drop
+    /// these — their view no longer covers the population.
+    std::set<std::string> frozen;
     /// Slices performed by since-evicted shards: each one was an internal
     /// query on the parent, and EngineStats must keep subtracting them
     /// after the shard (and its predicate_slices counter) is gone.
@@ -139,16 +206,19 @@ class DatasetRegistry {
   /// and shards can never diverge in cache configuration.
   std::shared_ptr<CountEngine> WrapCache(
       std::shared_ptr<CountEngine> base) const;
-  /// The classic stack: kernel-backed scanner over `view` + WrapCache.
+  /// The classic frozen stack: kernel-backed scanner over `view` +
+  /// WrapCache. Static — no delta protocol.
   std::shared_ptr<CountEngine> CachedScanStack(const TableView& view) const;
 
-  /// ds.parent, created over the full table if absent. Requires mu_.
+  /// ds.parent, created over the chunked store if absent. Requires mu_.
   std::shared_ptr<CountEngine> ParentEngineLocked(Dataset& ds);
 
   /// A new engine for `signature` over `population`: a slicing stack
   /// through the shared parent when the signature is a pure equality
-  /// conjunction (and slicing is enabled), the isolated scanner+cache
-  /// stack otherwise. Requires mu_.
+  /// conjunction (and slicing is enabled), a live isolated stack over a
+  /// FilteredPopulationProvider when the signature resolves against the
+  /// store, the frozen scanner+cache stack otherwise (recorded in
+  /// ds.frozen for drop-on-append). Requires mu_.
   std::shared_ptr<CountEngine> BuildShardLocked(
       Dataset& ds, const std::string& signature,
       const TableView& population);

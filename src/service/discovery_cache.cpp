@@ -9,20 +9,37 @@ namespace hypdb {
 DiscoveryCache::DiscoveryCache(DiscoveryCacheOptions options)
     : options_(options) {}
 
+bool DiscoveryCache::StaleLocked(int64_t entry_watermark,
+                                 int64_t watermark) const {
+  if (entry_watermark < 0 || watermark < 0) return false;
+  if (options_.refresh_rows_fraction < 0) return false;  // refresh disabled
+  const double grown = static_cast<double>(watermark - entry_watermark);
+  return grown > options_.refresh_rows_fraction *
+                     static_cast<double>(entry_watermark);
+}
+
 StatusOr<DiscoveryReport> DiscoveryCache::LookupOrCompute(
     const std::string& key,
     const std::function<StatusOr<DiscoveryReport>()>& compute, bool* reused,
-    bool* coalesced) {
+    bool* coalesced, int64_t watermark) {
   if (reused != nullptr) *reused = false;
   if (coalesced != nullptr) *coalesced = false;
 
   std::unique_lock<std::mutex> lock(mu_);
   auto hit = cache_.find(key);
   if (hit != cache_.end()) {
-    ++stats_.hits;
-    if (reused != nullptr) *reused = true;
-    TraceInstant(TraceEventKind::kDiscoveryHit, 1);
-    return hit->second;
+    if (!StaleLocked(hit->second.watermark, watermark)) {
+      ++stats_.hits;
+      if (reused != nullptr) *reused = true;
+      TraceInstant(TraceEventKind::kDiscoveryHit, 1);
+      return hit->second.report;
+    }
+    // Past the staleness bound: drop the entry and recompute below (or
+    // join a twin already recomputing). Appends never touch the cache —
+    // this lazy refresh is the only way growth retires a discovery.
+    ++stats_.stale_refreshes;
+    cache_.erase(hit);
+    age_.remove(key);
   }
 
   auto flight = inflight_.find(key);
@@ -57,7 +74,9 @@ StatusOr<DiscoveryReport> DiscoveryCache::LookupOrCompute(
   state->done = true;
   if (result.ok()) {
     state->report = *result;
-    if (cache_.emplace(key, *result).second) age_.push_back(key);
+    if (cache_.emplace(key, Entry{*result, watermark}).second) {
+      age_.push_back(key);
+    }
     while (static_cast<int64_t>(cache_.size()) >
                std::max<int64_t>(1, options_.max_entries) &&
            !age_.empty()) {

@@ -14,6 +14,13 @@
 //    not stick).
 // Invalidation: keys embed the dataset epoch, so re-registration makes
 // stale entries unreachable; InvalidatePrefix() additionally frees them.
+//
+// Appends do NOT invalidate: entries are tagged with the storage
+// watermark they were computed at, and a configurable staleness bound
+// (refresh_rows_fraction) decides when enough rows have arrived that the
+// discovery is recomputed — lazily, at the next lookup. The entry
+// survives the append event itself; only a lookup observing a watermark
+// past the bound pays the recompute (counted as stale_refreshes).
 
 #ifndef HYPDB_SERVICE_DISCOVERY_CACHE_H_
 #define HYPDB_SERVICE_DISCOVERY_CACHE_H_
@@ -34,14 +41,23 @@ namespace hypdb {
 struct DiscoveryCacheOptions {
   /// Cached discovery reports kept; oldest-first eviction beyond this.
   int64_t max_entries = 256;
+  /// Staleness bound for append-grown datasets: an entry computed at
+  /// watermark W keeps serving while the lookup watermark is at most
+  /// W * (1 + refresh_rows_fraction); past that it is recomputed at the
+  /// next lookup. 0.0 = exact (any appended row triggers recompute);
+  /// e.g. 0.1 tolerates 10% growth before refreshing — the discovery
+  /// outcome is a statistical property that rarely flips on a small
+  /// fraction of new rows. Negative disables staleness entirely.
+  double refresh_rows_fraction = 0.0;
 };
 
 struct DiscoveryCacheStats {
-  int64_t hits = 0;           // served from a completed entry
-  int64_t misses = 0;         // computed by the caller
-  int64_t coalesced = 0;      // waited on an in-flight computation
-  int64_t invalidations = 0;  // entries dropped by InvalidatePrefix
-  int64_t evictions = 0;      // entries dropped by the size bound
+  int64_t hits = 0;            // served from a completed entry
+  int64_t misses = 0;          // computed by the caller
+  int64_t coalesced = 0;       // waited on an in-flight computation
+  int64_t invalidations = 0;   // entries dropped by InvalidatePrefix
+  int64_t evictions = 0;       // entries dropped by the size bound
+  int64_t stale_refreshes = 0; // recomputed past the staleness bound
 };
 
 /// Thread-safe; LookupOrCompute may be called concurrently with any key.
@@ -53,11 +69,15 @@ class DiscoveryCache {
   /// once across concurrent callers of the same key — and caches an OK
   /// result. `reused` (optional) reports whether this caller skipped the
   /// computation; `coalesced` whether it waited on an in-flight twin.
-  /// `compute` runs without the cache lock held.
+  /// `compute` runs without the cache lock held. `watermark` is the
+  /// caller's current storage watermark: an entry computed at an older
+  /// watermark past the staleness bound is recomputed instead of served
+  /// (-1 disables staleness tracking — the entry never goes stale).
   StatusOr<DiscoveryReport> LookupOrCompute(
       const std::string& key,
       const std::function<StatusOr<DiscoveryReport>()>& compute,
-      bool* reused = nullptr, bool* coalesced = nullptr);
+      bool* reused = nullptr, bool* coalesced = nullptr,
+      int64_t watermark = -1);
 
   /// Drops every completed entry whose key starts with `prefix` (see
   /// DatasetKeyPrefix). Returns the number dropped.
@@ -74,9 +94,20 @@ class DiscoveryCache {
     std::condition_variable cv;             // waits on mu_
   };
 
+  /// A completed entry tagged with the watermark it was computed at
+  /// (-1 when the caller did not track one; such entries never go stale).
+  struct Entry {
+    DiscoveryReport report;
+    int64_t watermark = -1;
+  };
+
+  /// True when an entry computed at `entry_watermark` must be recomputed
+  /// for a lookup at `watermark` (see refresh_rows_fraction).
+  bool StaleLocked(int64_t entry_watermark, int64_t watermark) const;
+
   mutable std::mutex mu_;
   DiscoveryCacheOptions options_;
-  std::map<std::string, DiscoveryReport> cache_;
+  std::map<std::string, Entry> cache_;
   std::list<std::string> age_;  // insertion order, oldest first
   std::map<std::string, std::shared_ptr<InFlight>> inflight_;
   DiscoveryCacheStats stats_;

@@ -1,6 +1,7 @@
 #include "service/hypdb_service.h"
 
 #include "core/sql_parser.h"
+#include "engine/caching_count_engine.h"
 #include "engine/groupby_kernel.h"
 #include "util/build_info.h"
 #include "util/trace.h"
@@ -13,8 +14,92 @@ DatasetRegistryOptions RegistryOptions(const HypDbServiceOptions& o) {
   out.engine = o.analysis.engine;
   out.max_shards_per_dataset = o.max_shards_per_dataset;
   out.cross_shard_slicing = o.cross_shard_slicing;
+  out.chunk_rows = o.chunk_rows;
   return out;
 }
+
+DiscoveryCacheOptions DiscoveryOptions(const HypDbServiceOptions& o) {
+  DiscoveryCacheOptions out;
+  out.max_entries = o.max_discovery_entries;
+  out.refresh_rows_fraction = o.refresh_rows_fraction;
+  return out;
+}
+
+/// Pins a session's shared shard engine to the session's bind-time
+/// watermark. The registry's shared engines are *live* — they answer at
+/// the store's current watermark — but a session's population is fixed
+/// when the query binds; an append between stages must not leak new rows
+/// into its counts (the staged digest invariant). Each call validates the
+/// shared engine's version before AND after delegating: the watermark is
+/// monotone, so matching twice means it was the bind watermark throughout
+/// the call. Once the store advances, calls permanently degrade to a
+/// lazily-built private cached-scan stack over the pinned bind-time view
+/// — bit-identical counts either way, just no cross-session pooling.
+class WatermarkGuardEngine : public CountEngine {
+ public:
+  WatermarkGuardEngine(std::shared_ptr<CountEngine> shared,
+                       int64_t bind_watermark, TableView pinned,
+                       MiEngineOptions engine)
+      : shared_(std::move(shared)), bind_(bind_watermark),
+        pinned_(std::move(pinned)), engine_(engine) {}
+
+  StatusOr<GroupCounts> Counts(const std::vector<int>& cols) override {
+    if (shared_->PopulationVersion() == bind_) {
+      StatusOr<GroupCounts> counts = shared_->Counts(cols);
+      if (shared_->PopulationVersion() == bind_) return counts;
+    }
+    return Pinned()->Counts(cols);
+  }
+
+  Status Prefetch(const std::vector<int>& cols) override {
+    // A hint: no post-validation needed (a summary prefetched at the
+    // wrong watermark is never *served* — Counts() re-validates).
+    if (shared_->PopulationVersion() == bind_) {
+      return shared_->Prefetch(cols);
+    }
+    return Pinned()->Prefetch(cols);
+  }
+
+  int64_t NumRows() const override { return pinned_.NumRows(); }
+  int64_t PopulationVersion() const override { return bind_; }
+
+  CountEngineStats stats() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return private_ != nullptr ? private_->stats() : shared_->stats();
+  }
+  void ResetStats() override {
+    // The shared engine serves other sessions/requests — never reset it
+    // from here.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (private_ != nullptr) private_->ResetStats();
+  }
+
+ private:
+  std::shared_ptr<CountEngine> Pinned() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (private_ == nullptr) {
+      // Mirror the registry's isolated stack over the pinned view.
+      std::shared_ptr<CountEngine> scan = std::make_shared<ViewCountProvider>(
+          pinned_, ScanKernelOptions(engine_));
+      if (engine_.materialize_focus) {
+        CachingCountEngineOptions caching;
+        caching.max_cached_cells = engine_.max_cached_cells;
+        private_ =
+            std::make_shared<CachingCountEngine>(std::move(scan), caching);
+      } else {
+        private_ = std::move(scan);
+      }
+    }
+    return private_;
+  }
+
+  std::shared_ptr<CountEngine> shared_;
+  const int64_t bind_;
+  TableView pinned_;
+  MiEngineOptions engine_;
+  mutable std::mutex mu_;
+  std::shared_ptr<CountEngine> private_;
+};
 
 QuerySchedulerOptions SchedulerOptions(const HypDbServiceOptions& o) {
   QuerySchedulerOptions out;
@@ -41,7 +126,7 @@ HypDbService::HypDbService(HypDbServiceOptions options)
     : options_(std::move(options)),
       traces_(options_.trace_retention),
       registry_(RegistryOptions(options_)),
-      discovery_(DiscoveryCacheOptions{options_.max_discovery_entries}),
+      discovery_(DiscoveryOptions(options_)),
       sessions_(SessionOptions(options_)) {
   QuerySchedulerOptions sched = SchedulerOptions(options_);
   // Interpose on completion: retain the harvested trace (so the trace
@@ -163,6 +248,11 @@ void HypDbService::RegisterMetrics() {
       "hypdb_discovery_evictions_total",
       "Cached discoveries dropped by the size bound.", {},
       discovery_stat(&DiscoveryCacheStats::evictions));
+  metrics_.RegisterCounterFn(
+      "hypdb_discovery_stale_refreshes_total",
+      "Cached discoveries recomputed because appended rows exceeded the "
+      "staleness bound.",
+      {}, discovery_stat(&DiscoveryCacheStats::stale_refreshes));
 
   // Sessions: lifecycle counters + the live level derived from them.
   const SessionManagerMetrics& sess = sessions_.metrics();
@@ -222,6 +312,29 @@ void HypDbService::RegisterMetrics() {
       "Morsels dispatched by parallel group-by scans (process-wide).", {},
       [] { return static_cast<double>(GroupByMorselsDispatched()); });
 
+  // Ingest: the append path (rows/batches, bumped by AppendRows) plus
+  // the delta-maintenance work it causes, aggregated over every
+  // dataset's engine pool at scrape time like the engine family above.
+  metrics_.RegisterCounter("hypdb_ingest_rows_total",
+                           "Rows appended across all datasets.", {},
+                           &ingest_rows_);
+  metrics_.RegisterCounter("hypdb_ingest_batches_total",
+                           "Append batches accepted.", {}, &ingest_batches_);
+  metrics_.RegisterCounterFn(
+      "hypdb_ingest_delta_patches_total",
+      "Cached summaries brought current by merging a delta scan of only "
+      "the appended rows (instead of invalidating).",
+      {}, engine_stat(&CountEngineStats::delta_patches));
+  metrics_.RegisterCounterFn(
+      "hypdb_ingest_chunk_scans_total",
+      "Storage chunks fed to the group-by kernel by chunked scans.", {},
+      engine_stat(&CountEngineStats::chunk_scans));
+  metrics_.RegisterCounterFn(
+      "hypdb_ingest_chunks_skipped_total",
+      "Storage chunks skipped entirely below a delta scan's start "
+      "watermark — the rows incremental ingest did not re-scan.",
+      {}, engine_stat(&CountEngineStats::chunks_skipped));
+
   // Build identity: the Prometheus info-metric idiom (constant 1, the
   // payload lives in the labels) so scrapes say which binary they hit.
   metrics_.RegisterGaugeFn(
@@ -276,6 +389,15 @@ void HypDbService::RegisterMetrics() {
                            "Traced morsel dispatches (deep trace level "
                            "only).",
                            {}, &trace.morsel_batches);
+  metrics_.RegisterCounter("hypdb_trace_ingest_events_total",
+                           "Traced ingest-path events by kind.",
+                           {{"event", "append"}}, &trace.ingest_appends);
+  metrics_.RegisterCounter("hypdb_trace_ingest_events_total",
+                           "Traced ingest-path events by kind.",
+                           {{"event", "delta_patch"}}, &trace.delta_patches);
+  metrics_.RegisterCounter("hypdb_trace_ingest_events_total",
+                           "Traced ingest-path events by kind.",
+                           {{"event", "chunk_scan"}}, &trace.chunk_scans);
   metrics_.RegisterCounter("hypdb_trace_dropped_events_total",
                            "Trace events dropped because the ring pool "
                            "was exhausted.",
@@ -321,6 +443,20 @@ StatusOr<int64_t> HypDbService::RegisterCsv(const std::string& name,
   discovery_.InvalidatePrefix(DatasetKeyPrefix(name));
   sessions_.InvalidateDataset(name);
   return epoch;
+}
+
+StatusOr<int64_t> HypDbService::AppendRows(
+    const std::string& name,
+    const std::vector<std::vector<std::string>>& rows) {
+  HYPDB_ASSIGN_OR_RETURN(const int64_t watermark,
+                         registry_.AppendRows(name, rows));
+  // Deliberately NO discovery invalidation and NO session invalidation:
+  // appends keep the epoch, cached summaries patch themselves by delta,
+  // and discoveries refresh lazily under the staleness bound. This is
+  // the whole point of the chunked store.
+  ingest_rows_.Add(static_cast<int64_t>(rows.size()));
+  ingest_batches_.Add();
+  return watermark;
 }
 
 StatusOr<TablePtr> HypDbService::Dataset(const std::string& name) const {
@@ -370,19 +506,26 @@ StatusOr<SessionInfo> HypDbService::CreateSession(
   SessionHooks hooks;
   const std::string dataset = request.dataset;
   const int64_t epoch = snapshot.epoch;
+  const int64_t watermark = snapshot.watermark;
+  const MiEngineOptions engine_options = analysis.engine;
   if (options_.share_engines) {
     // The whole-population shard (discovery counts), exactly as the
     // analyze path wires it. A re-registration between snapshot and here
     // degrades to unshared — still correct, just not pooled. The bind
     // span keeps this setup scan nested under a stage in the trace.
+    // Shared engines are wrapped in a WatermarkGuardEngine: the session
+    // outlives this call, and appends between its stages must not leak
+    // new rows into the bind-time population (staged digest invariant).
     TraceSpanScope bind_span(TraceEventKind::kStage, 1,
                              static_cast<uint64_t>(TraceStage::kBind));
     HYPDB_ASSIGN_OR_RETURN(BoundQuery bound,
                            BindQuery(snapshot.table, query));
     StatusOr<std::shared_ptr<CountEngine>> shard = registry_.ShardEngine(
-        dataset, epoch, SubpopulationSignature(query), bound.population);
+        dataset, epoch, SubpopulationSignature(query), bound.population,
+        watermark);
     if (shard.ok()) {
-      hooks.population_engine = std::move(*shard);
+      hooks.population_engine = std::make_shared<WatermarkGuardEngine>(
+          std::move(*shard), watermark, bound.population, engine_options);
     } else if (shard.status().code() != StatusCode::kFailedPrecondition) {
       return shard.status();
     }
@@ -393,17 +536,20 @@ StatusOr<SessionInfo> HypDbService::CreateSession(
     // instead of each rebuilding a private engine.
     DatasetRegistry* registry = &registry_;
     hooks.context_engine_provider =
-        [registry, dataset, epoch](
+        [registry, dataset, epoch, watermark, engine_options](
             const std::vector<std::pair<std::string,
                                         std::vector<std::string>>>& where,
             const TableView& view) -> std::shared_ptr<CountEngine> {
       AggQuery context_query;
       context_query.where = where;
-      StatusOr<std::shared_ptr<CountEngine>> shard =
-          registry->ShardEngine(dataset, epoch,
-                                SubpopulationSignature(context_query), view);
-      if (!shard.ok()) return nullptr;  // stale epoch: private fallback
-      return std::move(*shard);
+      StatusOr<std::shared_ptr<CountEngine>> shard = registry->ShardEngine(
+          dataset, epoch, SubpopulationSignature(context_query), view,
+          watermark);
+      // Stale epoch or advanced watermark: private fallback — the
+      // session keeps computing over its pinned bind-time table.
+      if (!shard.ok()) return nullptr;
+      return std::make_shared<WatermarkGuardEngine>(
+          std::move(*shard), watermark, view, engine_options);
     };
   }
   // The interceptor closure is built before the session's Entry exists;
@@ -413,14 +559,19 @@ StatusOr<SessionInfo> HypDbService::CreateSession(
   if (options_.share_discovery) {
     DiscoveryCache* cache = &discovery_;
     const std::string key = DiscoveryKey(dataset, epoch, query, analysis);
+    // The session discovers over its pinned bind-time table, so the
+    // staleness check runs against the bind watermark: an entry computed
+    // at (or after) it serves; an older one refreshes — over this
+    // session's pinned rows.
+    const int64_t bind_watermark = snapshot.watermark;
     hooks.discovery_interceptor =
-        [cache, key, flags](
+        [cache, key, flags, bind_watermark](
             const std::function<StatusOr<DiscoveryReport>()>& compute)
         -> StatusOr<DiscoveryReport> {
       bool reused = false;
       bool coalesced = false;
-      StatusOr<DiscoveryReport> report =
-          cache->LookupOrCompute(key, compute, &reused, &coalesced);
+      StatusOr<DiscoveryReport> report = cache->LookupOrCompute(
+          key, compute, &reused, &coalesced, bind_watermark);
       flags->reused.store(reused);
       flags->coalesced.store(coalesced);
       return report;

@@ -67,6 +67,14 @@ struct HypDbServiceOptions {
   bool share_engines = true;
   bool share_discovery = true;
   bool cross_shard_slicing = true;
+  /// Rows per storage chunk (DatasetRegistryOptions::chunk_rows): the
+  /// granularity of delta scans after appends.
+  int64_t chunk_rows = ChunkedTable::kDefaultChunkRows;
+  /// Discovery staleness bound under appends
+  /// (DiscoveryCacheOptions::refresh_rows_fraction): a cached discovery
+  /// computed at watermark W is recomputed at the next lookup once the
+  /// watermark exceeds W * (1 + fraction). 0.0 = any append retires it.
+  double refresh_rows_fraction = 0.0;
   /// Staged analysis sessions kept live (LRU-evicted beyond this).
   int64_t max_sessions = 64;
   /// Idle seconds before a session expires; <= 0 disables expiry.
@@ -102,6 +110,18 @@ class HypDbService {
                                 const std::string& path);
   StatusOr<TablePtr> Dataset(const std::string& name) const;
   std::vector<DatasetInfo> Datasets() const;
+
+  /// Appends rows (one label per column, schema order) to a registered
+  /// dataset. Unlike re-registration this does NOT bump the epoch:
+  /// sessions, shard caches and cached discoveries survive — cached
+  /// summaries are delta-patched by scanning only the appended chunks,
+  /// and discoveries refresh lazily under refresh_rows_fraction. Appends
+  /// serialize behind in-flight requests (the dataset read lease).
+  /// Returns the new watermark; NotFound for unknown datasets,
+  /// InvalidArgument on arity mismatch (nothing is appended).
+  StatusOr<int64_t> AppendRows(
+      const std::string& name,
+      const std::vector<std::vector<std::string>>& rows);
 
   /// Synchronous facade: submit + wait.
   StatusOr<ServiceReport> Analyze(AnalyzeRequest request);
@@ -215,6 +235,11 @@ class HypDbService {
 
   // First member: registered metric pointers all outlive the registry.
   MetricsRegistry metrics_;
+  /// Ingest accounting (hypdb_ingest_*): rows/batches are bumped on the
+  /// append path here; the delta-patch/chunk-scan side is aggregated
+  /// from the registry's engine stats at scrape time.
+  Counter ingest_rows_;
+  Counter ingest_batches_;
   Stopwatch uptime_;
   HypDbServiceOptions options_;
   // Outlives the scheduler: workers publish into it via on_complete.

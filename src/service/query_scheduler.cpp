@@ -281,11 +281,18 @@ StatusOr<ServiceReport> QueryScheduler::Execute(const Job& job,
   // sharing/validation; ticket/batching/deadline handling above applies
   // unchanged.
   if (job.run) return job.run(stats);
-  // One snapshot for the whole request: table and epoch are read
-  // atomically, every later step (binding, shard lookup, discovery key)
-  // uses this pair, so a concurrent re-registration can neither mix old
-  // counts into the new epoch's pool nor cache old-table discovery under
-  // a new-epoch key.
+  // Reader lease for the whole request body: appends serialize behind it,
+  // so the storage watermark the snapshot below is materialized at stays
+  // the watermark until this request completes — the live shared engines
+  // and the snapshot table always agree on the population.
+  HYPDB_ASSIGN_OR_RETURN(DatasetLease lease,
+                         registry_->ReadLease(job.request.dataset));
+  (void)lease;
+  // One snapshot for the whole request: table, epoch and watermark are
+  // read atomically, every later step (binding, shard lookup, discovery
+  // key) uses this triple, so a concurrent re-registration can neither
+  // mix old counts into the new epoch's pool nor cache old-table
+  // discovery under a new-epoch key.
   HYPDB_ASSIGN_OR_RETURN(DatasetRegistry::Snapshot snapshot,
                          registry_->GetSnapshot(job.request.dataset));
   const HypDbOptions& options = job.request.options.has_value()
@@ -308,7 +315,8 @@ StatusOr<ServiceReport> QueryScheduler::Execute(const Job& job,
                            BindQuery(snapshot.table, job.query));
     StatusOr<std::shared_ptr<CountEngine>> shard = registry_->ShardEngine(
         job.request.dataset, snapshot.epoch,
-        SubpopulationSignature(job.query), bound.population);
+        SubpopulationSignature(job.query), bound.population,
+        snapshot.watermark);
     if (shard.ok()) {
       engine = std::move(*shard);
       hooks.population_engine = engine;
@@ -337,7 +345,8 @@ StatusOr<ServiceReport> QueryScheduler::Execute(const Job& job,
         discovery_->LookupOrCompute(
             key,
             [&] { return db.Discover(job.query, hooks.population_engine); },
-            &stats->discovery_reused, &stats->discovery_coalesced));
+            &stats->discovery_reused, &stats->discovery_coalesced,
+            snapshot.watermark));
     // Wall time THIS request spent (near-zero on a cache hit, the full
     // compute when it was the single flight) — not the cached report's
     // original compute time.

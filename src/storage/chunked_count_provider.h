@@ -1,0 +1,82 @@
+// ChunkedCountProvider: the ground-truth CountEngine over a ChunkedTable.
+//
+// Where ViewCountProvider scans one immutable view, this provider scans
+// the chunked store chunk-at-a-time (kernel morsels never straddle a
+// chunk) and, crucially, implements the delta protocol: its
+// PopulationVersion() is the store's row watermark and CountsDelta()
+// scans only the chunks holding appended rows. A CachingCountEngine
+// stacked on top therefore patches stale summaries instead of
+// re-scanning — the delta-maintained contingency tables of Sec. 6
+// carried over to a growing dataset.
+
+#ifndef HYPDB_STORAGE_CHUNKED_COUNT_PROVIDER_H_
+#define HYPDB_STORAGE_CHUNKED_COUNT_PROVIDER_H_
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "engine/count_engine.h"
+#include "storage/chunked_table.h"
+
+namespace hypdb {
+
+class ChunkedCountProvider : public CountEngine {
+ public:
+  explicit ChunkedCountProvider(std::shared_ptr<const ChunkedTable> table,
+                                GroupByKernelOptions kernel = {})
+      : table_(std::move(table)), kernel_(kernel) {}
+
+  StatusOr<GroupCounts> Counts(const std::vector<int>& cols) override {
+    return CountRange(cols, 0, table_->Watermark());
+  }
+
+  int64_t NumRows() const override { return table_->Watermark(); }
+  int64_t PopulationVersion() const override { return table_->Watermark(); }
+
+  StatusOr<GroupCounts> CountsDelta(const std::vector<int>& cols,
+                                    int64_t from_version,
+                                    int64_t to_version) override {
+    return CountRange(cols, from_version, to_version);
+  }
+
+  CountEngineStats stats() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  void ResetStats() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_ = {};
+  }
+
+  const std::shared_ptr<const ChunkedTable>& table() const { return table_; }
+
+ private:
+  StatusOr<GroupCounts> CountRange(const std::vector<int>& cols,
+                                   int64_t from_row, int64_t to_row) {
+    ChunkedScanStats scan;
+    StatusOr<GroupCounts> counts =
+        table_->ScanRange(cols, from_row, to_row, kernel_, &scan);
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.queries;
+    if (counts.ok()) {
+      // One logical data pass over the requested range, however many
+      // chunks it decomposed into (keeps `scans` comparable with
+      // ViewCountProvider); the chunk-level detail is its own family.
+      ++stats_.scans;
+      stats_.chunk_scans += scan.chunk_scans;
+      stats_.chunks_skipped += scan.chunks_skipped;
+      stats_.rows_scanned += scan.rows_scanned;
+    }
+    return counts;
+  }
+
+  std::shared_ptr<const ChunkedTable> table_;
+  GroupByKernelOptions kernel_;
+  mutable std::mutex mu_;
+  CountEngineStats stats_;
+};
+
+}  // namespace hypdb
+
+#endif  // HYPDB_STORAGE_CHUNKED_COUNT_PROVIDER_H_

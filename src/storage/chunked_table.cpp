@@ -1,0 +1,190 @@
+#include "storage/chunked_table.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "dataframe/group_by.h"
+#include "dataframe/tuple_codec.h"
+#include "dataframe/view.h"
+#include "util/trace.h"
+
+namespace hypdb {
+
+ChunkedTable::Chunk::Chunk(int num_cols, int64_t capacity)
+    : codes(num_cols, std::vector<int32_t>(capacity)) {}
+
+StatusOr<std::shared_ptr<ChunkedTable>> ChunkedTable::FromTable(
+    const TablePtr& seed, int64_t chunk_rows) {
+  if (!seed) return Status::InvalidArgument("null seed table");
+  if (chunk_rows <= 0) {
+    return Status::InvalidArgument("chunk_rows must be positive");
+  }
+  std::vector<std::string> names = seed->ColumnNames();
+  auto table = std::shared_ptr<ChunkedTable>(
+      new ChunkedTable(std::move(names), chunk_rows));
+  const int num_cols = seed->NumColumns();
+  const int64_t num_rows = seed->NumRows();
+  table->dicts_.reserve(num_cols);
+  for (int c = 0; c < num_cols; ++c) {
+    table->dicts_.push_back(seed->column(c).dict());
+  }
+  for (int64_t begin = 0; begin < num_rows; begin += chunk_rows) {
+    const int64_t n = std::min(chunk_rows, num_rows - begin);
+    auto chunk = std::make_shared<Chunk>(num_cols, chunk_rows);
+    for (int c = 0; c < num_cols; ++c) {
+      const std::vector<int32_t>& src = seed->column(c).codes();
+      std::copy(src.begin() + begin, src.begin() + begin + n,
+                chunk->codes[c].begin());
+    }
+    chunk->used.store(n, std::memory_order_relaxed);
+    if (n == chunk_rows) {
+      chunk->sealed = table->SliceTable(*chunk, 0, chunk_rows, table->dicts_);
+    }
+    table->chunks_.push_back(std::move(chunk));
+  }
+  // The seed *is* the materialization of the initial watermark.
+  table->materialized_watermark_ = num_rows;
+  table->materialized_ = seed;
+  table->watermark_.store(num_rows, std::memory_order_release);
+  return table;
+}
+
+Status ChunkedTable::Append(const std::vector<std::vector<std::string>>& rows) {
+  const size_t num_cols = names_.size();
+  for (const auto& row : rows) {
+    if (row.size() != num_cols) {
+      return Status::InvalidArgument(
+          "append row has " + std::to_string(row.size()) + " values, schema has " +
+          std::to_string(num_cols) + " columns");
+    }
+  }
+  if (rows.empty()) return Status::Ok();
+  TraceSpanScope span(TraceEventKind::kIngestAppend, 1,
+                      static_cast<uint64_t>(rows.size()));
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t w = watermark_.load(std::memory_order_relaxed);
+  for (const auto& row : rows) {
+    const int64_t offset = w % chunk_rows_;
+    const size_t chunk_index = static_cast<size_t>(w / chunk_rows_);
+    if (chunk_index == chunks_.size()) {
+      chunks_.push_back(
+          std::make_shared<Chunk>(static_cast<int>(num_cols), chunk_rows_));
+    }
+    Chunk& chunk = *chunks_[chunk_index];
+    for (size_t c = 0; c < num_cols; ++c) {
+      chunk.codes[c][offset] = dicts_[c].GetOrAdd(row[c]);
+    }
+    chunk.used.store(offset + 1, std::memory_order_relaxed);
+    ++w;
+    if (offset + 1 == chunk_rows_) {
+      // Seal: every code in the chunk is below the current dictionary
+      // cardinalities, so this snapshot stays valid forever.
+      chunk.sealed = SliceTable(chunk, 0, chunk_rows_, dicts_);
+    }
+  }
+  span.set_arg1(static_cast<uint64_t>(w));
+  watermark_.store(w, std::memory_order_release);
+  return Status::Ok();
+}
+
+int64_t ChunkedTable::NumChunks() const {
+  return (Watermark() + chunk_rows_ - 1) / chunk_rows_;
+}
+
+TablePtr ChunkedTable::Materialized() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t w = watermark_.load(std::memory_order_relaxed);
+  if (materialized_watermark_ == w && materialized_) return materialized_;
+  Table out;
+  for (size_t c = 0; c < names_.size(); ++c) {
+    std::vector<int32_t> codes(static_cast<size_t>(w));
+    for (size_t ci = 0; ci * chunk_rows_ < static_cast<size_t>(w); ++ci) {
+      const int64_t begin = static_cast<int64_t>(ci) * chunk_rows_;
+      const int64_t n = std::min(chunk_rows_, w - begin);
+      std::copy(chunks_[ci]->codes[c].begin(),
+                chunks_[ci]->codes[c].begin() + n, codes.begin() + begin);
+    }
+    Status s = out.AddColumn(Column(names_[c], dicts_[c], std::move(codes)));
+    (void)s;  // row counts agree by construction
+  }
+  materialized_watermark_ = w;
+  materialized_ = MakeTable(std::move(out));
+  return materialized_;
+}
+
+TablePtr ChunkedTable::SliceTable(const Chunk& chunk, int64_t lo, int64_t hi,
+                                  const std::vector<Dictionary>& dicts) const {
+  Table t;
+  for (size_t c = 0; c < names_.size(); ++c) {
+    std::vector<int32_t> codes(chunk.codes[c].begin() + lo,
+                               chunk.codes[c].begin() + hi);
+    Status s = t.AddColumn(Column(names_[c], dicts[c], std::move(codes)));
+    (void)s;  // row counts agree by construction
+  }
+  return MakeTable(std::move(t));
+}
+
+StatusOr<GroupCounts> ChunkedTable::ScanRange(
+    const std::vector<int>& cols, int64_t from_row, int64_t to_row,
+    const GroupByKernelOptions& kernel, ChunkedScanStats* stats) const {
+  if (from_row < 0 || to_row < from_row) {
+    return Status::InvalidArgument("invalid scan range");
+  }
+  if (to_row > Watermark()) {
+    return Status::OutOfRange("scan range exceeds the published watermark");
+  }
+  struct Snap {
+    std::shared_ptr<Chunk> chunk;
+    TablePtr sealed;
+  };
+  std::vector<Snap> snap;
+  std::vector<Dictionary> dicts;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snap.reserve(chunks_.size());
+    for (const auto& c : chunks_) snap.push_back({c, c->sealed});
+    dicts = dicts_;
+  }
+  // The merge target: current cardinalities, exactly what a cold kernel
+  // scan of Materialized() would key under.
+  Table schema;
+  for (size_t c = 0; c < names_.size(); ++c) {
+    Status s = schema.AddColumn(Column(names_[c], dicts[c], {}));
+    (void)s;
+  }
+  GroupCounts result;
+  HYPDB_ASSIGN_OR_RETURN(result.codec, TupleCodec::Create(schema, cols));
+  for (size_t ci = 0; ci < snap.size(); ++ci) {
+    const int64_t begin = static_cast<int64_t>(ci) * chunk_rows_;
+    const int64_t end = begin + chunk_rows_;
+    if (begin >= to_row) break;
+    if (end <= from_row) {
+      // Entirely below the caller's watermark: the rows delta
+      // maintenance never re-reads.
+      if (stats) ++stats->chunks_skipped;
+      continue;
+    }
+    const int64_t lo = std::max(from_row, begin);
+    const int64_t hi = std::min(to_row, end);
+    if (hi <= lo) continue;
+    TraceSpanScope span(TraceEventKind::kChunkScan, 1,
+                        static_cast<uint64_t>(ci),
+                        static_cast<uint64_t>(hi - lo));
+    TablePtr chunk_table;
+    if (lo == begin && hi == end && snap[ci].sealed) {
+      chunk_table = snap[ci].sealed;
+    } else {
+      chunk_table = SliceTable(*snap[ci].chunk, lo - begin, hi - begin, dicts);
+    }
+    HYPDB_ASSIGN_OR_RETURN(GroupCounts chunk_counts,
+                           ScanCounts(TableView(chunk_table), cols, kernel));
+    result = MergeGroupCounts(result, chunk_counts, result.codec);
+    if (stats) {
+      ++stats->chunk_scans;
+      stats->rows_scanned += hi - lo;
+    }
+  }
+  return result;
+}
+
+}  // namespace hypdb

@@ -1,0 +1,155 @@
+// ChunkedTable: the append-friendly storage layer under a dataset.
+//
+// A registered dataset used to be one monolithic immutable Table; any
+// refresh meant re-registering, which bumps the epoch and cold-drops
+// every cache, shard, session and discovery entry. Production traffic
+// appends, it doesn't reload — and because every HypDB statistic reduces
+// to additive count(*) GROUP BY summaries (paper Sec. 6), appended rows
+// can *patch* cached summaries instead of invalidating them.
+//
+// Layout: per column, dictionary codes stored in fixed-capacity row
+// chunks. Invariants, in order of importance:
+//  * Sealed chunks are immutable: once a chunk reaches capacity it is
+//    sealed and its rows (and their codes) never change. A sealed chunk
+//    caches a per-chunk Table built with the dictionary snapshot at seal
+//    time — every code in the chunk is below that snapshot's
+//    cardinality, so the cached table stays valid forever.
+//  * Dictionaries grow append-only: a label's code never changes, so
+//    codes written yesterday mean the same thing after any number of
+//    appends, and summaries keyed under an older (smaller-cardinality)
+//    codec re-key exactly onto a newer one (MergeGroupCounts).
+//  * The watermark is the single publication point: Append() writes
+//    codes first, then release-stores the new row count. A reader that
+//    acquire-loads Watermark() == W may touch any row < W without
+//    locking; rows at or past W are writer-private.
+//  * Scans are chunk-at-a-time: ScanRange() feeds each chunk (or chunk
+//    suffix) to the group-by kernel as its own table, so kernel morsels
+//    never straddle a chunk boundary, and merges the per-chunk
+//    summaries. A delta scan [from, to) skips every chunk entirely
+//    below `from` — the whole point of incremental ingest.
+//
+// Writer concurrency: Append() assumes external serialization (the
+// DatasetRegistry holds the dataset's exclusive ingest lease around it).
+// Readers are lock-free on the hot path and take the internal mutex only
+// to snapshot the chunk list and dictionaries.
+
+#ifndef HYPDB_STORAGE_CHUNKED_TABLE_H_
+#define HYPDB_STORAGE_CHUNKED_TABLE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "dataframe/table.h"
+#include "engine/groupby_kernel.h"
+#include "util/statusor.h"
+
+namespace hypdb {
+
+/// Work accounting for one ScanRange call; the chunked count provider
+/// folds these into CountEngineStats (chunk_scans / chunks_skipped /
+/// rows_scanned).
+struct ChunkedScanStats {
+  int64_t chunk_scans = 0;
+  int64_t chunks_skipped = 0;
+  int64_t rows_scanned = 0;
+};
+
+class ChunkedTable {
+ public:
+  /// Default rows per chunk. Small enough that an append batch lands in
+  /// O(1) chunks, large enough that a full chunk is a meaningful kernel
+  /// scan (matches the kernel's default morsel size).
+  static constexpr int64_t kDefaultChunkRows = int64_t{1} << 14;
+
+  /// Builds a chunked table from an existing monolithic table (the CSV /
+  /// generator load path): the seed's dictionaries become the initial
+  /// append-only dictionaries and its rows fill the first chunks.
+  /// `chunk_rows` must be positive.
+  static StatusOr<std::shared_ptr<ChunkedTable>> FromTable(
+      const TablePtr& seed, int64_t chunk_rows = kDefaultChunkRows);
+
+  /// Appends rows. Each row carries one label per column in schema
+  /// order; new labels extend the dictionaries append-only. Rows become
+  /// visible atomically: a reader sees either the pre-append or the
+  /// post-append watermark, never a partial batch. Empty batches are
+  /// valid no-ops. Errors (wrong arity) leave the table unchanged.
+  /// Requires external write serialization (the registry's ingest lease).
+  Status Append(const std::vector<std::vector<std::string>>& rows);
+
+  /// Published row count — the global watermark (acquire; pairs with
+  /// Append's release store, so rows below it are safe to read lock-free).
+  int64_t Watermark() const {
+    return watermark_.load(std::memory_order_acquire);
+  }
+  int64_t NumRows() const { return Watermark(); }
+
+  /// Chunks holding at least one published row.
+  int64_t NumChunks() const;
+  int64_t chunk_rows() const { return chunk_rows_; }
+
+  int NumColumns() const { return static_cast<int>(names_.size()); }
+  const std::vector<std::string>& ColumnNames() const { return names_; }
+
+  /// The rows [0, watermark) materialized as a plain immutable Table,
+  /// built with the current dictionary snapshot and cached per
+  /// watermark. This bridges the chunked store to everything that wants
+  /// a TablePtr (query binding, views, sessions); count queries should
+  /// go through ScanRange instead. Call at the current watermark (i.e.
+  /// under the dataset read lease) so the dictionary snapshot matches.
+  TablePtr Materialized() const;
+
+  /// count(*) GROUP BY `cols` over rows [from_row, to_row), scanned
+  /// chunk-at-a-time and merged onto a codec with the current dictionary
+  /// cardinalities — bit-identical to a cold kernel scan of
+  /// Materialized() restricted to the same range. Chunks entirely below
+  /// `from_row` are skipped, which is what makes a delta scan cheap.
+  /// `to_row` must not exceed the watermark.
+  StatusOr<GroupCounts> ScanRange(const std::vector<int>& cols,
+                                  int64_t from_row, int64_t to_row,
+                                  const GroupByKernelOptions& kernel,
+                                  ChunkedScanStats* stats) const;
+
+ private:
+  // One fixed-capacity run of rows. Codes are preallocated at
+  // construction so readers never race a reallocation; `used` counts
+  // writer-filled rows (ordering comes from the global watermark, so
+  // relaxed is enough).
+  struct Chunk {
+    Chunk(int num_cols, int64_t capacity);
+    std::vector<std::vector<int32_t>> codes;  // [col][row-in-chunk]
+    std::atomic<int64_t> used{0};
+    TablePtr sealed;  // set once when the chunk fills (guarded by mu_)
+  };
+
+  ChunkedTable(std::vector<std::string> names, int64_t chunk_rows)
+      : names_(std::move(names)), chunk_rows_(chunk_rows) {}
+
+  // Builds the per-chunk Table for rows [lo, hi) of `chunk` (chunk-local
+  // offsets) under dictionary snapshot `dicts`.
+  TablePtr SliceTable(const Chunk& chunk, int64_t lo, int64_t hi,
+                      const std::vector<Dictionary>& dicts) const;
+
+  const std::vector<std::string> names_;
+  const int64_t chunk_rows_;
+
+  // Guards chunks_ (the vector itself; code arrays are published via the
+  // watermark), sealed pointers, dicts_, and the materialized cache.
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<Chunk>> chunks_;
+  std::vector<Dictionary> dicts_;
+
+  std::atomic<int64_t> watermark_{0};
+
+  mutable int64_t materialized_watermark_ = -1;
+  mutable TablePtr materialized_;
+};
+
+using ChunkedTablePtr = std::shared_ptr<ChunkedTable>;
+
+}  // namespace hypdb
+
+#endif  // HYPDB_STORAGE_CHUNKED_TABLE_H_

@@ -1,0 +1,331 @@
+// Tests for src/storage: the chunked column store (sealed-chunk and
+// watermark invariants, delta scans), summary merging across dictionary
+// growth, growing filtered populations, and the caching engine's delta
+// patching — every patched summary must be bit-identical to a cold
+// rebuild of the grown table (the additive-counts property the whole
+// ingest path rests on).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dataframe/group_by.h"
+#include "engine/caching_count_engine.h"
+#include "engine/groupby_kernel.h"
+#include "storage/chunked_count_provider.h"
+#include "storage/chunked_table.h"
+#include "storage/filtered_population.h"
+#include "util/rng.h"
+
+namespace hypdb {
+namespace {
+
+using Rows = std::vector<std::vector<std::string>>;
+
+// Labels "v0".."v<card-1>", so later batches with a larger `card` grow
+// the dictionaries mid-stream.
+Rows RandomRows(int64_t n, int cols, int card, Rng* rng) {
+  Rows rows;
+  rows.reserve(n);
+  for (int64_t r = 0; r < n; ++r) {
+    std::vector<std::string> row;
+    row.reserve(cols);
+    for (int c = 0; c < cols; ++c) {
+      row.push_back("v" + std::to_string(rng->NextBounded(card)));
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+TablePtr TableFromRows(const std::vector<std::string>& names,
+                       const Rows& rows) {
+  Table table;
+  for (size_t c = 0; c < names.size(); ++c) {
+    ColumnBuilder b(names[c]);
+    for (const auto& row : rows) b.Append(row[c]);
+    EXPECT_TRUE(table.AddColumn(b.Finish()).ok());
+  }
+  return MakeTable(std::move(table));
+}
+
+void ExpectSameCounts(const GroupCounts& a, const GroupCounts& b) {
+  ASSERT_EQ(a.NumGroups(), b.NumGroups());
+  EXPECT_EQ(a.total, b.total);
+  ASSERT_EQ(a.codec.cols(), b.codec.cols());
+  for (int g = 0; g < a.NumGroups(); ++g) {
+    EXPECT_EQ(a.keys[g], b.keys[g]) << "group " << g;
+    EXPECT_EQ(a.counts[g], b.counts[g]) << "group " << g;
+  }
+}
+
+// ---- chunk layout & publication ----------------------------------------
+
+TEST(ChunkedTableTest, FromTableSplitsIntoChunks) {
+  Rng rng(11);
+  Rows seed_rows = RandomRows(10, 2, 3, &rng);
+  auto table = ChunkedTable::FromTable(TableFromRows({"a", "b"}, seed_rows),
+                                       /*chunk_rows=*/4);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->Watermark(), 10);
+  EXPECT_EQ((*table)->NumChunks(), 3);  // 4 + 4 + 2
+  EXPECT_EQ((*table)->chunk_rows(), 4);
+  EXPECT_EQ((*table)->NumColumns(), 2);
+
+  // Materialized round-trips the seed exactly.
+  auto cold = ScanCounts(TableView(TableFromRows({"a", "b"}, seed_rows)),
+                         {0, 1});
+  auto warm = ScanCounts(TableView((*table)->Materialized()), {0, 1});
+  ASSERT_TRUE(cold.ok() && warm.ok());
+  ExpectSameCounts(*warm, *cold);
+}
+
+TEST(ChunkedTableTest, FromTableRejectsNonPositiveChunkRows) {
+  Rng rng(12);
+  TablePtr seed = TableFromRows({"a"}, RandomRows(4, 1, 2, &rng));
+  EXPECT_FALSE(ChunkedTable::FromTable(seed, 0).ok());
+  EXPECT_FALSE(ChunkedTable::FromTable(seed, -3).ok());
+}
+
+TEST(ChunkedTableTest, AppendPublishesAtomicallyAndValidatesArity) {
+  Rng rng(13);
+  auto table = ChunkedTable::FromTable(
+      TableFromRows({"a", "b"}, RandomRows(5, 2, 3, &rng)), 4);
+  ASSERT_TRUE(table.ok());
+
+  // Wrong arity: nothing appended, watermark unchanged.
+  EXPECT_FALSE((*table)->Append({{"v0"}}).ok());
+  EXPECT_EQ((*table)->Watermark(), 5);
+
+  // Empty batch: valid no-op.
+  EXPECT_TRUE((*table)->Append({}).ok());
+  EXPECT_EQ((*table)->Watermark(), 5);
+
+  // A batch straddling a chunk boundary lands whole.
+  EXPECT_TRUE((*table)->Append(RandomRows(6, 2, 3, &rng)).ok());
+  EXPECT_EQ((*table)->Watermark(), 11);
+  EXPECT_EQ((*table)->NumChunks(), 3);  // 4 + 4 + 3
+}
+
+TEST(ChunkedTableTest, ScanRangeSkipsChunksBelowFrom) {
+  Rng rng(14);
+  Rows all = RandomRows(20, 2, 3, &rng);
+  Rows seed(all.begin(), all.begin() + 8);
+  auto table =
+      ChunkedTable::FromTable(TableFromRows({"a", "b"}, seed), 4);
+  ASSERT_TRUE(table.ok());
+  ASSERT_TRUE((*table)->Append(Rows(all.begin() + 8, all.end())).ok());
+
+  // Delta over the appended suffix: the two seed chunks are skipped.
+  ChunkedScanStats stats;
+  auto delta = (*table)->ScanRange({0, 1}, 8, 20, {}, &stats);
+  ASSERT_TRUE(delta.ok());
+  EXPECT_EQ(stats.chunks_skipped, 2);
+  EXPECT_EQ(stats.rows_scanned, 12);
+  EXPECT_EQ(stats.chunk_scans, 3);  // rows 8..19 live in chunks 2,3,4
+  EXPECT_EQ(delta->total, 12);
+
+  // The delta is exactly the cold counts of the suffix rows.
+  auto cold = ScanCounts(
+      TableView(TableFromRows({"a", "b"},
+                              Rows(all.begin() + 8, all.end()))),
+      {0, 1});
+  ASSERT_TRUE(cold.ok());
+  ASSERT_EQ(delta->NumGroups(), cold->NumGroups());
+  EXPECT_EQ(delta->total, cold->total);
+
+  // Out-of-range to_row is an error, not a quiet clamp.
+  ChunkedScanStats ignored;
+  EXPECT_FALSE((*table)->ScanRange({0}, 0, 21, {}, &ignored).ok());
+}
+
+// ---- MergeGroupCounts across dictionary growth -------------------------
+
+TEST(MergeGroupCountsTest, ReKeysOntoGrownCodec) {
+  // A prefix summary computed under the pre-append (smaller) codec plus
+  // a delta summary under the grown codec must merge onto the grown
+  // codec to exactly one scan of the whole table. Dictionary codes are
+  // append-only, so the prefix's codes mean the same thing afterwards —
+  // the property MergeGroupCounts rests on.
+  Rows first = {{"v0", "v0"}, {"v1", "v0"}, {"v0", "v1"}};
+  Rows second = {{"v0", "v2"}, {"v2", "v1"}, {"v1", "v2"}, {"v2", "v2"}};
+  auto table =
+      ChunkedTable::FromTable(TableFromRows({"x", "y"}, first), 2);
+  ASSERT_TRUE(table.ok());
+
+  ChunkedScanStats stats;
+  auto a = (*table)->ScanRange({0, 1}, 0, 3, {}, &stats);  // small codec
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE((*table)->Append(second).ok());
+  auto b = (*table)->ScanRange({0, 1}, 3, 7, {}, &stats);  // grown codec
+  auto full = (*table)->ScanRange({0, 1}, 0, 7, {}, &stats);
+  ASSERT_TRUE(b.ok() && full.ok());
+  ASSERT_LT(a->codec.Domain(), full->codec.Domain());
+
+  GroupCounts merged = MergeGroupCounts(*a, *b, full->codec);
+  ExpectSameCounts(merged, *full);
+
+  // Merging with an empty summary is the identity (re-keyed).
+  GroupCounts empty;
+  empty.codec = a->codec;
+  GroupCounts same = MergeGroupCounts(*full, empty, full->codec);
+  ExpectSameCounts(same, *full);
+}
+
+// ---- the property: delta-patched counts == cold rebuild ----------------
+
+TEST(StoragePropertyTest, DeltaScansMatchColdRebuildAcrossConfigs) {
+  // Sweep chunk sizes x batch sizes x kernel threading; at every step,
+  // counts from the chunked store (full and delta) must be bit-identical
+  // to a cold scan of the materialized grown table. Batches include
+  // empties and grow the dictionaries mid-stream (card 2 -> 6).
+  const std::vector<int64_t> kChunkRows = {1, 3, 7, 64};
+  const std::vector<int> kThreads = {1, 4};
+  const std::vector<std::vector<int>> kColSets = {{0}, {1, 2}, {0, 1, 2}};
+
+  for (int64_t chunk_rows : kChunkRows) {
+    for (int threads : kThreads) {
+      Rng rng(100 * chunk_rows + threads);
+      GroupByKernelOptions kernel;
+      kernel.num_threads = threads;
+      kernel.parallel_min_rows = 16;  // exercise the threaded path
+
+      Rows all = RandomRows(20, 3, 2, &rng);
+      auto table = ChunkedTable::FromTable(
+          TableFromRows({"a", "b", "c"}, all), chunk_rows);
+      ASSERT_TRUE(table.ok());
+
+      int64_t last = (*table)->Watermark();
+      for (int step = 0; step < 6; ++step) {
+        const int card = 2 + step;  // dictionary growth mid-stream
+        Rows batch =
+            RandomRows(rng.NextBounded(3) == 0 ? 0 : rng.NextBounded(40),
+                       3, card, &rng);
+        all.insert(all.end(), batch.begin(), batch.end());
+        ASSERT_TRUE((*table)->Append(batch).ok());
+        ASSERT_EQ((*table)->Watermark(),
+                  static_cast<int64_t>(all.size()));
+
+        TablePtr cold_table = TableFromRows({"a", "b", "c"}, all);
+        for (const auto& cols : kColSets) {
+          auto cold = ScanCounts(TableView(cold_table), cols, kernel);
+          ChunkedScanStats stats;
+          auto warm = (*table)->ScanRange(cols, 0, (*table)->Watermark(),
+                                          kernel, &stats);
+          ASSERT_TRUE(cold.ok() && warm.ok());
+          ExpectSameCounts(*warm, *cold);
+
+          // Delta + prefix == full, under the grown codec.
+          ChunkedScanStats delta_stats;
+          auto prefix = (*table)->ScanRange(cols, 0, last, kernel,
+                                            &delta_stats);
+          auto delta = (*table)->ScanRange(cols, last,
+                                           (*table)->Watermark(), kernel,
+                                           &delta_stats);
+          ASSERT_TRUE(prefix.ok() && delta.ok());
+          GroupCounts patched =
+              MergeGroupCounts(*prefix, *delta, cold->codec);
+          ExpectSameCounts(patched, *cold);
+        }
+        last = (*table)->Watermark();
+      }
+    }
+  }
+}
+
+TEST(StoragePropertyTest, CachingEngineDeltaPatchMatchesColdRebuild) {
+  // The end-to-end engine property: a CachingCountEngine over the
+  // chunked provider answers post-append queries by patching its cached
+  // summaries; results must equal a cold rebuild and the work must be a
+  // delta, not a rescan.
+  Rng rng(42);
+  Rows all = RandomRows(200, 3, 3, &rng);
+  auto table = ChunkedTable::FromTable(
+      TableFromRows({"a", "b", "c"}, all), /*chunk_rows=*/32);
+  ASSERT_TRUE(table.ok());
+
+  auto cache = std::make_shared<CachingCountEngine>(
+      std::make_shared<ChunkedCountProvider>(*table));
+  const std::vector<int> cols = {0, 1};
+  ASSERT_TRUE(cache->Counts(cols).ok());  // warm the cache
+
+  for (int step = 0; step < 4; ++step) {
+    Rows batch = RandomRows(25, 3, 3 + step, &rng);
+    all.insert(all.end(), batch.begin(), batch.end());
+    ASSERT_TRUE((*table)->Append(batch).ok());
+
+    auto patched = cache->Counts(cols);
+    auto cold =
+        ScanCounts(TableView(TableFromRows({"a", "b", "c"}, all)), cols);
+    ASSERT_TRUE(patched.ok() && cold.ok());
+    ExpectSameCounts(*patched, *cold);
+  }
+
+  const CountEngineStats stats = cache->stats();
+  EXPECT_EQ(stats.delta_patches, 4);
+  // Patch scans touched only appended chunks: strictly less work than
+  // one cold rescan per step would have been.
+  EXPECT_GT(stats.chunks_skipped, 0);
+  EXPECT_LT(stats.rows_scanned,
+            static_cast<int64_t>(all.size()) * 4);
+}
+
+// ---- growing filtered populations --------------------------------------
+
+TEST(FilteredPopulationTest, GrowsWithAppendsAndMatchesColdFilter) {
+  Rows seed = {{"x", "v0"}, {"y", "v1"}, {"x", "v1"}, {"y", "v0"}};
+  auto table =
+      ChunkedTable::FromTable(TableFromRows({"g", "o"}, seed), 2);
+  ASSERT_TRUE(table.ok());
+
+  auto shard = FilteredPopulationProvider::Create(
+      *table, {{"g", {"x"}}});
+  ASSERT_TRUE(shard.ok());
+  EXPECT_EQ((*shard)->NumRows(), 2);
+
+  auto before = (*shard)->Counts({1});
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->total, 2);
+
+  // Appended matching rows join the population; others don't.
+  ASSERT_TRUE(
+      (*table)->Append({{"x", "v2"}, {"y", "v2"}, {"x", "v0"}}).ok());
+  EXPECT_EQ((*shard)->NumRows(), 4);
+  auto after = (*shard)->Counts({1});
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->total, 4);
+
+  // Delta over the appended range covers exactly the two new matches.
+  auto delta = (*shard)->CountsDelta({1}, 4, 7);
+  ASSERT_TRUE(delta.ok());
+  EXPECT_EQ(delta->total, 2);
+
+  // Unknown column is a creation-time error.
+  EXPECT_FALSE(
+      FilteredPopulationProvider::Create(*table, {{"nope", {"x"}}}).ok());
+}
+
+TEST(FilteredPopulationTest, LabelArrivingInLaterAppendStartsMatching) {
+  Rows seed = {{"x", "v0"}, {"y", "v1"}};
+  auto table =
+      ChunkedTable::FromTable(TableFromRows({"g", "o"}, seed), 2);
+  ASSERT_TRUE(table.ok());
+
+  // "z" doesn't exist yet; the shard is just empty, not an error.
+  auto shard =
+      FilteredPopulationProvider::Create(*table, {{"g", {"z"}}});
+  ASSERT_TRUE(shard.ok());
+  EXPECT_EQ((*shard)->NumRows(), 0);
+
+  ASSERT_TRUE((*table)->Append({{"z", "v0"}, {"x", "v1"}}).ok());
+  EXPECT_EQ((*shard)->NumRows(), 1);
+  auto counts = (*shard)->Counts({1});
+  ASSERT_TRUE(counts.ok());
+  EXPECT_EQ(counts->total, 1);
+}
+
+}  // namespace
+}  // namespace hypdb
