@@ -14,6 +14,13 @@
 //   --morsel=N          rows per scan morsel (work unit handed to a
 //                       scan worker; results identical for any value)
 //   --no-simd           force the scalar scan kernels (bit-identical)
+//   --materialization=static|adaptive
+//                       cache policy for every counting layer: static
+//                       (oldest-first eviction, domain-bound admission)
+//                       or adaptive (benefit-per-cell retention,
+//                       observed-cell admission; in service modes also
+//                       the background cube advisor and batch union
+//                       planning). Results are bit-identical either way.
 //
 // Service mode (REPL) — a long-lived HypDbService driven line-by-line
 // from stdin, sharing discovery results and contingency caches across
@@ -344,6 +351,16 @@ int RunServe(const HypDbServiceOptions& options) {
                     static_cast<long long>(d.rows), d.columns, d.shards,
                     static_cast<long long>(d.chunks),
                     static_cast<long long>(d.watermark));
+        std::printf("%-16s cache %lld/%lld cells (%lld pinned, %lld "
+                    "entries)  cube %lld cells  hit %.1f%%  evictions "
+                    "%lld\n",
+                    "", static_cast<long long>(d.cache.cached_cells),
+                    static_cast<long long>(d.cache.budget_cells),
+                    static_cast<long long>(d.cache.pinned_cells),
+                    static_cast<long long>(d.cache.entries),
+                    static_cast<long long>(d.cube_cells),
+                    d.cache_hit_ratio * 100.0,
+                    static_cast<long long>(d.evictions));
       }
       continue;
     }
@@ -444,6 +461,14 @@ int main(int argc, char** argv) {
       options.engine.scan_morsel_rows = std::atoll(flag.c_str() + 9);
     } else if (flag == "--no-simd") {
       options.engine.scan_simd = false;
+    } else if (flag.rfind("--materialization=", 0) == 0) {
+      StatusOr<MaterializationMode> mode =
+          ParseMaterializationMode(flag.c_str() + 18);
+      if (!mode.ok()) {
+        std::fprintf(stderr, "%s\n", mode.status().message().c_str());
+        return 1;
+      }
+      options.engine.materialization = *mode;
     } else if (flag.rfind("--workers=", 0) == 0) {
       workers = std::atoi(flag.c_str() + 10);
     } else if (flag == "--serve") {
@@ -581,12 +606,13 @@ int main(int argc, char** argv) {
   if (positional.size() < 2) {
     std::printf("usage: %s <data.csv> \"<SELECT ...>\" [--alpha=A] "
                 "[--no-mediators] [--bounds] [--threads=N] [--morsel=N] "
-                "[--no-simd]\n"
+                "[--no-simd] [--materialization=static|adaptive]\n"
                 "       %s --serve [--workers=N] [--threads=N] [--alpha=A] "
-                "[--stats-log=PATH] [--trace=0|1|2] "
-                "[--slow-query-log=PATH,SECONDS]\n"
+                "[--materialization=static|adaptive] [--stats-log=PATH] "
+                "[--trace=0|1|2] [--slow-query-log=PATH,SECONDS]\n"
                 "       %s --listen=PORT [--host=ADDR] [--workers=N] "
-                "[--threads=N] [--alpha=A] [--stats-log=PATH] "
+                "[--threads=N] [--alpha=A] "
+                "[--materialization=static|adaptive] [--stats-log=PATH] "
                 "[--trace=0|1|2] [--slow-query-log=PATH,SECONDS]\n"
                 "\n",
                 argv[0], argv[0], argv[0]);

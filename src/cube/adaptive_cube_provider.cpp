@@ -1,0 +1,114 @@
+#include "cube/adaptive_cube_provider.h"
+
+#include <utility>
+
+namespace hypdb {
+
+AdaptiveCubeProvider::AdaptiveCubeProvider(std::shared_ptr<CountEngine> base)
+    : base_(std::move(base)) {}
+
+std::shared_ptr<const AdaptiveCubeProvider::Installed>
+AdaptiveCubeProvider::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return installed_;
+}
+
+StatusOr<GroupCounts> AdaptiveCubeProvider::Counts(
+    const std::vector<int>& cols) {
+  std::shared_ptr<const Installed> snap = Snapshot();
+  if (snap != nullptr) {
+    // Serve from the lattice only when it is *current*: built at the
+    // base's present population version (requests hold the dataset read
+    // lease, so the version cannot move under them) and covering the
+    // requested columns. Duplicate columns bypass, like every cache
+    // layer.
+    std::vector<int> sorted = SortedUniqueColumns(cols);
+    if (sorted.size() == cols.size() &&
+        snap->watermark == base_->PopulationVersion() &&
+        snap->cube->CellsFor(sorted) >= 0) {
+      StatusOr<GroupCounts> from_cube = snap->cube->Counts(cols);
+      if (from_cube.ok()) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.queries;
+        ++stats_.cube_hits;
+        return from_cube;
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.queries;
+      // A cube is installed but could not serve (uncovered columns or
+      // stale watermark) — the Fig. 6d fallback accounting.
+      ++stats_.fallback_calls;
+    }
+    return base_->Counts(cols);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.queries;
+  }
+  return base_->Counts(cols);
+}
+
+int64_t AdaptiveCubeProvider::ObservedCellBound(
+    const std::vector<int>& cols) const {
+  std::shared_ptr<const Installed> snap = Snapshot();
+  if (snap != nullptr && snap->watermark == base_->PopulationVersion()) {
+    const int64_t cells = snap->cube->CellsFor(SortedUniqueColumns(cols));
+    if (cells >= 0) return cells;
+  }
+  return base_->ObservedCellBound(cols);
+}
+
+CountEngineStats AdaptiveCubeProvider::stats() const {
+  CountEngineStats total;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    total = stats_;
+  }
+  total += base_->stats();
+  // Base calls were issued on behalf of the same external queries.
+  std::lock_guard<std::mutex> lock(mu_);
+  total.queries = stats_.queries;
+  return total;
+}
+
+void AdaptiveCubeProvider::ResetStats() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_ = {};
+  }
+  base_->ResetStats();
+}
+
+void AdaptiveCubeProvider::InstallCube(std::shared_ptr<const DataCube> cube,
+                                       int64_t watermark) {
+  auto installed = std::make_shared<const Installed>(
+      Installed{std::move(cube), watermark});
+  std::lock_guard<std::mutex> lock(mu_);
+  installed_ = std::move(installed);
+}
+
+void AdaptiveCubeProvider::DropCube() {
+  std::lock_guard<std::mutex> lock(mu_);
+  installed_.reset();
+}
+
+bool AdaptiveCubeProvider::HasCube() const { return Snapshot() != nullptr; }
+
+int64_t AdaptiveCubeProvider::CubeWatermark() const {
+  std::shared_ptr<const Installed> snap = Snapshot();
+  return snap != nullptr ? snap->watermark : -1;
+}
+
+int64_t AdaptiveCubeProvider::CubeCells() const {
+  std::shared_ptr<const Installed> snap = Snapshot();
+  return snap != nullptr ? snap->cube->TotalCells() : 0;
+}
+
+std::vector<int> AdaptiveCubeProvider::CubeDims() const {
+  std::shared_ptr<const Installed> snap = Snapshot();
+  return snap != nullptr ? snap->cube->dims() : std::vector<int>{};
+}
+
+}  // namespace hypdb

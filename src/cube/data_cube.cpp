@@ -80,6 +80,16 @@ StatusOr<GroupCounts> DataCube::Counts(const std::vector<int>& cols) const {
   return ProjectOnto(cells_.at(mask), cols);
 }
 
+int64_t DataCube::CellsFor(const std::vector<int>& cols) const {
+  uint32_t mask = 0;
+  for (int c : cols) {
+    auto it = std::lower_bound(dims_.begin(), dims_.end(), c);
+    if (it == dims_.end() || *it != c) return -1;
+    mask |= 1u << (it - dims_.begin());
+  }
+  return cells_.at(mask).NumGroups();
+}
+
 StatusOr<GroupCounts> CubeCountProvider::Counts(
     const std::vector<int>& cols) {
   ++stats_.queries;

@@ -35,6 +35,12 @@ class DataCube {
   /// Counts grouped by `cols`, which must be a subset of dims().
   StatusOr<GroupCounts> Counts(const std::vector<int>& cols) const;
 
+  /// Exact cell count of the cuboid over `cols` without materializing a
+  /// projection, or -1 when `cols` is not a subset of dims(). The
+  /// observed-cell source behind adaptive cache admission: every covered
+  /// subset's true sparsity is a map lookup here.
+  int64_t CellsFor(const std::vector<int>& cols) const;
+
   const std::vector<int>& dims() const { return dims_; }
   int64_t NumRows() const { return num_rows_; }
 

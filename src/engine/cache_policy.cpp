@@ -1,0 +1,72 @@
+#include "engine/cache_policy.h"
+
+#include <algorithm>
+
+namespace hypdb {
+
+const char* MaterializationModeName(MaterializationMode mode) {
+  switch (mode) {
+    case MaterializationMode::kStatic:
+      return "static";
+    case MaterializationMode::kAdaptive:
+      return "adaptive";
+  }
+  return "static";
+}
+
+StatusOr<MaterializationMode> ParseMaterializationMode(
+    const std::string& name) {
+  if (name == "static") return MaterializationMode::kStatic;
+  if (name == "adaptive") return MaterializationMode::kAdaptive;
+  return Status::InvalidArgument(
+      "unknown materialization mode \"" + name +
+      "\" (expected \"static\" or \"adaptive\")");
+}
+
+double OldestFirstCachePolicy::RetentionScore(
+    const CacheEntryView& entry) const {
+  // Score = admission sequence: the oldest entry has the lowest score,
+  // so ascending-score eviction IS oldest-first — bit-for-bit the
+  // historical age-list behavior.
+  return static_cast<double>(entry.sequence);
+}
+
+bool OldestFirstCachePolicy::AdmitMaterialization(
+    int64_t bound_cells, int64_t observed_cells, int64_t budget_cells) const {
+  (void)observed_cells;  // the static policy cannot see sparsity
+  if (budget_cells <= 0) return true;  // unlimited
+  return bound_cells <= budget_cells;
+}
+
+double CostBenefitCachePolicy::RetentionScore(
+    const CacheEntryView& entry) const {
+  // Benefit-per-cell: what eviction throws away (measured rebuild cost,
+  // amplified by demonstrated reuse) per unit of budget the entry
+  // occupies. The +1 keeps never-yet-reused entries comparable, and the
+  // rebuild floor keeps sub-resolution timings from zeroing a hot
+  // entry's score.
+  const double rebuild = std::max(entry.rebuild_seconds, 1e-9);
+  const double cells = static_cast<double>(std::max<int64_t>(entry.cells, 1));
+  return static_cast<double>(entry.uses + 1) * rebuild / cells;
+}
+
+bool CostBenefitCachePolicy::AdmitMaterialization(
+    int64_t bound_cells, int64_t observed_cells, int64_t budget_cells) const {
+  if (budget_cells <= 0) return true;  // unlimited
+  // Charge what the summary actually costs when that is known — a cached
+  // superset or an installed cube lattice bounds the real cell count —
+  // and only fall back to the blind domain-product bound when nothing
+  // has observed the data yet.
+  if (observed_cells >= 0) return observed_cells <= budget_cells;
+  return bound_cells <= budget_cells;
+}
+
+std::shared_ptr<const CachePolicy> MakeCachePolicy(MaterializationMode mode) {
+  static const std::shared_ptr<const CachePolicy> kStatic =
+      std::make_shared<OldestFirstCachePolicy>();
+  static const std::shared_ptr<const CachePolicy> kAdaptive =
+      std::make_shared<CostBenefitCachePolicy>();
+  return mode == MaterializationMode::kAdaptive ? kAdaptive : kStatic;
+}
+
+}  // namespace hypdb

@@ -1,0 +1,148 @@
+// CachePolicy: the pluggable materialization cost model behind
+// CachingCountEngine and the predicate-slicing admission guard.
+//
+// PR 5 hard-wired two decisions into the caching layer: evict
+// oldest-first, and admit a shared S ∪ P materialization only when
+// min(domain, rows) fits the cell budget. Both are blind — the first to
+// reuse and rebuild cost, the second to sparsity (a domain product says
+// nothing about how many cells a summary actually has). This header
+// extracts both decisions into a policy object so the engine mechanics
+// (entry bookkeeping, pinning, delta patching) stay fixed while the
+// *economics* — what is worth keeping, what is worth building — are
+// swappable:
+//
+//  * OldestFirstCachePolicy ("static") reproduces the historical
+//    behavior bit-for-bit: retention score = admission sequence (oldest
+//    evicted first), admission by the conservative min(domain, rows)
+//    bound. The default everywhere, so existing digests, scan counts and
+//    tests are untouched.
+//  * CostBenefitCachePolicy ("adaptive") ranks entries by
+//    benefit-per-cell — (1 + uses) × measured rebuild seconds / cells —
+//    so a small, hot, expensive-to-rebuild summary outlives a large
+//    cold one regardless of age, and admits a materialization whenever
+//    its *observed* cell count (from a cached superset or an installed
+//    cube lattice) fits the budget, even when the domain-product bound
+//    does not.
+//
+// Policies are stateless and const; one instance may serve any number of
+// engines concurrently. Determinism: scores depend only on entry
+// statistics, and ties are broken by admission sequence in the engine,
+// so equal workloads evict identically run-to-run (wall-clock rebuild
+// times perturb scores, but never the *values* of any answer — counts
+// are exact integers whatever is cached).
+
+#ifndef HYPDB_ENGINE_CACHE_POLICY_H_
+#define HYPDB_ENGINE_CACHE_POLICY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/statusor.h"
+
+namespace hypdb {
+
+/// Which materialization policy an engine stack runs. Threaded
+/// end-to-end: MiEngineOptions::materialization → DatasetRegistry /
+/// service stacks → wire key `materialization` → `hypdb_cli
+/// --materialization=`.
+enum class MaterializationMode {
+  kStatic,    // oldest-first eviction, domain-bound admission (historic)
+  kAdaptive,  // benefit-per-cell eviction, observed-cell admission,
+              // background cube advisor, batch union planning
+};
+
+const char* MaterializationModeName(MaterializationMode mode);
+
+/// Parses "static" / "adaptive"; InvalidArgument otherwise (the wire
+/// layer maps that to HTTP 400).
+StatusOr<MaterializationMode> ParseMaterializationMode(
+    const std::string& name);
+
+/// What the policy sees of one cache entry when ranking evictions.
+struct CacheEntryView {
+  /// Groups held by the entry (the budget currency).
+  int64_t cells = 0;
+  /// Times the entry answered a query: exact hits, marginalizations
+  /// derived from it, and delta patches that kept it alive.
+  int64_t uses = 0;
+  /// Measured seconds it took to build the summary (base scan, cube
+  /// lookup or superset projection) — what eviction would throw away.
+  double rebuild_seconds = 0.0;
+  /// Monotone admission sequence number (first insertion; survives
+  /// in-place replacement). The deterministic tie-break.
+  uint64_t sequence = 0;
+  bool pinned = false;
+};
+
+/// Cache residency snapshot of an engine stack (per-dataset aggregation
+/// feeds /healthz, the REPL `datasets` command and the hypdb_cache_*
+/// metric family).
+struct CacheOccupancy {
+  int64_t cached_cells = 0;
+  int64_t pinned_cells = 0;
+  /// Sum of the cell budgets of the stacked caches reporting above.
+  int64_t budget_cells = 0;
+  int64_t entries = 0;
+
+  CacheOccupancy& operator+=(const CacheOccupancy& o) {
+    cached_cells += o.cached_cells;
+    pinned_cells += o.pinned_cells;
+    budget_cells += o.budget_cells;
+    entries += o.entries;
+    return *this;
+  }
+};
+
+/// The materialization cost model. Implementations must be stateless
+/// (const methods, no mutation) — one instance is shared across engines
+/// and threads.
+class CachePolicy {
+ public:
+  virtual ~CachePolicy() = default;
+
+  /// "static" / "adaptive" — the knob value that selects this policy.
+  virtual const char* name() const = 0;
+
+  /// Retention value of an entry; when the cache is over budget, unpinned
+  /// entries are evicted in ascending score order (ties: lowest sequence
+  /// first). Pinned entries are never offered.
+  virtual double RetentionScore(const CacheEntryView& entry) const = 0;
+
+  /// Whether a prospective shared materialization is worth admitting
+  /// under `budget_cells`. `bound_cells` is the conservative
+  /// min(domain, rows) upper bound; `observed_cells` is an actual
+  /// measured cell count (or bound from a cached superset / cube
+  /// lattice) when one is known, -1 otherwise. A refusal routes the
+  /// query to its fallback scan instead of thrashing the shared cache.
+  virtual bool AdmitMaterialization(int64_t bound_cells,
+                                    int64_t observed_cells,
+                                    int64_t budget_cells) const = 0;
+};
+
+/// The historical PR 5 behavior (see the header comment).
+class OldestFirstCachePolicy final : public CachePolicy {
+ public:
+  const char* name() const override { return "static"; }
+  double RetentionScore(const CacheEntryView& entry) const override;
+  bool AdmitMaterialization(int64_t bound_cells, int64_t observed_cells,
+                            int64_t budget_cells) const override;
+};
+
+/// Benefit-per-cell retention, observed-cell admission (see the header
+/// comment).
+class CostBenefitCachePolicy final : public CachePolicy {
+ public:
+  const char* name() const override { return "adaptive"; }
+  double RetentionScore(const CacheEntryView& entry) const override;
+  bool AdmitMaterialization(int64_t bound_cells, int64_t observed_cells,
+                            int64_t budget_cells) const override;
+};
+
+/// The shared policy instance for `mode` (policies are stateless, so one
+/// per mode serves the whole process).
+std::shared_ptr<const CachePolicy> MakeCachePolicy(MaterializationMode mode);
+
+}  // namespace hypdb
+
+#endif  // HYPDB_ENGINE_CACHE_POLICY_H_

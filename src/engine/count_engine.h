@@ -29,6 +29,7 @@
 
 #include "dataframe/group_by.h"
 #include "dataframe/view.h"
+#include "engine/cache_policy.h"
 #include "engine/groupby_kernel.h"
 #include "util/statusor.h"
 
@@ -162,6 +163,22 @@ class CountEngine {
     (void)to_version;
     return Status::Unimplemented("engine does not support delta counts");
   }
+
+  /// An upper bound on the number of groups a summary over `cols` would
+  /// actually have, when something in this stack has OBSERVED the data
+  /// well enough to know one — a caching layer holding `cols` (or a
+  /// superset of it), or an installed cube lattice covering it. -1 when
+  /// nothing has; callers then fall back to the blind min(domain, rows)
+  /// bound. Feeds CachePolicy::AdmitMaterialization, which is how the
+  /// adaptive policy admits sparse supersets whose domain product lies.
+  virtual int64_t ObservedCellBound(const std::vector<int>& cols) const {
+    (void)cols;
+    return -1;
+  }
+
+  /// Cache residency of this stack (cells/pins/budget/entries), summed
+  /// across stacked caching layers. Zero for engines that cache nothing.
+  virtual CacheOccupancy CacheUse() const { return {}; }
 
   /// Accumulated instrumentation, including any wrapped engines'.
   virtual CountEngineStats stats() const { return {}; }

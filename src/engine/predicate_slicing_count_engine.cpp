@@ -11,7 +11,8 @@ PredicateSlicingCountEngine::PredicateSlicingCountEngine(
     std::shared_ptr<CountEngine> parent,
     std::vector<SlicePredicate> predicates, TableView filtered_view,
     GroupByKernelOptions fallback_kernel, int64_t parent_cache_budget,
-    std::shared_ptr<CountEngine> population)
+    std::shared_ptr<CountEngine> population,
+    std::shared_ptr<const CachePolicy> policy)
     : parent_(std::move(parent)),
       predicates_(std::move(predicates)),
       view_(std::move(filtered_view)),
@@ -19,7 +20,10 @@ PredicateSlicingCountEngine::PredicateSlicingCountEngine(
       fallback_(population_ ? population_
                             : std::make_shared<ViewCountProvider>(
                                   view_, fallback_kernel)),
-      parent_cache_budget_(parent_cache_budget) {
+      parent_cache_budget_(parent_cache_budget),
+      policy_(policy != nullptr
+                  ? std::move(policy)
+                  : MakeCachePolicy(MaterializationMode::kStatic)) {
   std::sort(predicates_.begin(), predicates_.end(),
             [](const SlicePredicate& a, const SlicePredicate& b) {
               return a.col < b.col;
@@ -86,20 +90,29 @@ GroupCounts PredicateSlicingCountEngine::Slice(
 bool PredicateSlicingCountEngine::OverParentBudget(
     const std::vector<int>& superset) const {
   if (parent_cache_budget_ <= 0) return false;
-  // Conservative heuristic, not a proof: min(domain, full-table rows) is
-  // an upper bound on the summary's group count, so a sparse superset
-  // whose actual groups would fit is refused too — the bound cannot see
-  // sparsity. What it prevents is the pathological inverse: a summary
-  // certain to blow the parent's budget is evicted on insert and
-  // re-scanned from the full table per query, strictly worse than
-  // scanning the filtered view.
+  // min(domain, full-table rows) is an upper bound on the summary's
+  // group count — a heuristic, not a proof: it cannot see sparsity. What
+  // refusal prevents is the pathological inverse: a summary certain to
+  // blow the parent's budget is evicted on insert and re-scanned from
+  // the full table per query, strictly worse than scanning the filtered
+  // view. The admission policy decides what to charge: the static policy
+  // only sees this blind bound, the adaptive policy prefers the parent's
+  // *observed* cell bound (a cached superset entry or an installed cube
+  // lattice) when one exists, admitting sparse supersets the bound would
+  // refuse.
   StatusOr<TupleCodec> codec = TupleCodec::Create(view_.table(), superset);
   const uint64_t bound =
       codec.ok() ? std::min<uint64_t>(
                        codec->Domain(),
                        static_cast<uint64_t>(parent_->NumRows()))
                  : std::numeric_limits<uint64_t>::max();
-  return bound > static_cast<uint64_t>(parent_cache_budget_);
+  const int64_t bound_cells =
+      bound > static_cast<uint64_t>(std::numeric_limits<int64_t>::max())
+          ? std::numeric_limits<int64_t>::max()
+          : static_cast<int64_t>(bound);
+  const int64_t observed = parent_->ObservedCellBound(superset);
+  return !policy_->AdmitMaterialization(bound_cells, observed,
+                                        parent_cache_budget_);
 }
 
 StatusOr<GroupCounts> PredicateSlicingCountEngine::Counts(

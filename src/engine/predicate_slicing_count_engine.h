@@ -68,13 +68,18 @@ class PredicateSlicingCountEngine : public CountEngine {
   /// NumRows and fallback scans, and to name the table for codecs).
   /// `fallback_kernel` configures the private fallback scanner.
   /// `parent_cache_budget` is the parent's cached-cell budget when known
-  /// (0 = unlimited): a query whose S ∪ P group count *upper bound* —
-  /// min(domain, full-table rows) — exceeds the budget is answered by
-  /// the fallback scanner instead, because such a summary is evicted on
-  /// insert and every slice would re-scan the full table, strictly worse
-  /// than the isolated stack this engine replaces. The bound is a
-  /// conservative heuristic (it cannot see sparsity), so sparse
-  /// supersets whose actual summary would fit are refused too.
+  /// (0 = unlimited): a query whose S ∪ P summary the admission policy
+  /// refuses under that budget is answered by the fallback scanner
+  /// instead, because an over-budget summary is evicted on insert and
+  /// every slice would re-scan the full table, strictly worse than the
+  /// isolated stack this engine replaces. Admission goes through
+  /// `policy` (CachePolicy::AdmitMaterialization; null = the static
+  /// policy): the static policy charges the conservative
+  /// min(domain, full-table rows) bound — it cannot see sparsity, so
+  /// sparse supersets whose actual summary would fit are refused too —
+  /// while the adaptive policy charges the parent's *observed* cell
+  /// bound (ObservedCellBound: a cached superset entry or an installed
+  /// cube lattice) whenever one exists.
   ///
   /// `population`, when set, is a *live* source for the subpopulation
   /// over growing storage (a FilteredPopulationProvider): it replaces
@@ -83,12 +88,13 @@ class PredicateSlicingCountEngine : public CountEngine {
   /// shard current as the dataset ingests — the shared parent's patched
   /// summaries then slice to current answers automatically. Without it
   /// the engine behaves exactly as before over the fixed view.
-  PredicateSlicingCountEngine(std::shared_ptr<CountEngine> parent,
-                              std::vector<SlicePredicate> predicates,
-                              TableView filtered_view,
-                              GroupByKernelOptions fallback_kernel = {},
-                              int64_t parent_cache_budget = 0,
-                              std::shared_ptr<CountEngine> population = nullptr);
+  PredicateSlicingCountEngine(
+      std::shared_ptr<CountEngine> parent,
+      std::vector<SlicePredicate> predicates, TableView filtered_view,
+      GroupByKernelOptions fallback_kernel = {},
+      int64_t parent_cache_budget = 0,
+      std::shared_ptr<CountEngine> population = nullptr,
+      std::shared_ptr<const CachePolicy> policy = nullptr);
 
   StatusOr<GroupCounts> Counts(const std::vector<int>& cols) override;
 
@@ -131,9 +137,9 @@ class PredicateSlicingCountEngine : public CountEngine {
   /// predicate columns.
   std::vector<int> SupersetFor(const std::vector<int>& sorted) const;
 
-  /// True when `superset`'s group-count upper bound exceeds the parent's
-  /// cache budget (see the constructor comment; always false when the
-  /// budget is unknown).
+  /// True when the admission policy refuses to materialize `superset` in
+  /// the parent's cache (see the constructor comment; always false when
+  /// the budget is unknown).
   bool OverParentBudget(const std::vector<int>& superset) const;
 
   /// Selects the P = v groups of `parent_counts` (a summary over
@@ -148,7 +154,8 @@ class PredicateSlicingCountEngine : public CountEngine {
   TableView view_;
   std::shared_ptr<CountEngine> population_;  // live source; null = frozen
   std::shared_ptr<CountEngine> fallback_;
-  int64_t parent_cache_budget_ = 0;  // 0 = unlimited
+  int64_t parent_cache_budget_ = 0;          // 0 = unlimited
+  std::shared_ptr<const CachePolicy> policy_;  // never null
 
   mutable std::mutex mu_;
   CountEngineStats stats_;

@@ -144,6 +144,9 @@ JsonValue HypDbHandlers::Healthz() const {
   out.Set("sessions", JsonValue::Int(service_->num_sessions()));
   out.Set("simd",
           JsonValue::Str(GroupByKernelSimdActive() ? "avx2" : "scalar"));
+  out.Set("materialization",
+          JsonValue::Str(MaterializationModeName(
+              service_->options().analysis.engine.materialization)));
   // Build identity, mirroring the hypdb_build_info metric: lets a probe
   // (or an operator's curl) confirm which binary is actually serving.
   out.Set("version", JsonValue::Str(BuildVersion()));
@@ -151,12 +154,19 @@ JsonValue HypDbHandlers::Healthz() const {
   out.Set("build_type", JsonValue::Str(BuildType()));
   // Per-dataset storage shape: a probe watching an ingest pipeline reads
   // row/chunk/watermark progression here without the full dataset list.
+  // Cache occupancy rides along so an operator sees pool pressure
+  // (cells/budget, hit ratio, evictions) and advisor cube residency from
+  // one readiness probe.
   JsonValue storage = JsonValue::MakeObject();
   for (const DatasetInfo& info : service_->Datasets()) {
     JsonValue shape = JsonValue::MakeObject();
     shape.Set("rows", JsonValue::Int(info.rows));
     shape.Set("chunks", JsonValue::Int(info.chunks));
     shape.Set("watermark", JsonValue::Int(info.watermark));
+    shape.Set("cache", ToJson(info.cache));
+    shape.Set("cube_cells", JsonValue::Int(info.cube_cells));
+    shape.Set("cache_hit_ratio", JsonValue::Double(info.cache_hit_ratio));
+    shape.Set("evictions", JsonValue::Int(info.evictions));
     storage.Set(info.name, std::move(shape));
   }
   out.Set("storage", std::move(storage));

@@ -666,6 +666,11 @@ JsonValue ToJson(const RequestStats& stats) {
           JsonValue::Str(stats.discovery_coalesced ? "coalesced"
                          : stats.discovery_reused  ? "cached"
                                                    : "computed"));
+  // Only when a batch union prefetch actually covered this request —
+  // absent otherwise, so the un-planned wire format stays byte-stable.
+  if (stats.union_prefetched) {
+    out.Set("union_prefetched", JsonValue::Bool(true));
+  }
   out.Set("engine_delta", ToJson(stats.engine_delta));
   // Trace timeline: where the latency went, spans in execution order on
   // the submit-relative axis. Serialization cannot be a span in its own
@@ -737,6 +742,19 @@ JsonValue ToJson(const DatasetInfo& info) {
   out.Set("shards", JsonValue::Int(info.shards));
   out.Set("chunks", JsonValue::Int(info.chunks));
   out.Set("watermark", JsonValue::Int(info.watermark));
+  out.Set("cache", ToJson(info.cache));
+  out.Set("cube_cells", JsonValue::Int(info.cube_cells));
+  out.Set("cache_hit_ratio", JsonValue::Double(info.cache_hit_ratio));
+  out.Set("evictions", JsonValue::Int(info.evictions));
+  return out;
+}
+
+JsonValue ToJson(const CacheOccupancy& cache) {
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("cached_cells", JsonValue::Int(cache.cached_cells));
+  out.Set("pinned_cells", JsonValue::Int(cache.pinned_cells));
+  out.Set("budget_cells", JsonValue::Int(cache.budget_cells));
+  out.Set("entries", JsonValue::Int(cache.entries));
   return out;
 }
 
@@ -1098,6 +1116,10 @@ Status ApplyOptionOverrides(const JsonValue& overrides,
       options->engine.scan_simd = value.bool_value();
     } else if (key == "direct_reference" && value.is_string()) {
       options->direct_reference = value.string_value();
+    } else if (key == "materialization" && value.is_string()) {
+      HYPDB_ASSIGN_OR_RETURN(
+          options->engine.materialization,
+          ParseMaterializationMode(value.string_value()));
     } else {
       return Status::InvalidArgument(
           "unknown or mistyped analysis option \"" + key + "\"");

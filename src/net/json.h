@@ -108,6 +108,7 @@ std::string SerializeJson(const JsonValue& value);
 // ---- wire codecs: service types -> JSON --------------------------------
 
 JsonValue ToJson(const CountEngineStats& stats);
+JsonValue ToJson(const CacheOccupancy& cache);
 JsonValue ToJson(const RequestStats& stats);
 JsonValue ToJson(const DiscoveryReport& discovery);
 JsonValue ToJson(const DiscoveryCacheStats& stats);

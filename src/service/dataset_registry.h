@@ -40,6 +40,7 @@
 #ifndef HYPDB_SERVICE_DATASET_REGISTRY_H_
 #define HYPDB_SERVICE_DATASET_REGISTRY_H_
 
+#include <condition_variable>
 #include <list>
 #include <map>
 #include <memory>
@@ -47,8 +48,11 @@
 #include <set>
 #include <shared_mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "cube/adaptive_cube_provider.h"
+#include "engine/caching_count_engine.h"
 #include "engine/count_engine.h"
 #include "stats/mi_engine.h"
 #include "storage/chunked_table.h"
@@ -72,6 +76,20 @@ struct DatasetRegistryOptions {
   bool cross_shard_slicing = true;
   /// Rows per storage chunk (delta-scan granularity for appends).
   int64_t chunk_rows = ChunkedTable::kDefaultChunkRows;
+
+  /// --- cube advisor (active only under engine.materialization ==
+  /// kAdaptive; all ignored under kStatic) ---
+  /// Seconds between background advisor passes. <= 0 starts no thread;
+  /// AdvisorPass() can still be driven manually (tests and benches do).
+  double advisor_interval_seconds = 0.0;
+  /// Queries a column set must draw within one pass to count as demanded.
+  int64_t advisor_min_demand = 2;
+  /// Consecutive demanded passes before a column set is hot (promotion
+  /// candidate).
+  int advisor_hot_passes = 2;
+  /// Cap on promoted cube dimensionality (a k-dim cube holds 2^k
+  /// cuboids).
+  int advisor_max_cube_dims = 8;
 };
 
 /// One row of List(): a registered dataset's shape and pool state.
@@ -86,6 +104,30 @@ struct DatasetInfo {
   /// the storage-level value, not a derived one).
   int64_t chunks = 0;
   int64_t watermark = 0;
+  /// Cache occupancy summed over the dataset's engine pool (parent +
+  /// live shards).
+  CacheOccupancy cache;
+  /// Lattice cells of the advisor-installed cube (0 when none).
+  int64_t cube_cells = 0;
+  /// Fraction of external count queries the pool answered without a
+  /// table scan, 0 when idle.
+  double cache_hit_ratio = 0.0;
+  /// Cache evictions across the pool (policy-ranked under kAdaptive,
+  /// oldest-first under kStatic).
+  int64_t evictions = 0;
+};
+
+/// Cube-advisor activity counters (monotonic since construction).
+struct CubeAdvisorStats {
+  /// Completed AdvisorPass() sweeps (manual or background).
+  int64_t passes = 0;
+  /// Cubes installed (first promotion or hot-set rebuild).
+  int64_t promotions = 0;
+  /// Installed cubes dropped after going stale on watermark/epoch churn.
+  int64_t demotions = 0;
+  /// Full-table scans spent building candidate cubes (includes refused
+  /// builds).
+  int64_t build_scans = 0;
 };
 
 /// A held shared (reader) lease on one dataset: while alive, AppendRows
@@ -101,7 +143,13 @@ struct DatasetLease {
 /// Thread-safe. All methods may be called concurrently with each other.
 class DatasetRegistry {
  public:
+  /// Starts the background advisor thread when the options say adaptive
+  /// materialization with a positive advisor interval.
   explicit DatasetRegistry(DatasetRegistryOptions options = {});
+  /// Stops and joins the advisor thread (if any).
+  ~DatasetRegistry();
+  DatasetRegistry(const DatasetRegistry&) = delete;
+  DatasetRegistry& operator=(const DatasetRegistry&) = delete;
 
   /// Registers (or replaces) `table` under `name`. Replacement bumps the
   /// epoch and drops the dataset's engine shards. Returns the new epoch.
@@ -171,6 +219,20 @@ class DatasetRegistry {
   /// never the shared parent they draw from.
   StatusOr<CountEngineStats> EngineStats(const std::string& name) const;
 
+  /// One advisor sweep over every dataset (no-op under kStatic
+  /// materialization): harvests the parent cache's demand profile,
+  /// advances per-column-set hot streaks, drops cubes stranded by
+  /// watermark churn (demotion), and builds + installs a cube over the
+  /// union of persistently hot column sets (promotion) when its lattice
+  /// fits the engine cell budget. Cube builds scan the store OUTSIDE the
+  /// registry mutex; concurrent queries are never blocked by a build.
+  /// The background thread calls exactly this; tests and benches drive
+  /// it manually for determinism.
+  void AdvisorPass();
+
+  /// Advisor activity counters (all zero under kStatic).
+  CubeAdvisorStats advisor_stats() const;
+
  private:
   struct Dataset {
     /// The chunked store (append target; all reads derive from it).
@@ -186,6 +248,17 @@ class DatasetRegistry {
     /// from), dropped on re-registration — but NOT on append (it reads
     /// the live store and patches its cache by delta).
     std::shared_ptr<CountEngine> parent;
+    /// Under kAdaptive the parent stack is cache → cube host → chunked
+    /// scanner; these alias the two wrapper layers so the advisor can
+    /// harvest demand (parent_cache) and hot-swap cubes (cube_host).
+    /// Null under kStatic or before first parent use.
+    std::shared_ptr<CachingCountEngine> parent_cache;
+    std::shared_ptr<AdaptiveCubeProvider> cube_host;
+    /// Advisor state: consecutive passes each demanded column set stayed
+    /// hot, and the last hot-set the advisor refused to build (lattice
+    /// over budget) — retried only when the hot-set changes.
+    std::map<std::vector<int>, int> advisor_streak;
+    std::vector<int> advisor_refused_dims;
     std::map<std::string, std::shared_ptr<CountEngine>> shards;
     std::list<std::string> shard_age;  // creation order, oldest first
     /// Signatures whose shard is a frozen stack over the caller's view
@@ -200,12 +273,15 @@ class DatasetRegistry {
 
   /// The options_.engine kernel configuration for scanners.
   GroupByKernelOptions KernelOptions() const;
-  /// Wraps `base` in a CachingCountEngine under the options_ budget, or
-  /// returns it unchanged when materialization is disabled. Every engine
-  /// stack the registry builds goes through this one function, so parent
-  /// and shards can never diverge in cache configuration.
-  std::shared_ptr<CountEngine> WrapCache(
-      std::shared_ptr<CountEngine> base) const;
+  /// Wraps `base` in a CachingCountEngine under the options_ budget (and
+  /// the options_ materialization policy), or returns it unchanged when
+  /// materialization is disabled. Every engine stack the registry builds
+  /// goes through this one function, so parent and shards can never
+  /// diverge in cache configuration. `track_demand` turns on the per-key
+  /// demand profile the cube advisor harvests (parent engines only — a
+  /// shard's demand is not cube-promotable).
+  std::shared_ptr<CountEngine> WrapCache(std::shared_ptr<CountEngine> base,
+                                         bool track_demand = false) const;
   /// The classic frozen stack: kernel-backed scanner over `view` +
   /// WrapCache. Static — no delta protocol.
   std::shared_ptr<CountEngine> CachedScanStack(const TableView& view) const;
@@ -223,9 +299,28 @@ class DatasetRegistry {
       Dataset& ds, const std::string& signature,
       const TableView& population);
 
+  /// True when every caching layer runs the adaptive policy (and the
+  /// advisor is worth running at all).
+  bool Adaptive() const {
+    return options_.engine.materialization == MaterializationMode::kAdaptive;
+  }
+
+  /// EngineStats body without the lookup/lock. Requires mu_.
+  CountEngineStats EngineStatsLocked(const Dataset& ds) const;
+
+  /// Background advisor: AdvisorPass every advisor_interval_seconds
+  /// until destruction.
+  void AdvisorLoop();
+
   mutable std::mutex mu_;
   DatasetRegistryOptions options_;
   std::map<std::string, Dataset> datasets_;
+  CubeAdvisorStats advisor_;  // guarded by mu_
+
+  std::mutex advisor_mu_;
+  std::condition_variable advisor_cv_;
+  bool advisor_stop_ = false;  // guarded by advisor_mu_
+  std::thread advisor_thread_;
 };
 
 }  // namespace hypdb

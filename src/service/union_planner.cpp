@@ -1,0 +1,105 @@
+#include "service/union_planner.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace hypdb {
+namespace {
+
+/// Π cardinalities[c] over `cols`, saturating at int64 max. Unknown or
+/// empty columns count as 1 (they cannot widen the summary).
+int64_t BoundCells(const std::vector<int>& cols,
+                   const std::vector<int64_t>& cardinalities) {
+  int64_t bound = 1;
+  const int64_t cap = std::numeric_limits<int64_t>::max();
+  for (int c : cols) {
+    int64_t card = 1;
+    if (c >= 0 && c < static_cast<int>(cardinalities.size())) {
+      card = std::max<int64_t>(1, cardinalities[c]);
+    }
+    if (bound > cap / card) return cap;
+    bound *= card;
+  }
+  return bound;
+}
+
+bool IsSubset(const std::vector<int>& sub, const std::vector<int>& super) {
+  return std::includes(super.begin(), super.end(), sub.begin(), sub.end());
+}
+
+std::vector<int> SortedUnion(const std::vector<int>& a,
+                             const std::vector<int>& b) {
+  std::vector<int> out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+std::vector<UnionPlanBin> PlanUnionPrefetch(
+    const std::vector<std::vector<int>>& requests,
+    const std::vector<int64_t>& cardinalities, int64_t budget_cells) {
+  // Normalize and deduplicate: bins cover *distinct* sets; five twins of
+  // one set still count as one (the first run materializes their shared
+  // focus anyway — a union buys nothing for exact repeats).
+  std::vector<std::vector<int>> sets;
+  for (const std::vector<int>& request : requests) {
+    std::vector<int> cols = request;
+    std::sort(cols.begin(), cols.end());
+    cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+    if (cols.empty()) continue;
+    if (budget_cells > 0 && BoundCells(cols, cardinalities) > budget_cells) {
+      continue;  // admission would refuse this focus on its own
+    }
+    sets.push_back(std::move(cols));
+  }
+  std::sort(sets.begin(), sets.end());
+  sets.erase(std::unique(sets.begin(), sets.end()), sets.end());
+
+  // Widest bound first so the large sets seed bins and the small ones
+  // fold into them; ties broken on the set itself for determinism.
+  std::stable_sort(sets.begin(), sets.end(),
+                   [&](const std::vector<int>& a, const std::vector<int>& b) {
+                     const int64_t ba = BoundCells(a, cardinalities);
+                     const int64_t bb = BoundCells(b, cardinalities);
+                     return ba != bb ? ba > bb : a < b;
+                   });
+
+  std::vector<UnionPlanBin> bins;
+  for (const std::vector<int>& set : sets) {
+    // Prefer a bin that already covers the set (no growth), else the
+    // first bin whose union still fits the budget.
+    UnionPlanBin* home = nullptr;
+    for (UnionPlanBin& bin : bins) {
+      if (IsSubset(set, bin.cols)) {
+        home = &bin;
+        break;
+      }
+    }
+    if (home == nullptr) {
+      for (UnionPlanBin& bin : bins) {
+        std::vector<int> merged = SortedUnion(bin.cols, set);
+        const int64_t bound = BoundCells(merged, cardinalities);
+        if (budget_cells <= 0 || bound <= budget_cells) {
+          bin.cols = std::move(merged);
+          bin.bound_cells = bound;
+          home = &bin;
+          break;
+        }
+      }
+    }
+    if (home == nullptr) {
+      UnionPlanBin bin;
+      bin.cols = set;
+      bin.bound_cells = BoundCells(set, cardinalities);
+      bins.push_back(std::move(bin));
+      home = &bins.back();
+    }
+    ++home->covered;
+  }
+  return bins;
+}
+
+}  // namespace hypdb

@@ -1,0 +1,54 @@
+// Union prefetch planning for batched queries.
+//
+// A worker that drains a batch of same-key requests (same dataset,
+// treatment, subpopulation) knows every attribute set the batch is about
+// to demand. Running them one by one, each request materializes its own
+// focus — the batch pays one scan per distinct set. This planner computes
+// a cheaper cover first: greedily merge the needed sets into union bins
+// whose domain-product bound fits the cache cell budget, and Prefetch
+// each bin that covers at least two requests — one scan materializes a
+// superset summary every covered request then answers by marginalization
+// (CachingCountEngine) instead of scanning.
+//
+// Pure and deterministic: no engine calls, no clocks, no randomness —
+// the same inputs always produce the same bins (tests enumerate them).
+// Counts stay exact whatever the plan: prefetching is a cache warm-up,
+// and marginalized summaries are bit-identical to direct scans (the
+// standing invariant), so planning can only change *where* counts come
+// from, never what they are.
+
+#ifndef HYPDB_SERVICE_UNION_PLANNER_H_
+#define HYPDB_SERVICE_UNION_PLANNER_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace hypdb {
+
+/// One prefetch the planner recommends.
+struct UnionPlanBin {
+  /// Sorted union of the covered column sets — the Prefetch argument.
+  std::vector<int> cols;
+  /// Domain-product cell bound of `cols` (what admission would check).
+  int64_t bound_cells = 0;
+  /// Distinct requested column sets this bin covers (subset-of-cols).
+  /// Bins with covered < 2 are not worth a prefetch: the single covered
+  /// request would materialize exactly that focus on its own anyway.
+  int covered = 0;
+};
+
+/// Plans superset prefetches for `requests` (one needed column set per
+/// batched request; unsorted/duplicated columns tolerated).
+/// `cardinalities[c]` is the dictionary size of column c — the source of
+/// the domain-product bounds. `budget_cells` caps each bin's bound;
+/// <= 0 means unbounded (everything merges into one bin). Requested sets
+/// whose own bound already exceeds the budget are dropped (they would be
+/// refused at admission too). Bins come out with their covered counts;
+/// callers typically Prefetch those with covered >= 2.
+std::vector<UnionPlanBin> PlanUnionPrefetch(
+    const std::vector<std::vector<int>>& requests,
+    const std::vector<int64_t>& cardinalities, int64_t budget_cells);
+
+}  // namespace hypdb
+
+#endif  // HYPDB_SERVICE_UNION_PLANNER_H_

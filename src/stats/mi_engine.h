@@ -49,6 +49,14 @@ struct MiEngineOptions {
   bool scan_simd = true;
   /// Budget for the count cache, in total cached groups.
   int64_t max_cached_cells = int64_t{1} << 22;
+  /// Materialization policy for every caching layer this configuration
+  /// builds (MiEngine's private cache, the registry's parent and shard
+  /// caches, the slicer's admission guard): kStatic is the historical
+  /// oldest-first / domain-bound behavior, kAdaptive ranks retention by
+  /// benefit-per-cell, admits on observed cells, and (at the service
+  /// layer) enables the cube advisor and batch union planning. Wire key
+  /// `materialization`, CLI `--materialization=static|adaptive`.
+  MaterializationMode materialization = MaterializationMode::kStatic;
 };
 
 /// The scan-kernel configuration a MiEngineOptions implies. The single

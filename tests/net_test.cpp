@@ -250,6 +250,55 @@ TEST(NetTest, PerRequestOptionsChangeTheAnalysis) {
             CanonicalReportDigest(*expected));
 }
 
+TEST(NetTest, MaterializationKnobOnTheWire) {
+  TablePtr berkeley = Berkeley();
+  const std::string sql =
+      "SELECT Gender, avg(Accepted) FROM b GROUP BY Gender";
+
+  Harness harness({.num_workers = 2});
+  harness.service.RegisterTable("b", berkeley);
+  HttpClient client = harness.Client();
+
+  // A per-request adaptive override is accepted and — the standing
+  // invariant — changes nothing about the answer.
+  JsonValue body = AnalyzeBody("b", sql);
+  JsonValue options = JsonValue::MakeObject();
+  options.Set("materialization", JsonValue::Str("adaptive"));
+  body.Set("options", std::move(options));
+  auto adaptive = client.Post("/v1/analyze", body);
+  ASSERT_TRUE(adaptive.ok()) << adaptive.status();
+  EXPECT_EQ(adaptive->Find("digest")->string_value(),
+            SerialDigest(berkeley, sql));
+
+  // An unknown policy name is a clean 400, not a silent default.
+  JsonValue bad = AnalyzeBody("b", sql);
+  JsonValue bad_options = JsonValue::MakeObject();
+  bad_options.Set("materialization", JsonValue::Str("bogus"));
+  bad.Set("options", std::move(bad_options));
+  EXPECT_EQ(client.Post("/v1/analyze", bad).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // /healthz names the service-wide policy and reports per-dataset cache
+  // occupancy.
+  auto health = client.Get("/healthz");
+  ASSERT_TRUE(health.ok());
+  ASSERT_NE(health->Find("materialization"), nullptr);
+  EXPECT_EQ(health->Find("materialization")->string_value(), "static");
+  const JsonValue* storage = health->Find("storage");
+  ASSERT_NE(storage, nullptr);
+  const JsonValue* shape_ptr = storage->Find("b");
+  ASSERT_NE(shape_ptr, nullptr);
+  const JsonValue& shape = *shape_ptr;
+  const JsonValue* cache = shape.Find("cache");
+  ASSERT_NE(cache, nullptr);
+  ASSERT_NE(cache->Find("cached_cells"), nullptr);
+  ASSERT_NE(cache->Find("budget_cells"), nullptr);
+  EXPECT_GT(cache->Find("budget_cells")->int_value(), 0);
+  ASSERT_NE(shape.Find("cube_cells"), nullptr);
+  ASSERT_NE(shape.Find("cache_hit_ratio"), nullptr);
+  ASSERT_NE(shape.Find("evictions"), nullptr);
+}
+
 TEST(NetTest, AsyncSubmitPollWaitCancelAndDeadline) {
   TablePtr berkeley = Berkeley();
   // One worker makes queueing deterministic: the slow cancer request

@@ -1,0 +1,171 @@
+// Tests for batch union planning: the pure planner (bin construction,
+// budget splitting, subset covering, dedupe, determinism) and the
+// scheduler integration — a drained batch of same-key analyze requests
+// triggers one superset Prefetch under adaptive materialization, and the
+// reports stay bit-identical to cold serial execution.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/hypdb.h"
+#include "datagen/berkeley_data.h"
+#include "datagen/cancer_data.h"
+#include "service/hypdb_service.h"
+#include "service/report_digest.h"
+#include "service/union_planner.h"
+
+namespace hypdb {
+namespace {
+
+TablePtr Berkeley() {
+  auto table = GenerateBerkeleyData();
+  EXPECT_TRUE(table.ok());
+  return MakeTable(std::move(*table));
+}
+
+TablePtr Cancer(int64_t rows = 4000) {
+  auto table = GenerateCancerData({.num_rows = rows});
+  EXPECT_TRUE(table.ok());
+  return MakeTable(std::move(*table));
+}
+
+// ---- pure planner ----
+
+TEST(UnionPlannerTest, EmptyAndSingleRequests) {
+  const std::vector<int64_t> cards = {2, 3, 4};
+  EXPECT_TRUE(PlanUnionPrefetch({}, cards, 100).empty());
+
+  auto bins = PlanUnionPrefetch({{0, 1}}, cards, 100);
+  ASSERT_EQ(bins.size(), 1u);
+  EXPECT_EQ(bins[0].cols, (std::vector<int>{0, 1}));
+  EXPECT_EQ(bins[0].bound_cells, 6);
+  EXPECT_EQ(bins[0].covered, 1);  // a lone request is not worth a prefetch
+}
+
+TEST(UnionPlannerTest, MergesDisjointSetsUnderBudget) {
+  const std::vector<int64_t> cards = {2, 3, 4};
+  auto bins = PlanUnionPrefetch({{0}, {1}, {2}}, cards, 100);
+  ASSERT_EQ(bins.size(), 1u);
+  EXPECT_EQ(bins[0].cols, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(bins[0].bound_cells, 24);
+  EXPECT_EQ(bins[0].covered, 3);
+}
+
+TEST(UnionPlannerTest, BudgetSplitsBins) {
+  // Each pair bounds at 16; the union of any two pairs would exceed 20.
+  const std::vector<int64_t> cards = {4, 4, 4, 4};
+  auto bins = PlanUnionPrefetch({{0, 1}, {2, 3}}, cards, 20);
+  ASSERT_EQ(bins.size(), 2u);
+  EXPECT_EQ(bins[0].covered, 1);
+  EXPECT_EQ(bins[1].covered, 1);
+}
+
+TEST(UnionPlannerTest, SubsetsFoldIntoTheirCoveringBin) {
+  const std::vector<int64_t> cards = {2, 3, 4};
+  // {0} and {1} are subsets of {0, 1, 2}: the wide set seeds the bin and
+  // the narrow ones fold in without growing it.
+  auto bins = PlanUnionPrefetch({{0}, {0, 1, 2}, {1}}, cards, 1000);
+  ASSERT_EQ(bins.size(), 1u);
+  EXPECT_EQ(bins[0].cols, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(bins[0].covered, 3);
+}
+
+TEST(UnionPlannerTest, ExactRepeatsCountOnce) {
+  const std::vector<int64_t> cards = {2, 3};
+  // Five twins of one set still cover one distinct set — the first run
+  // materializes their shared focus anyway.
+  auto bins =
+      PlanUnionPrefetch({{0, 1}, {1, 0}, {0, 1}, {0, 1, 1}, {0, 1}}, cards, 0);
+  ASSERT_EQ(bins.size(), 1u);
+  EXPECT_EQ(bins[0].covered, 1);
+}
+
+TEST(UnionPlannerTest, OverBudgetSinglesAreDropped) {
+  const std::vector<int64_t> cards = {100, 100, 2};
+  // {0, 1} bounds at 10000 > budget: admission would refuse it alone, so
+  // the planner drops it rather than seed a hopeless bin.
+  auto bins = PlanUnionPrefetch({{0, 1}, {2}}, cards, 50);
+  ASSERT_EQ(bins.size(), 1u);
+  EXPECT_EQ(bins[0].cols, (std::vector<int>{2}));
+}
+
+TEST(UnionPlannerTest, NonPositiveBudgetMeansUnlimited) {
+  const std::vector<int64_t> cards = {1000, 1000, 1000};
+  auto bins = PlanUnionPrefetch({{0}, {1}, {2}}, cards, 0);
+  ASSERT_EQ(bins.size(), 1u);
+  EXPECT_EQ(bins[0].covered, 3);
+}
+
+TEST(UnionPlannerTest, Deterministic) {
+  const std::vector<int64_t> cards = {2, 3, 4, 5, 6};
+  const std::vector<std::vector<int>> requests = {
+      {0, 1}, {2, 3}, {1, 2}, {4}, {0}, {3, 4}};
+  auto first = PlanUnionPrefetch(requests, cards, 60);
+  auto second = PlanUnionPrefetch(requests, cards, 60);
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].cols, second[i].cols);
+    EXPECT_EQ(first[i].bound_cells, second[i].bound_cells);
+    EXPECT_EQ(first[i].covered, second[i].covered);
+  }
+}
+
+// ---- scheduler integration ----
+
+// A drained batch of same-key analyze requests plans one superset
+// prefetch (visible in scheduler metrics and per-request stats), and the
+// answers stay bit-identical to a cold serial HypDb.
+TEST(UnionPlanningTest, BatchedTwinsTriggerUnionPrefetch) {
+  TablePtr berkeley = Berkeley();
+  const std::vector<std::string> sqls = {
+      "SELECT Gender, avg(Accepted) FROM b GROUP BY Gender",
+      "SELECT Gender, Department, avg(Accepted) FROM b GROUP BY Gender, "
+      "Department",
+  };
+  // Cold serial ground truth (default static configuration).
+  std::vector<std::string> expected;
+  for (const std::string& sql : sqls) {
+    HypDb db(berkeley, HypDbOptions{});
+    auto report = db.AnalyzeSql(sql);
+    ASSERT_TRUE(report.ok()) << report.status();
+    expected.push_back(CanonicalReportDigest(*report));
+  }
+
+  HypDbServiceOptions options;
+  options.num_workers = 1;
+  options.analysis.engine.materialization = MaterializationMode::kAdaptive;
+  HypDbService service(options);
+  service.RegisterTable("b", berkeley);
+  service.RegisterTable("c", Cancer(20000));
+
+  // The slow request (different batch key) occupies the lone worker, so
+  // the two Gender-treatment requests queue and drain as one batch.
+  const uint64_t slow = service.Submit(
+      {"c",
+       "SELECT Lung_Cancer, avg(Car_Accident) FROM c GROUP BY Lung_Cancer",
+       {}});
+  const uint64_t plain = service.Submit({"b", sqls[0], {}});
+  const uint64_t grouped = service.Submit({"b", sqls[1], {}});
+
+  auto plain_report = service.Wait(plain);
+  auto grouped_report = service.Wait(grouped);
+  ASSERT_TRUE(service.Wait(slow).ok());
+  ASSERT_TRUE(plain_report.ok()) << plain_report.status();
+  ASSERT_TRUE(grouped_report.ok()) << grouped_report.status();
+
+  // The batch planned at least one union prefetch, and the covered jobs
+  // carry the flag in their request stats.
+  EXPECT_GE(service.scheduler_metrics().union_prefetches.value(), 1);
+  EXPECT_TRUE(plain_report->stats.union_prefetched ||
+              grouped_report->stats.union_prefetched);
+
+  // Bit-identity: planning only changes where counts come from.
+  EXPECT_EQ(CanonicalReportDigest(plain_report->report), expected[0]);
+  EXPECT_EQ(CanonicalReportDigest(grouped_report->report), expected[1]);
+}
+
+}  // namespace
+}  // namespace hypdb
